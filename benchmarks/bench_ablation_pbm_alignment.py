@@ -1,0 +1,61 @@
+"""Ablation — PBM with and without extent alignment.
+
+Shared subtrees need 2 MiB-aligned extents ("the natural granularities of
+page table structures"); without alignment PBM degrades to private
+per-page mapping.  Measured: second-process mapping cost under aligned vs
+unaligned allocators — quantifying what the alignment policy buys.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table
+from repro.core.pbm import PbmManager
+from repro.kernel import Kernel, MachineConfig
+from repro.units import GIB, MIB
+
+FILE_MIB = 8
+
+
+def second_map_cost(aligned: bool):
+    kernel = Kernel(
+        MachineConfig(
+            dram_bytes=512 * MIB, nvm_bytes=2 * GIB,
+            pmfs_extent_align_frames=512 if aligned else 1,
+        )
+    )
+    if not aligned:
+        kernel.nvm_allocator.alloc_extent(3)  # guarantee misalignment
+    pbm = PbmManager(kernel)
+    inode = kernel.pmfs.create("/f", size=FILE_MIB * MIB)
+    pbm.map_file(kernel.spawn("first"), inode)
+    second = kernel.spawn("second")
+    with kernel.measure() as m:
+        mapping = pbm.map_file(second, inode)
+    return m.elapsed_ns, m.counter_delta.get("pte_write", 0), mapping
+
+
+def run_experiment():
+    aligned_ns, aligned_ptes, aligned_map = second_map_cost(aligned=True)
+    unaligned_ns, unaligned_ptes, unaligned_map = second_map_cost(aligned=False)
+    return [
+        ("2 MiB-aligned extents", aligned_ns, aligned_ptes,
+         aligned_map.shared_window_count),
+        ("unaligned extents", unaligned_ns, unaligned_ptes,
+         unaligned_map.shared_window_count),
+    ]
+
+
+def test_ablation_pbm_alignment(benchmark, record_result):
+    rows = run_once(benchmark, run_experiment)
+    record_result(
+        "ablation_pbm_alignment",
+        format_table(
+            ["allocator", "2nd map us", "pte writes", "shared windows"],
+            [(n, f"{ns / 1000:.2f}", p, w) for n, ns, p, w in rows],
+        ),
+    )
+    aligned, unaligned = rows
+    assert aligned[2] == FILE_MIB // 2  # link writes only
+    assert unaligned[2] == FILE_MIB * 256  # per-page fallback
+    assert aligned[1] < unaligned[1] / 3
+    assert aligned[3] > 0 and unaligned[3] == 0

@@ -1,0 +1,72 @@
+"""Ablation — TLB shootdowns vs core count: batched unmaps win at scale.
+
+Every invalidation broadcast pays one IPI per remote core, so per-page
+teardown loops scale with cores x pages while whole-file (range) unmaps
+broadcast once.  This quantifies the SMP tax on the baseline that the
+O(1) designs sidestep.
+"""
+
+from conftest import run_once
+
+from repro.analysis import Series, format_series_table
+from repro.core.rangetrans import RangeMemory
+from repro.kernel import Kernel, MachineConfig
+from repro.units import GIB, MIB
+from repro.vm.vma import MapFlags
+
+CPU_COUNTS = [1, 4, 16, 64]
+REGION = 16 * MIB
+
+
+def paged_unmap_cost(cpus: int) -> int:
+    kernel = Kernel(
+        MachineConfig(dram_bytes=512 * MIB, nvm_bytes=0, cpus=cpus)
+    )
+    process = kernel.spawn("p", track_lru=True)
+    sys = kernel.syscalls(process)
+    va = sys.mmap(REGION, flags=MapFlags.PRIVATE | MapFlags.POPULATE)
+    kernel.access_range(process, va, REGION)
+    # The storm case: reclaim-style per-page eviction of a quarter of it.
+    with kernel.measure() as m:
+        for page in range(0, 1024):
+            process.space.evict_page(va + page * 4096)
+    return m.elapsed_ns
+
+
+def range_unmap_cost(cpus: int) -> int:
+    kernel = Kernel(
+        MachineConfig(
+            dram_bytes=512 * MIB, nvm_bytes=1 * GIB,
+            range_hardware=True, cpus=cpus,
+        )
+    )
+    rm = RangeMemory(kernel)
+    inode = kernel.pmfs.create("/f", size=REGION)
+    process = kernel.spawn("p")
+    mapping = rm.map_file(process, inode)
+    kernel.access(process, mapping.vaddr)
+    with kernel.measure() as m:
+        rm.unmap(mapping)
+    return m.elapsed_ns
+
+
+def run_experiment():
+    paged = Series("per-page eviction (4 MiB)")
+    ranged = Series("range unmap (16 MiB)")
+    for cpus in CPU_COUNTS:
+        paged.add(cpus, paged_unmap_cost(cpus))
+        ranged.add(cpus, range_unmap_cost(cpus))
+    return paged, ranged
+
+
+def test_ablation_smp_shootdown(benchmark, record_result):
+    paged, ranged = run_once(benchmark, run_experiment)
+    record_result(
+        "ablation_smp_shootdown",
+        format_series_table([paged, ranged], x_label="cpus", y_unit_divisor=1e6, y_suffix="ms"),
+    )
+    # Per-page storms scale with core count...
+    assert paged.y_at(64) > 10 * paged.y_at(1)
+    # ...while the single-broadcast range unmap barely moves.
+    assert ranged.y_at(64) < ranged.y_at(1) + 64 * 4100
+    assert ranged.y_at(64) < paged.y_at(64) / 1000

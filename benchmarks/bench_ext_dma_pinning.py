@@ -1,0 +1,100 @@
+"""E13 — §3.1 "Memory locking": DMA setup, pinned vs implicit vs PRI.
+
+"Currently letting a device access memory often requires locking the page
+in memory; even devices that support page faults through an IOMMU incur
+high penalties.  With file-only memory, data is implicitly pinned."
+
+Measured: cost to make a buffer device-visible (and tear it down) as
+buffer size grows, for (a) per-page pinning, (b) IOMMU page faults
+(first-touch PRI round trips), (c) file-extent implicit pinning.
+"""
+
+from conftest import run_once
+
+from repro.analysis import Series, format_series_table
+from repro.core.fom import FileOnlyMemory
+from repro.hw.iommu import PRI_FAULT_NS, Iommu
+from repro.kernel import Kernel, MachineConfig
+from repro.units import GIB, MIB, PAGE_SIZE
+
+SIZES_MB = [1, 4, 16, 64]
+
+
+def make_env():
+    kernel = Kernel(
+        MachineConfig(
+            dram_bytes=512 * MIB, nvm_bytes=2 * GIB,
+            pmfs_extent_align_frames=512,
+        )
+    )
+    fom = FileOnlyMemory(kernel)
+    process = kernel.spawn("driver")
+    iommu = Iommu(kernel.clock, kernel.costs, kernel.counters, kernel.frame_table)
+    return kernel, fom, process, iommu
+
+
+def buffer_runs(kernel, fom, process, size):
+    region = fom.allocate(process, size)
+    backing = region.inode.fs.backing_for(region.inode)
+    return [
+        (pfn * PAGE_SIZE, run * PAGE_SIZE)
+        for _, pfn, run in backing.frame_runs(0, size // PAGE_SIZE)
+    ]
+
+
+def pinned_cost(size):
+    kernel, fom, process, iommu = make_env()
+    runs = buffer_runs(kernel, fom, process, size)
+    with kernel.measure() as m:
+        region = iommu.map_pinned(runs)
+        iommu.transfer(region, size)
+        iommu.unmap_pinned(region)
+    return m.elapsed_ns
+
+
+def pri_cost(size):
+    kernel, fom, process, iommu = make_env()
+    buffer_runs(kernel, fom, process, size)
+    with kernel.measure() as m:
+        # No pinning: the device faults on each page it touches (streaming
+        # transfer touches them all once).
+        for _ in range(size // PAGE_SIZE):
+            iommu.device_fault()
+    return m.elapsed_ns
+
+
+def implicit_cost(size):
+    kernel, fom, process, iommu = make_env()
+    runs = buffer_runs(kernel, fom, process, size)
+    with kernel.measure() as m:
+        region = iommu.map_implicit(runs)
+        iommu.transfer(region, size)
+        iommu.unmap_implicit(region)
+    return m.elapsed_ns
+
+
+def run_experiment():
+    pinned = Series("pin/unpin")
+    pri = Series("IOMMU faults")
+    implicit = Series("implicit (FOM)")
+    for size_mb in SIZES_MB:
+        size = size_mb * MIB
+        pinned.add(size_mb, pinned_cost(size))
+        pri.add(size_mb, pri_cost(size))
+        implicit.add(size_mb, implicit_cost(size))
+    return pinned, pri, implicit
+
+
+def test_dma_pinning(benchmark, record_result):
+    pinned, pri, implicit = run_once(benchmark, run_experiment)
+    record_result(
+        "ext_dma_pinning",
+        format_series_table([pinned, pri, implicit], x_label="buffer MB"),
+    )
+    assert pinned.growth_factor() > 30  # linear in pages, both directions
+    assert pri.growth_factor() > 30  # a PRI trip per touched page
+    assert implicit.is_roughly_constant(0.05)  # one extent, any size
+    # The paper's ordering at every size: implicit << pinned << faulting.
+    for size_mb in SIZES_MB:
+        assert implicit.y_at(size_mb) < pinned.y_at(size_mb) / 50
+        assert pinned.y_at(size_mb) < pri.y_at(size_mb)

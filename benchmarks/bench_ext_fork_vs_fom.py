@@ -1,0 +1,82 @@
+"""E15 — process creation: fork (per-resident-page) vs FOM launch.
+
+§3.1: "When launching a process, code segments, heap segments, and stack
+segments can all be represented as separate files, so there is no need to
+allocate each individual page."  The baseline's fork pays per resident
+page (PTE copy + COW downgrade); a file-only launch pays per *segment
+file*.  Sweep the parent's resident footprint.
+"""
+
+from conftest import run_once
+
+from repro.analysis import Series, format_series_table
+from repro.core.fom import FileOnlyMemory, MapStrategy, launch_fom_process
+from repro.kernel import Kernel, MachineConfig
+from repro.units import GIB, KIB, MIB
+
+FOOTPRINTS_MB = [1, 4, 16, 64]
+
+
+def make_kernel():
+    return Kernel(
+        MachineConfig(
+            dram_bytes=512 * MIB, nvm_bytes=2 * GIB,
+            pmfs_extent_align_frames=512,
+        )
+    )
+
+
+def fork_cost(footprint_mb: int):
+    kernel = make_kernel()
+    parent = kernel.spawn("parent")
+    sys = kernel.syscalls(parent)
+    size = footprint_mb * MIB
+    va = sys.mmap(size)
+    kernel.access_range(parent, va, size, write=True)
+    with kernel.measure() as m:
+        sys.fork()
+    return m.elapsed_ns
+
+
+def fom_launch_cost(footprint_mb: int):
+    kernel = make_kernel()
+    fom = FileOnlyMemory(kernel)
+    # Program text exists already (shared persistent file).
+    launch_fom_process(
+        fom, "warm", code_bytes=1 * MIB, heap_bytes=1 * MIB,
+        stack_bytes=1 * MIB, code_path="/bin/app",
+    ).exit()
+    with kernel.measure() as m:
+        launch_fom_process(
+            fom,
+            "app",
+            code_bytes=1 * MIB,
+            heap_bytes=footprint_mb * MIB,
+            stack_bytes=1 * MIB,
+            code_path="/bin/app",
+        )
+    return m.elapsed_ns
+
+
+def run_experiment():
+    fork_series = Series("fork (COW)")
+    fom_series = Series("FOM launch")
+    for footprint_mb in FOOTPRINTS_MB:
+        fork_series.add(footprint_mb, fork_cost(footprint_mb))
+        fom_series.add(footprint_mb, fom_launch_cost(footprint_mb))
+    return fork_series, fom_series
+
+
+def test_fork_vs_fom_launch(benchmark, record_result):
+    fork_series, fom_series = run_once(benchmark, run_experiment)
+    record_result(
+        "ext_fork_vs_fom",
+        format_series_table(
+            [fork_series, fom_series], x_label="resident MB"
+        ),
+    )
+    # fork is linear in resident pages; FOM launch grows only with
+    # segment count (constant here) and 2 MiB PTEs.
+    assert fork_series.growth_factor() > 20
+    assert fom_series.growth_factor() < 2.0
+    assert fom_series.y_at(64) < fork_series.y_at(64) / 20

@@ -1,0 +1,123 @@
+"""E14 — conclusion: O(1) principles in the language runtime.
+
+"...and up to language runtimes and applications."  Two runtime designs
+over file-only memory, measured against the per-object baseline:
+
+* region heap: releasing N objects' memory = one file release, vs an
+  eager allocator (glibc above MMAP_THRESHOLD) that munmaps per object;
+* log-structured store: segment reclamation by file deletion, with the
+  cleaner's copy cost as the explicit space-for-time bill.
+"""
+
+from conftest import run_once
+
+from repro.analysis import Series, format_series_table, format_table
+from repro.core.fom import FileOnlyMemory, FomHeap
+from repro.core.o1.policy import ExtentPolicy
+from repro.kernel import Kernel, MachineConfig
+from repro.runtime import LogStructuredStore, ObjectHeap
+from repro.units import GIB, KIB, MIB, PAGE_SIZE
+
+OBJECT_COUNTS = [64, 256, 1024]
+OBJECT_BYTES = 8 * KIB  # above glibc's MMAP_THRESHOLD analogue
+
+
+def make_kernel():
+    return Kernel(
+        MachineConfig(
+            dram_bytes=512 * MIB, nvm_bytes=4 * GIB,
+            pmfs_extent_align_frames=512,
+        )
+    )
+
+
+def per_object_free_cost(count):
+    """Eager allocator: each large object is its own anon mapping that is
+    munmapped (returned to the OS) on free — per-object kernel work."""
+    kernel = make_kernel()
+    process = kernel.spawn("p")
+    sys = kernel.syscalls(process)
+    from repro.vm.vma import MapFlags
+
+    addrs = [
+        sys.mmap(OBJECT_BYTES, flags=MapFlags.PRIVATE | MapFlags.POPULATE)
+        for _ in range(count)
+    ]
+    with kernel.measure() as m:
+        for addr in addrs:
+            sys.munmap(addr, OBJECT_BYTES)
+    return m.elapsed_ns
+
+
+def region_free_cost(count):
+    kernel = make_kernel()
+    fom = FileOnlyMemory(kernel)
+    objheap = ObjectHeap(
+        fom, kernel.spawn("p"), region_bytes=max(16 * MIB, count * 16 * KIB)
+    )
+    region = objheap.create_region()
+    for _ in range(count):
+        objheap.new(OBJECT_BYTES, region=region)
+    with kernel.measure() as m:
+        objheap.free_region(region)
+    return m.elapsed_ns
+
+
+def log_cleaning_stats():
+    kernel = make_kernel()
+    policy = ExtentPolicy(
+        min_extent_bytes=PAGE_SIZE, align_to_page_structures=False
+    )
+    fom = FileOnlyMemory(kernel, policy=policy)
+    log = LogStructuredStore(
+        fom, kernel.spawn("p"), segment_bytes=256 * KIB
+    )
+    for key in range(400):
+        log.put(key, bytes([key % 251]) * 2000)
+    for key in range(0, 400, 3):
+        log.delete(key)
+    for key in range(1, 400, 3):
+        log.delete(key)
+    before = log.stats()
+    with kernel.measure() as m:
+        freed = log.clean(max_segments=16)
+    after = log.stats()
+    return before, after, freed, m.elapsed_ns
+
+
+def run_experiment():
+    per_object = Series("per-object free")
+    region = Series("region free")
+    for count in OBJECT_COUNTS:
+        per_object.add(count, per_object_free_cost(count))
+        region.add(count, region_free_cost(count))
+    log_before, log_after, freed, clean_ns = log_cleaning_stats()
+    return per_object, region, (log_before, log_after, freed, clean_ns)
+
+
+def test_runtime_o1(benchmark, record_result):
+    per_object, region, log_result = run_once(benchmark, run_experiment)
+    log_before, log_after, freed, clean_ns = log_result
+    log_rows = format_table(
+        ["metric", "before clean", "after clean"],
+        [
+            ("segments", log_before["segments"], log_after["segments"]),
+            ("dead KiB", log_before["dead_bytes"] // KIB,
+             log_after["dead_bytes"] // KIB),
+            ("utilization", f"{log_before['utilization']:.2f}",
+             f"{log_after['utilization']:.2f}"),
+        ],
+    )
+    record_result(
+        "ext_runtime",
+        format_series_table([per_object, region], x_label="objects")
+        + f"\n\nlog cleaner: freed {freed} segments in {clean_ns / 1000:.1f} us\n"
+        + log_rows,
+    )
+    # Region death is constant; eager per-object release is linear.
+    assert region.is_roughly_constant(0.10)
+    assert per_object.growth_factor() > 10
+    assert region.y_at(1024) < per_object.y_at(1024) / 100
+    # The cleaner reclaimed real segments and reduced dead space.
+    assert freed > 0
+    assert log_after["dead_bytes"] < log_before["dead_bytes"]

@@ -1,0 +1,49 @@
+"""E1a — Figure 1a/6a: mmap() on tmpfs, demand vs MAP_POPULATE.
+
+Paper: demand (MAP_PRIVATE) mmap is constant (~8 us on tmpfs); populating
+page tables grows linearly with file size (~250 us at 1024 KB).
+"""
+
+from conftest import run_once
+
+from repro.analysis import Series, format_series_table
+from repro.kernel import Kernel, MachineConfig
+from repro.units import GIB, KIB, MIB, USEC
+from repro.vm.vma import MapFlags
+
+SIZES_KB = [4, 16, 64, 256, 1024]
+
+
+def mmap_cost(size_kb: int, populate: bool) -> int:
+    kernel = Kernel(MachineConfig(dram_bytes=512 * MIB, nvm_bytes=0))
+    process = kernel.spawn("bench")
+    sys = kernel.syscalls(process)
+    size = size_kb * KIB
+    fd = sys.open(kernel.tmpfs, "/file", create=True, size=size)
+    flags = MapFlags.PRIVATE | (MapFlags.POPULATE if populate else MapFlags.NONE)
+    with kernel.measure() as m:
+        sys.mmap(size, fd=fd, flags=flags)
+    return m.elapsed_ns
+
+
+def run_experiment():
+    demand = Series("mmap demand")
+    populate = Series("mmap populate")
+    for size_kb in SIZES_KB:
+        demand.add(size_kb, mmap_cost(size_kb, populate=False))
+        populate.add(size_kb, mmap_cost(size_kb, populate=True))
+    return demand, populate
+
+
+def test_fig1a_mmap_demand_vs_populate(benchmark, record_result):
+    demand, populate = run_once(benchmark, run_experiment)
+    record_result(
+        "fig1a_mmap_cost",
+        format_series_table([demand, populate], x_label="file KB"),
+    )
+    # Shape assertions (the paper's claims).
+    assert demand.is_roughly_constant(tolerance=0.05)
+    assert 6 * USEC <= demand.y_at(4) <= 10 * USEC  # ~8 us anchor
+    assert populate.is_increasing()
+    assert populate.growth_factor() > 20  # linear in pages
+    assert 150 * USEC <= populate.y_at(1024) <= 350 * USEC  # ~250 us anchor

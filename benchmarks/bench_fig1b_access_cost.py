@@ -1,0 +1,58 @@
+"""E1b — Figure 1b/6b: touch one byte per page, demand vs pre-populated.
+
+Paper: "the cost of demand faulting in the file (MAP_PRIVATE) for large
+files is more than 50x that of pre-populating page tables", and the
+student figures add that populated reads are near zero up to 128 KB.
+Files are read after being written (warm LLC), per the report's method.
+"""
+
+from conftest import run_once
+
+from repro.analysis import Series, format_ratio, format_series_table
+from repro.kernel import Kernel, MachineConfig
+from repro.units import KIB, MIB, USEC
+from repro.vm.vma import MapFlags
+
+SIZES_KB = [4, 16, 64, 256, 1024]
+
+
+def read_cost(size_kb: int, populate: bool):
+    kernel = Kernel(MachineConfig(dram_bytes=512 * MIB, nvm_bytes=0))
+    process = kernel.spawn("bench")
+    sys = kernel.syscalls(process)
+    size = size_kb * KIB
+    fd = sys.open(kernel.tmpfs, "/file", create=True, size=size)
+    kernel.warm_file(process.fd(fd).inode)
+    flags = MapFlags.PRIVATE | (MapFlags.POPULATE if populate else MapFlags.NONE)
+    va = sys.mmap(size, fd=fd, flags=flags)
+    with kernel.measure() as m:
+        kernel.access_range(process, va, size)  # one byte per page
+    return m.elapsed_ns, m.counter_delta
+
+
+def run_experiment():
+    demand = Series("demand read")
+    populated = Series("populate read")
+    for size_kb in SIZES_KB:
+        ns, meta = read_cost(size_kb, populate=False)
+        demand.add(size_kb, ns, meta)
+        ns, meta = read_cost(size_kb, populate=True)
+        populated.add(size_kb, ns, meta)
+    return demand, populated
+
+
+def test_fig1b_demand_vs_populated_read(benchmark, record_result):
+    demand, populated = run_once(benchmark, run_experiment)
+    table = format_series_table([demand, populated], x_label="file KB")
+    ratio = format_ratio(demand.y_at(1024), populated.y_at(1024))
+    record_result(
+        "fig1b_access_cost", table + f"\nratio at 1024 KB: {ratio}"
+    )
+    assert demand.is_increasing() and demand.growth_factor() > 100
+    # The paper's >50x claim at large sizes.
+    assert demand.y_at(1024) > 50 * populated.y_at(1024)
+    # Student figure: populated reads up to 128 KB are ~zero.
+    assert populated.y_at(64) < 2 * USEC
+    # Mechanism: demand faults once per page, populated never.
+    assert demand.meta[-1].get("fault_minor") == 256
+    assert populated.meta[-1].get("fault_minor") is None

@@ -1,0 +1,49 @@
+"""E4 — student Figure 3: page faults while accessing mapped pages.
+
+map_private takes one minor fault per page touched; map_populate takes
+none.  The counts, not times, are the figure's y-axis.
+"""
+
+from conftest import run_once
+
+from repro.analysis import Series, format_series_table
+from repro.kernel import Kernel, MachineConfig
+from repro.units import KIB, MIB
+from repro.vm.vma import MapFlags
+
+SIZES_KB = [4, 16, 64, 256, 1024]
+
+
+def fault_count(size_kb: int, populate: bool) -> int:
+    kernel = Kernel(MachineConfig(dram_bytes=512 * MIB, nvm_bytes=0))
+    process = kernel.spawn("bench")
+    sys = kernel.syscalls(process)
+    size = size_kb * KIB
+    fd = sys.open(kernel.tmpfs, "/file", create=True, size=size)
+    flags = MapFlags.PRIVATE | (MapFlags.POPULATE if populate else MapFlags.NONE)
+    va = sys.mmap(size, fd=fd, flags=flags)
+    kernel.access_range(process, va, size)
+    return process.space.fault_stats_total()
+
+
+def run_experiment():
+    demand = Series("map_private faults")
+    populated = Series("map_populate faults")
+    for size_kb in SIZES_KB:
+        demand.add(size_kb, fault_count(size_kb, populate=False))
+        populated.add(size_kb, fault_count(size_kb, populate=True))
+    return demand, populated
+
+
+def test_fig4_fault_counts(benchmark, record_result):
+    demand, populated = run_once(benchmark, run_experiment)
+    record_result(
+        "fig4_fault_counts",
+        format_series_table(
+            [demand, populated], x_label="file KB", y_unit_divisor=1,
+            y_suffix="faults",
+        ),
+    )
+    for size_kb in SIZES_KB:
+        assert demand.y_at(size_kb) == size_kb * KIB // (4 * KIB)
+        assert populated.y_at(size_kb) == 0

@@ -1,0 +1,88 @@
+"""E6 — Figures 4/5/9: range translations vs page-based mapping.
+
+One RTE maps an arbitrarily large extent; unmap is one table write plus a
+range-TLB shootdown.  Measured against the page-table path for the same
+file sizes: map cost, sparse-access cost, unmap cost.
+"""
+
+from conftest import run_once
+
+from repro.analysis import Series, format_series_table
+from repro.core.rangetrans import RangeMemory
+from repro.kernel import Kernel, MachineConfig
+from repro.units import GIB, MIB
+from repro.vm.vma import MapFlags
+
+SIZES_MB = [1, 16, 128, 512]
+SPARSE_STRIDE = MIB  # touch one byte per MiB — "sparse access to large data"
+
+
+def paging_case(size_mb: int):
+    kernel = Kernel(MachineConfig(dram_bytes=512 * MIB, nvm_bytes=2 * GIB))
+    process = kernel.spawn("pt")
+    sys = kernel.syscalls(process)
+    size = size_mb * MIB
+    fd = sys.open(kernel.pmfs, "/f", create=True, size=size)
+    with kernel.measure() as map_m:
+        va = sys.mmap(size, fd=fd, flags=MapFlags.SHARED | MapFlags.POPULATE)
+    with kernel.measure() as access_m:
+        kernel.access_range(process, va, size, stride=SPARSE_STRIDE)
+    with kernel.measure() as unmap_m:
+        sys.munmap(va, size)
+    return map_m.elapsed_ns, access_m.elapsed_ns, unmap_m.elapsed_ns
+
+
+def range_case(size_mb: int):
+    kernel = Kernel(
+        MachineConfig(
+            dram_bytes=512 * MIB, nvm_bytes=2 * GIB, range_hardware=True
+        )
+    )
+    rm = RangeMemory(kernel)
+    inode = kernel.pmfs.create("/f", size=size_mb * MIB)
+    process = kernel.spawn("rt")
+    with kernel.measure() as map_m:
+        mapping = rm.map_file(process, inode)
+    with kernel.measure() as access_m:
+        kernel.access_range(
+            process, mapping.vaddr, size_mb * MIB, stride=SPARSE_STRIDE
+        )
+    with kernel.measure() as unmap_m:
+        rm.unmap(mapping)
+    return map_m.elapsed_ns, access_m.elapsed_ns, unmap_m.elapsed_ns
+
+
+def run_experiment():
+    names = ["page map", "range map", "page sparse", "range sparse",
+             "page unmap", "range unmap"]
+    series = {name: Series(name) for name in names}
+    for size_mb in SIZES_MB:
+        p_map, p_access, p_unmap = paging_case(size_mb)
+        r_map, r_access, r_unmap = range_case(size_mb)
+        series["page map"].add(size_mb, p_map)
+        series["range map"].add(size_mb, r_map)
+        series["page sparse"].add(size_mb, p_access)
+        series["range sparse"].add(size_mb, r_access)
+        series["page unmap"].add(size_mb, p_unmap)
+        series["range unmap"].add(size_mb, r_unmap)
+    return series
+
+
+def test_fig9_range_translations(benchmark, record_result):
+    series = run_once(benchmark, run_experiment)
+    record_result(
+        "fig9_range_translation",
+        format_series_table(list(series.values()), x_label="file MB"),
+    )
+    # Mapping: paging grows linearly; ranges are constant.
+    assert series["page map"].growth_factor() > 100
+    assert series["range map"].is_roughly_constant(0.05)
+    # Unmapping likewise.
+    assert series["page unmap"].growth_factor() > 50
+    assert series["range unmap"].is_roughly_constant(0.05)
+    # Sparse access: ranges beat paging at every size.
+    for size_mb in SIZES_MB:
+        assert (
+            series["range sparse"].y_at(size_mb)
+            < series["page sparse"].y_at(size_mb)
+        )

@@ -1,0 +1,77 @@
+"""E12 — §2: deeper page tables make TLB misses dearer.
+
+"Intel recently introduced 5-level address translation, which can address
+4PB of physical memory but requires up to 35 memory references in
+virtualized systems."  Measured: TLB-miss-heavy random access under
+4/5-level native and virtualized walks, plus the per-walk reference
+counts themselves.
+"""
+
+from conftest import run_once
+
+from repro.analysis import Series, format_table
+from repro.kernel import Kernel, MachineConfig
+from repro.units import KIB, MIB
+from repro.vm.vma import MapFlags
+from repro.workloads import random_pages
+
+WORKING_SET = 64 * MIB  # far beyond TLB reach
+TOUCHES = 4096
+
+CONFIGS = [
+    ("4-level native", 4, False),
+    ("5-level native", 5, False),
+    ("4-level virtualized", 4, True),
+    ("5-level virtualized", 5, True),
+]
+
+
+def miss_heavy_cost(levels: int, virtualized: bool):
+    kernel = Kernel(
+        MachineConfig(
+            dram_bytes=512 * MIB, nvm_bytes=0,
+            page_table_levels=levels, virtualized=virtualized,
+        )
+    )
+    process = kernel.spawn("p")
+    sys = kernel.syscalls(process)
+    va = sys.mmap(WORKING_SET, flags=MapFlags.PRIVATE | MapFlags.POPULATE)
+    kernel.tlb.flush_all()
+    addrs = random_pages(va, WORKING_SET, TOUCHES, seed=7)
+    with kernel.measure() as m:
+        for addr in addrs:
+            kernel.access(process, addr)
+    walks = m.counter_delta.get("page_walk", 0)
+    refs = m.counter_delta.get("walk_ref", 0) + m.counter_delta.get(
+        "nested_walk_ref", 0
+    )
+    return m.elapsed_ns, walks, refs, kernel.walker.references_per_walk(levels)
+
+
+def run_experiment():
+    rows = []
+    for name, levels, virtualized in CONFIGS:
+        ns, walks, refs, worst = miss_heavy_cost(levels, virtualized)
+        rows.append((name, ns / 1000, walks, refs / max(1, walks), worst))
+    return rows
+
+
+def test_paging_levels(benchmark, record_result):
+    rows = run_once(benchmark, run_experiment)
+    record_result(
+        "paging_levels",
+        format_table(
+            ["translation", "time us", "walks", "refs/walk", "worst-case refs"],
+            [
+                (name, f"{us:.1f}", walks, f"{rpw:.1f}", worst)
+                for name, us, walks, rpw, worst in rows
+            ],
+        ),
+    )
+    times = [us for _, us, _, _, _ in rows]
+    assert times == sorted(times)  # deeper/virtualized is monotonically worse
+    # The paper's 35-reference worst case for 5-level virtualized.
+    assert rows[3][4] == 35
+    assert rows[0][4] == 4
+    # Virtualization at least doubles the miss-heavy access time.
+    assert rows[2][1] > 1.5 * rows[0][1]

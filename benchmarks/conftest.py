@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench:
+
+* rebuilds the paper experiment on the simulator and prints the same
+  rows/series the paper's figure plots (simulated microseconds);
+* writes that table to ``benchmarks/results/<name>.txt`` so
+  EXPERIMENTS.md can quote real output;
+* asserts the figure's qualitative shape (so ``pytest benchmarks/`` is
+  itself a regression gate);
+* wraps the experiment in pytest-benchmark (wall-clock of the harness).
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Write a named result table under benchmarks/results/."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with a single round (experiments are deterministic;
+    simulated time, not wall time, is the result of record)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

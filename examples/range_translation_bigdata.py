@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Sparse analytics over a huge file, with and without range hardware.
+
+The paper's §3 problem: "for sparse access to large data sets, the
+fundamental linear operation cost remains" — demand paging pays a fault
+per touched page, pre-population pays a PTE per page.  Range translations
+(§3.2/§4.3) map the whole file with one base/limit/offset entry.
+
+This example scans one record per megabyte of a multi-GiB dataset — a
+columnar-analytics access pattern — on two machines: classic paging vs
+range hardware.
+
+Run:  python examples/range_translation_bigdata.py
+"""
+
+from repro.core.rangetrans import RangeMemory
+from repro.kernel import Kernel, MachineConfig
+from repro.units import GIB, MIB, fmt_ns
+from repro.vm.vma import MapFlags
+
+DATASET = 2 * GIB
+STRIDE = 1 * MIB  # one record per MiB: 2048 touches
+
+
+def classic_machine() -> None:
+    kernel = Kernel(MachineConfig(dram_bytes=1 * GIB, nvm_bytes=4 * GIB))
+    process = kernel.spawn("scanner")
+    sys = kernel.syscalls(process)
+    kernel.pmfs.makedirs("/warehouse")
+    fd = sys.open(kernel.pmfs, "/warehouse/events", create=True, size=DATASET)
+    with kernel.measure() as map_m:
+        va = sys.mmap(DATASET, fd=fd, flags=MapFlags.SHARED)
+    with kernel.measure() as scan_m:
+        kernel.access_range(process, va, DATASET, stride=STRIDE)
+    print("classic paging:")
+    print(f"  mmap            {fmt_ns(map_m.elapsed_ns)}")
+    print(f"  sparse scan     {fmt_ns(scan_m.elapsed_ns)} "
+          f"({scan_m.counter_delta.get('fault_minor', 0)} faults, "
+          f"{scan_m.counter_delta.get('page_walk', 0)} walks)")
+
+
+def range_machine() -> None:
+    kernel = Kernel(
+        MachineConfig(
+            dram_bytes=1 * GIB, nvm_bytes=4 * GIB, range_hardware=True
+        )
+    )
+    rm = RangeMemory(kernel)
+    kernel.pmfs.makedirs("/warehouse")
+    inode = kernel.pmfs.create("/warehouse/events", size=DATASET)
+    process = kernel.spawn("scanner")
+    with kernel.measure() as map_m:
+        mapping = rm.map_file(process, inode)
+    with kernel.measure() as scan_m:
+        kernel.access_range(process, mapping.vaddr, DATASET, stride=STRIDE)
+    with kernel.measure() as unmap_m:
+        rm.unmap(mapping)
+    print("range translations:")
+    print(f"  map (1 RTE)     {fmt_ns(map_m.elapsed_ns)}")
+    print(f"  sparse scan     {fmt_ns(scan_m.elapsed_ns)} "
+          f"({scan_m.counter_delta.get('rtlb_hit', 0)} range-TLB hits, "
+          f"{scan_m.counter_delta.get('page_walk', 0)} walks)")
+    print(f"  unmap           {fmt_ns(unmap_m.elapsed_ns)} "
+          f"(one table write + shootdown)")
+
+
+def main() -> None:
+    print(f"dataset: {DATASET // GIB} GiB, touching one byte per MiB\n")
+    classic_machine()
+    print()
+    range_machine()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro: a reproduction of "Towards O(1) Memory" (HotOS '17, M. Swift).
+
+The library simulates an OS memory-management stack — physical memory,
+buddy/slab allocators, multi-level page tables, TLBs, demand paging,
+tmpfs/PMFS/DAX file systems — with a calibrated cost model, and implements
+the paper's three O(1) designs on top:
+
+* :mod:`repro.core.fom` — file-only memory,
+* :mod:`repro.core.pbm` — physically based mappings,
+* :mod:`repro.core.rangetrans` — range translations,
+* :mod:`repro.core.o1` — O(1) policies (erase, pre-created page tables).
+
+Entry point for most users::
+
+    from repro.kernel import Kernel
+    kernel = Kernel.standard()
+
+See README.md for a tour and benchmarks/ for the paper's figures.
+"""
+
+from repro.kernel.kernel import Kernel, MachineConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["Kernel", "MachineConfig", "__version__"]

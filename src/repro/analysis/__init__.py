@@ -1,0 +1,12 @@
+"""Experiment running and result formatting for the benchmark harness.
+
+:mod:`experiments` sweeps a parameter over a measured body and collects
+simulated-time series; :mod:`tables` renders the series as the rows the
+paper's figures plot, so ``pytest benchmarks/`` output can be compared to
+the paper by eye.
+"""
+
+from repro.analysis.experiments import Series, sweep
+from repro.analysis.tables import format_ratio, format_series_table, format_table
+
+__all__ = ["Series", "format_ratio", "format_series_table", "format_table", "sweep"]

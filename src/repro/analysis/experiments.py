@@ -1,0 +1,70 @@
+"""Parameter sweeps over simulated-time measurements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+
+@dataclass
+class Series:
+    """One measured curve: a label and (x, y) points.
+
+    ``ys`` are simulated nanoseconds unless the experiment says otherwise;
+    ``meta`` carries per-point counter deltas for mechanism assertions.
+    """
+
+    label: str
+    xs: List[float] = field(default_factory=list)
+    ys: List[float] = field(default_factory=list)
+    meta: List[Dict[str, int]] = field(default_factory=list)
+
+    def add(self, x: float, y: float, meta: Dict[str, int] = None) -> None:
+        """Append one point."""
+        self.xs.append(x)
+        self.ys.append(y)
+        self.meta.append(meta or {})
+
+    def y_at(self, x: float) -> float:
+        """The y value recorded for exactly ``x`` (raises if absent)."""
+        return self.ys[self.xs.index(x)]
+
+    def is_roughly_constant(self, tolerance: float = 0.5) -> bool:
+        """True if max/min stays within (1 + tolerance) — the O(1) test."""
+        if not self.ys:
+            return True
+        low, high = min(self.ys), max(self.ys)
+        if low <= 0:
+            return high <= 0
+        return high / low <= 1.0 + tolerance
+
+    def is_increasing(self) -> bool:
+        """True if ys grow (weakly) with xs — the linear-cost signature."""
+        pairs = sorted(zip(self.xs, self.ys))
+        return all(b[1] >= a[1] for a, b in zip(pairs, pairs[1:]))
+
+    def growth_factor(self) -> float:
+        """y(last)/y(first) after sorting by x; how 'linear' the curve is."""
+        pairs = sorted(zip(self.xs, self.ys))
+        first, last = pairs[0][1], pairs[-1][1]
+        if first <= 0:
+            return float("inf") if last > 0 else 1.0
+        return last / first
+
+
+def sweep(
+    label: str,
+    parameters: Sequence[float],
+    body: Callable[[float], Tuple[float, Dict[str, int]]],
+) -> Series:
+    """Run ``body`` per parameter, collecting a :class:`Series`.
+
+    ``body`` returns (measured_value, counter_delta).  Each invocation is
+    expected to build fresh state (a new kernel), so points are
+    independent — no warm-cache bleed between sizes.
+    """
+    series = Series(label=label)
+    for parameter in parameters:
+        value, meta = body(parameter)
+        series.add(parameter, value, meta)
+    return series

@@ -1,0 +1,68 @@
+"""Plain-text rendering of experiment results.
+
+Benchmarks print these tables so their output can be laid side by side
+with the paper's figures; EXPERIMENTS.md is assembled from the same rows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.experiments import Series
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with a header rule."""
+    if not headers:
+        raise ValueError("need at least one header")
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt_row(row: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+    lines = [fmt_row(headers), fmt_row(["-" * width for width in widths])]
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_series_table(
+    series_list: List[Series],
+    x_label: str = "x",
+    y_unit_divisor: float = 1000.0,
+    y_suffix: str = "us",
+) -> str:
+    """Tabulate several series sharing the same xs.
+
+    Default divisor renders simulated ns as microseconds, the unit the
+    paper's figures use.
+    """
+    if not series_list:
+        raise ValueError("need at least one series")
+    xs = series_list[0].xs
+    for series in series_list[1:]:
+        if series.xs != xs:
+            raise ValueError(
+                f"series {series.label!r} has different xs than "
+                f"{series_list[0].label!r}"
+            )
+    headers = [x_label] + [f"{series.label} ({y_suffix})" for series in series_list]
+    rows = []
+    for index, x in enumerate(xs):
+        row = [f"{x:g}"]
+        for series in series_list:
+            row.append(f"{series.ys[index] / y_unit_divisor:.2f}")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_ratio(numerator: float, denominator: float) -> str:
+    """'12.3x' style ratio, guarding zero denominators."""
+    if denominator <= 0:
+        return "inf"
+    return f"{numerator / denominator:.1f}x"

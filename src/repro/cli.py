@@ -1,0 +1,94 @@
+"""Command-line interface: quick demos without writing any code.
+
+Installed as ``repro-o1`` (see pyproject.toml)::
+
+    repro-o1 demo        # the quickstart comparison, one command
+    repro-o1 meminfo     # a fresh machine's memory accounting
+    repro-o1 figures     # how to regenerate the paper's figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import format_meminfo, smaps
+from repro.core.fom import FileOnlyMemory
+from repro.kernel import Kernel, MachineConfig
+from repro.units import GIB, MIB, fmt_ns
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    kernel = Kernel(
+        MachineConfig(
+            dram_bytes=1 * GIB, nvm_bytes=4 * GIB,
+            pmfs_extent_align_frames=512,
+        )
+    )
+    size = args.mib * MIB
+    baseline = kernel.spawn("baseline")
+    sys_calls = kernel.syscalls(baseline)
+    va = sys_calls.mmap(size)
+    with kernel.measure() as demand:
+        kernel.access_range(baseline, va, size)
+    fom = FileOnlyMemory(kernel)
+    app = kernel.spawn("fom")
+    with kernel.measure() as o1:
+        region = fom.allocate(app, size)
+        kernel.access_range(app, region.vaddr, size)
+    print(f"touch {args.mib} MiB, demand paging:    {fmt_ns(demand.elapsed_ns)} "
+          f"({demand.counter_delta.get('fault_minor', 0)} faults)")
+    print(f"touch {args.mib} MiB, file-only memory: {fmt_ns(o1.elapsed_ns)} "
+          f"({o1.counter_delta.get('pte_write', 0)} PTE writes, 0 faults)")
+    print()
+    print(smaps(app))
+    return 0
+
+
+def _cmd_meminfo(args: argparse.Namespace) -> int:
+    kernel = Kernel(
+        MachineConfig(dram_bytes=args.dram_gib * GIB, nvm_bytes=args.nvm_gib * GIB)
+    )
+    print(format_meminfo(kernel))
+    return 0
+
+
+def _cmd_figures(_args: argparse.Namespace) -> int:
+    print("Regenerate every figure of the paper with:")
+    print()
+    print("    pytest benchmarks/ --benchmark-only")
+    print()
+    print("Tables land in benchmarks/results/*.txt; EXPERIMENTS.md maps")
+    print("each one to its figure and the paper's claims.")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-o1 argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-o1",
+        description="Towards O(1) Memory (HotOS '17) — simulator demos",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    demo = sub.add_parser("demo", help="demand paging vs file-only memory")
+    demo.add_argument("--mib", type=int, default=16, help="region size in MiB")
+    demo.set_defaults(func=_cmd_demo)
+    meminfo = sub.add_parser("meminfo", help="fresh machine accounting")
+    meminfo.add_argument("--dram-gib", type=int, default=4)
+    meminfo.add_argument("--nvm-gib", type=int, default=16)
+    meminfo.set_defaults(func=_cmd_meminfo)
+    figures = sub.add_parser("figures", help="how to regenerate the figures")
+    figures.set_defaults(func=_cmd_figures)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

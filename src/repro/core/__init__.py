@@ -1,0 +1,17 @@
+"""The paper's contribution: O(1) memory-management designs.
+
+Four subpackages, each a design from the paper:
+
+* :mod:`repro.core.fom` — **file-only memory** (§3.1/§4.1): all user
+  memory allocated as files in a memory file system, managed at
+  whole-file/extent granularity;
+* :mod:`repro.core.pbm` — **physically based mappings** (§4.2): virtual
+  addresses derived algorithmically from physical ones so page tables can
+  be shared across processes;
+* :mod:`repro.core.rangetrans` — **range translations** (§3.2/§4.3):
+  base/limit/offset range tables plus a range TLB, the hardware that makes
+  mapping O(1) per extent;
+* :mod:`repro.core.o1` — supporting **O(1) policies**: constant-time
+  erase strategies, pre-created/persistent page tables, and the
+  space-for-time extent policy.
+"""

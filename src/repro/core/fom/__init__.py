@@ -1,0 +1,33 @@
+"""File-only memory (paper §3.1/§4.1): all user memory as files.
+
+"Within the operating system, we propose that all user-mode memory be
+allocated as files, backed by a memory file system such as Linux's tmpfs."
+
+* :mod:`manager` — the allocator: every region is a file, pre-allocated as
+  extents by the O(1) policy and mapped by extent / premapped subtree /
+  range translation;
+* :mod:`heap` — a malloc/free built on file regions (code/heap/stack as
+  files);
+* :mod:`process` — process launch with code, heap and stack segments as
+  separate files, and O(#files) exit;
+* :mod:`reclaim` — whole-file reclamation of discardable data
+  (transcendent-memory-style);
+* :mod:`persistence` — volatile/persistent marking and crash recovery.
+"""
+
+from repro.core.fom.manager import FileOnlyMemory, FomRegion, MapStrategy
+from repro.core.fom.heap import FomHeap
+from repro.core.fom.process import FomProcess, launch_fom_process
+from repro.core.fom.reclaim import FileReclaimer
+from repro.core.fom.persistence import PersistenceManager
+
+__all__ = [
+    "FileOnlyMemory",
+    "FileReclaimer",
+    "FomHeap",
+    "FomProcess",
+    "FomRegion",
+    "MapStrategy",
+    "PersistenceManager",
+    "launch_fom_process",
+]

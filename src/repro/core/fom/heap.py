@@ -1,0 +1,202 @@
+"""A malloc/free built on file-only memory.
+
+The paper's claim is that heaps get *simpler* with ample memory: "the heap
+need not identify unused pages to release with madvise()".  This heap
+follows that philosophy:
+
+* small objects come from size-class arenas — each arena is one file
+  region, carved by bump pointer with a per-class free list (slab-style,
+  O(1) malloc and free);
+* large objects get their own region (one file, one extent, O(1));
+* freed arena space is *not* returned page-by-page to the OS — a fully
+  free arena's file is released whole, and everything else waits for
+  process exit.  The space cost is visible in :meth:`stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.fom.manager import FileOnlyMemory, FomRegion, MapStrategy
+from repro.errors import MappingError
+from repro.units import HUGE_PAGE_2M, PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.process import Process
+
+#: Size classes: powers of two from 16 B to 4 KiB.
+_SIZE_CLASSES = [16 << i for i in range(9)]  # 16 .. 4096
+
+
+def _class_for(size: int) -> Optional[int]:
+    """Smallest size class holding ``size``, or None for large objects."""
+    for cls in _SIZE_CLASSES:
+        if size <= cls:
+            return cls
+    return None
+
+
+@dataclass
+class _Arena:
+    """One file region serving a single size class."""
+
+    region: FomRegion
+    object_size: int
+    bump: int = 0
+    free_list: List[int] = field(default_factory=list)
+    live: int = 0
+
+    @property
+    def capacity(self) -> int:
+        """Objects this arena can hold."""
+        return self.region.length // self.object_size
+
+    def alloc(self) -> Optional[int]:
+        """An address, or None if full."""
+        if self.free_list:
+            self.live += 1
+            return self.free_list.pop()
+        if self.bump < self.capacity:
+            addr = self.region.vaddr + self.bump * self.object_size
+            self.bump += 1
+            self.live += 1
+            return addr
+        return None
+
+    def free(self, addr: int) -> None:
+        self.free_list.append(addr)
+        self.live -= 1
+
+    def contains(self, addr: int) -> bool:
+        return self.region.vaddr <= addr < self.region.vaddr + self.region.length
+
+
+class FomHeap:
+    """Process heap where every arena and large object is a file."""
+
+    def __init__(
+        self,
+        fom: FileOnlyMemory,
+        process: "Process",
+        arena_bytes: int = HUGE_PAGE_2M,
+        strategy: MapStrategy = MapStrategy.EXTENT,
+    ) -> None:
+        if arena_bytes < PAGE_SIZE:
+            raise MappingError(f"arena_bytes must be >= {PAGE_SIZE}")
+        self._fom = fom
+        self._process = process
+        self._arena_bytes = arena_bytes
+        self._strategy = strategy
+        #: size class -> arenas (last one is the open arena).
+        self._arenas: Dict[int, List[_Arena]] = {}
+        #: addr -> (size class, arena) for O(1) free of small objects.
+        self._small: Dict[int, _Arena] = {}
+        #: addr -> region for large objects.
+        self._large: Dict[int, FomRegion] = {}
+        self._malloc_count = 0
+        self._free_count = 0
+
+    # ------------------------------------------------------------------
+    # malloc / free
+    # ------------------------------------------------------------------
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the virtual address."""
+        if size <= 0:
+            raise MappingError(f"malloc size must be positive, got {size}")
+        self._malloc_count += 1
+        cls = _class_for(size)
+        if cls is None:
+            region = self._fom.allocate(
+                self._process, size, strategy=self._strategy
+            )
+            self._large[region.vaddr] = region
+            return region.vaddr
+        arenas = self._arenas.setdefault(cls, [])
+        if arenas:
+            addr = arenas[-1].alloc()
+            if addr is not None:
+                self._small[addr] = arenas[-1]
+                return addr
+            # Check earlier arenas' free lists before growing.
+            for arena in arenas[:-1]:
+                addr = arena.alloc()
+                if addr is not None:
+                    self._small[addr] = arena
+                    return addr
+        arena = self._grow(cls)
+        addr = arena.alloc()
+        assert addr is not None, "fresh arena cannot be full"
+        self._small[addr] = arena
+        return addr
+
+    def free(self, addr: int) -> None:
+        """Release an allocation made by :meth:`malloc`."""
+        self._free_count += 1
+        arena = self._small.pop(addr, None)
+        if arena is not None:
+            arena.free(addr)
+            if arena.live == 0 and len(self._arenas[arena.object_size]) > 1:
+                # Whole-arena (whole-file) release: the only granularity
+                # at which this heap returns memory before exit.
+                self._arenas[arena.object_size].remove(arena)
+                self._drop_arena_addrs(arena)
+                self._fom.release(arena.region)
+            return
+        region = self._large.pop(addr, None)
+        if region is not None:
+            self._fom.release(region)
+            return
+        raise MappingError(f"free of unallocated address {addr:#x}")
+
+    def _drop_arena_addrs(self, arena: _Arena) -> None:
+        stale = [addr for addr, owner in self._small.items() if owner is arena]
+        for addr in stale:
+            del self._small[addr]
+
+    def _grow(self, cls: int) -> _Arena:
+        region = self._fom.allocate(
+            self._process, self._arena_bytes, strategy=self._strategy
+        )
+        arena = _Arena(region=region, object_size=cls)
+        self._arenas[cls].append(arena)
+        return arena
+
+    # ------------------------------------------------------------------
+    # Teardown / stats
+    # ------------------------------------------------------------------
+    def destroy(self) -> None:
+        """Release every arena and large region (process exit path)."""
+        for arenas in self._arenas.values():
+            for arena in arenas:
+                if not arena.region.released:
+                    self._fom.release(arena.region)
+        for region in self._large.values():
+            if not region.released:
+                self._fom.release(region)
+        self._arenas.clear()
+        self._small.clear()
+        self._large.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Live/space accounting, including the space-for-time waste."""
+        live_small = sum(
+            arena.live * arena.object_size
+            for arenas in self._arenas.values()
+            for arena in arenas
+        )
+        arena_bytes = sum(
+            arena.region.allocated_bytes
+            for arenas in self._arenas.values()
+            for arena in arenas
+        )
+        large_bytes = sum(region.allocated_bytes for region in self._large.values())
+        return {
+            "malloc_count": self._malloc_count,
+            "free_count": self._free_count,
+            "live_small_bytes": live_small,
+            "arena_bytes": arena_bytes,
+            "large_bytes": large_bytes,
+            "arena_count": sum(len(a) for a in self._arenas.values()),
+            "large_count": len(self._large),
+        }

@@ -1,0 +1,77 @@
+"""Whole-file reclamation of discardable data.
+
+Paper §3.1/§4.1: "if applications use a file API to access non-critical
+data (i.e., discardable data such as caches), the OS can reclaim the
+memory by deleting non-critical files.  This provides many of the benefits
+of transcendent memory."  And §4.1: "access patterns can be tracked at
+coarse granularity (an entire file), and data can be reclaimed the same
+granularity."
+
+The contrast with :mod:`repro.vm.reclaimd` is the point: the clock
+algorithm *scans per page* to find victims; this reclaimer sorts a handful
+of files by last-use time and unlinks the coldest — cost proportional to
+files touched, not pages resident.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, TYPE_CHECKING
+
+from repro.core.fom.manager import FileOnlyMemory, FomRegion
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.process import Process
+
+
+class FileReclaimer:
+    """Reclaims memory by deleting cold discardable files."""
+
+    def __init__(self, fom: FileOnlyMemory) -> None:
+        self._fom = fom
+        self._registered: List[FomRegion] = []
+
+    def register(self, region: FomRegion) -> None:
+        """Track a discardable region as a reclaim candidate."""
+        if not region.discardable:
+            raise ValueError(
+                f"region {region.path!r} is not discardable; only cache-like "
+                f"data may be reclaimed by deletion"
+            )
+        self._registered.append(region)
+
+    @property
+    def candidate_count(self) -> int:
+        """Live discardable regions available to reclaim."""
+        return sum(1 for region in self._registered if not region.released)
+
+    def reclaimable_bytes(self) -> int:
+        """Bytes that could be freed by discarding everything registered."""
+        return sum(
+            region.allocated_bytes
+            for region in self._registered
+            if not region.released
+        )
+
+    def reclaim_bytes(self, target_bytes: int) -> Tuple[int, int]:
+        """Free at least ``target_bytes`` by deleting coldest files first.
+
+        Returns (bytes_freed, files_deleted).  Each deletion is one unmap
+        (O(1)/O(extents) for premap/range regions) plus one unlink (one
+        bitmap run per extent) — no page scanning anywhere.
+        """
+        if target_bytes <= 0:
+            raise ValueError(f"target_bytes must be positive, got {target_bytes}")
+        live = [region for region in self._registered if not region.released]
+        live.sort(key=lambda region: region.last_used_ns)
+        freed = 0
+        deleted = 0
+        for region in live:
+            if freed >= target_bytes:
+                break
+            freed += region.allocated_bytes
+            self._fom.release(region, unlink=True)
+            deleted += 1
+        self._registered = [
+            region for region in self._registered if not region.released
+        ]
+        return freed, deleted

@@ -1,0 +1,32 @@
+"""O(1) supporting policies: erase, pre-created page tables, extents.
+
+The paper's principle — "low constant time independent of size ... in many
+cases this can be accomplished by trading space, in the form of some
+wasted memory, for time spent managing memory" — needs three recurring
+mechanisms, collected here:
+
+* :mod:`repro.core.o1.zeroing` — constant-time erase of reused memory;
+* :mod:`repro.core.o1.premap` — pre-created (optionally persistent) page
+  tables so mapping a file is one pointer write;
+* :mod:`repro.core.o1.policy` — the extent-size policy and its
+  space-for-time ledger.
+"""
+
+from repro.core.o1.zeroing import (
+    CryptoErase,
+    EagerZeroing,
+    PooledZeroing,
+    ZeroingStrategy,
+)
+from repro.core.o1.premap import PageTableCache
+from repro.core.o1.policy import ExtentPolicy, SpaceTimeLedger
+
+__all__ = [
+    "CryptoErase",
+    "EagerZeroing",
+    "ExtentPolicy",
+    "PageTableCache",
+    "PooledZeroing",
+    "SpaceTimeLedger",
+    "ZeroingStrategy",
+]

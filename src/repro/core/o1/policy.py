@@ -1,0 +1,115 @@
+"""Extent-size policy and the space-for-time ledger.
+
+The paper's opening example: "with ample memory it may be more efficient
+to allocate a large page (e.g., 2MB) when only hundreds of kilobytes are
+needed to improve TLB performance.  No current system would choose this,
+though, because of the wasted space."  :class:`ExtentPolicy` is the
+component that *does* choose this, and :class:`SpaceTimeLedger` keeps the
+books on what the choice wastes — because an O(1) claim without a space
+bill is not a trade, it's an overdraft.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.units import HUGE_PAGE_1G, HUGE_PAGE_2M, PAGE_SIZE, align_up
+
+
+@dataclass
+class SpaceTimeLedger:
+    """Running account of memory wasted to buy constant-time operations."""
+
+    requested_bytes: int = 0
+    allocated_bytes: int = 0
+    by_reason: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, requested: int, allocated: int, reason: str) -> None:
+        """Account one allocation decision."""
+        if allocated < requested:
+            raise ValueError(
+                f"allocated {allocated} < requested {requested} ({reason})"
+            )
+        self.requested_bytes += requested
+        self.allocated_bytes += allocated
+        waste = allocated - requested
+        if waste:
+            self.by_reason[reason] = self.by_reason.get(reason, 0) + waste
+
+    @property
+    def wasted_bytes(self) -> int:
+        """Total bytes allocated beyond what was asked for."""
+        return self.allocated_bytes - self.requested_bytes
+
+    @property
+    def overhead_ratio(self) -> float:
+        """allocated/requested; 1.0 means no waste."""
+        if self.requested_bytes == 0:
+            return 1.0
+        return self.allocated_bytes / self.requested_bytes
+
+
+class ExtentPolicy:
+    """Chooses allocation sizes and alignments for O(1) behaviour.
+
+    Parameters
+    ----------
+    min_extent_bytes:
+        Smallest extent handed out; small requests are rounded up to this
+        (slab-style size classes above it).
+    align_to_page_structures:
+        Round extents up to — and align them on — the 2 MiB page-table
+        granularity so mappings can use huge pages and linked subtrees.
+    max_waste_ratio:
+        Refuse choices that would allocate more than this multiple of the
+        request (safety valve when memory is *not* ample).
+    """
+
+    def __init__(
+        self,
+        min_extent_bytes: int = HUGE_PAGE_2M,
+        align_to_page_structures: bool = True,
+        max_waste_ratio: float = 512.0,
+    ) -> None:
+        if min_extent_bytes < PAGE_SIZE:
+            raise ValueError(
+                f"min_extent_bytes must be >= {PAGE_SIZE}, got {min_extent_bytes}"
+            )
+        if max_waste_ratio < 1.0:
+            raise ValueError("max_waste_ratio must be >= 1.0")
+        self.min_extent_bytes = min_extent_bytes
+        self.align_to_page_structures = align_to_page_structures
+        self.max_waste_ratio = max_waste_ratio
+        self.ledger = SpaceTimeLedger()
+
+    def extent_bytes_for(self, requested: int) -> int:
+        """Bytes to actually allocate for a request of ``requested``.
+
+        Policy: round up to the base page always; then to the minimum
+        extent; then to a 2 MiB multiple (if aligning to page-table
+        structures); then to a 1 GiB multiple once requests reach 1 GiB.
+        Falls back toward the raw page-rounded size if the waste cap
+        would be exceeded.
+        """
+        if requested <= 0:
+            raise ValueError(f"requested must be positive, got {requested}")
+        page_rounded = align_up(requested, PAGE_SIZE)
+        chosen = max(page_rounded, self.min_extent_bytes)
+        if self.align_to_page_structures:
+            granule = HUGE_PAGE_1G if chosen >= HUGE_PAGE_1G else HUGE_PAGE_2M
+            chosen = align_up(chosen, granule)
+        if chosen > page_rounded * self.max_waste_ratio:
+            chosen = page_rounded
+        self.ledger.record(page_rounded, chosen, reason="extent_rounding")
+        return chosen
+
+    def alignment_frames_for(self, extent_bytes: int) -> int:
+        """Physical alignment (in 4 KiB frames) the extent should get."""
+        if not self.align_to_page_structures:
+            return 1
+        if extent_bytes % HUGE_PAGE_1G == 0:
+            return HUGE_PAGE_1G // PAGE_SIZE
+        if extent_bytes % HUGE_PAGE_2M == 0:
+            return HUGE_PAGE_2M // PAGE_SIZE
+        return 1

@@ -1,0 +1,158 @@
+"""Constant-time erase strategies for reused persistent memory.
+
+Paper §3.1: "for security purposes memory must be zeroed out before being
+reused ... This is currently a linear-time operation and suggests the need
+for new techniques to efficiently erase memory in constant time."
+
+Three strategies are implemented against a common interface so the erase
+ablation (bench E9) can sweep them:
+
+* :class:`EagerZeroing` — the baseline: zero at allocation time, linear in
+  the allocation size, on the critical path.
+* :class:`PooledZeroing` — keep a reserve of pre-zeroed frames filled by a
+  background thread; foreground cost O(1) while the pool holds.
+* :class:`CryptoErase` — encrypt each region under its own key and erase
+  by destroying the key: truly O(1) foreground *and* total work,
+  at the price of a per-key table and encryption hardware (modeled as a
+  small constant per-access overhead, not charged here).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional
+
+from repro.hw.clock import EventCounters, SimClock
+from repro.hw.costmodel import CostModel
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.zeropool import ZeroPool
+from repro.units import PAGE_SIZE
+
+
+class ZeroingStrategy(abc.ABC):
+    """Hands out frames guaranteed to read as zero."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def take_frames(self, count: int) -> List[int]:
+        """Allocate ``count`` zero-guaranteed frames (foreground cost)."""
+
+    @abc.abstractmethod
+    def return_frames(self, pfns: List[int]) -> None:
+        """Give frames back; they may hold secrets until re-zeroed."""
+
+    @abc.abstractmethod
+    def background_ns(self) -> int:
+        """Total simulated ns of off-critical-path work so far."""
+
+
+class EagerZeroing(ZeroingStrategy):
+    """Baseline: allocate then zero inline — O(size) on the critical path."""
+
+    name = "eager"
+
+    def __init__(
+        self,
+        buddy: BuddyAllocator,
+        clock: SimClock,
+        costs: CostModel,
+        counters: EventCounters,
+    ) -> None:
+        self._buddy = buddy
+        self._clock = clock
+        self._costs = costs
+        self._counters = counters
+
+    def take_frames(self, count: int) -> List[int]:
+        pfns = [self._buddy.alloc(0) for _ in range(count)]
+        self._clock.advance(self._costs.zero_page_ns(PAGE_SIZE) * count)
+        self._counters.bump("zero_eager_pages", count)
+        return pfns
+
+    def return_frames(self, pfns: List[int]) -> None:
+        for pfn in pfns:
+            self._buddy.free(pfn)
+
+    def background_ns(self) -> int:
+        return 0
+
+
+class PooledZeroing(ZeroingStrategy):
+    """Pre-zeroed pool: O(1) foreground while the reserve holds."""
+
+    name = "pooled"
+
+    def __init__(self, pool: ZeroPool) -> None:
+        self._pool = pool
+
+    def take_frames(self, count: int) -> List[int]:
+        return [self._pool.take() for _ in range(count)]
+
+    def return_frames(self, pfns: List[int]) -> None:
+        for pfn in pfns:
+            self._pool.give_back(pfn)
+
+    def replenish(self) -> int:
+        """Run the background zeroer (between requests)."""
+        return self._pool.refill()
+
+    def background_ns(self) -> int:
+        return self._pool.ledger()["background_zero_ns"]
+
+
+class CryptoErase(ZeroingStrategy):
+    """Key-destruction erase: O(1) regardless of region size.
+
+    Each handed-out batch of frames is notionally encrypted under a fresh
+    key; returning the batch destroys the key, making the old contents
+    unrecoverable without touching a single byte.  Foreground costs are a
+    key allocation/destruction constant.  The memory controller's
+    per-access AES latency is assumed hidden in the pipeline (as in
+    hardware proposals for memory encryption), so no per-access charge.
+    """
+
+    name = "crypto"
+
+    #: Key-table update: generate/install or revoke one key.
+    KEY_OP_NS = 120
+
+    def __init__(
+        self,
+        buddy: BuddyAllocator,
+        clock: SimClock,
+        costs: CostModel,
+        counters: EventCounters,
+    ) -> None:
+        self._buddy = buddy
+        self._clock = clock
+        self._costs = costs
+        self._counters = counters
+        #: first pfn of each live batch -> its key id (simulated).
+        self._keys: Dict[int, int] = {}
+        self._next_key = 1
+
+    def take_frames(self, count: int) -> List[int]:
+        pfns = [self._buddy.alloc(0) for _ in range(count)]
+        self._clock.advance(self.KEY_OP_NS)
+        self._counters.bump("crypto_key_create")
+        if pfns:
+            self._keys[pfns[0]] = self._next_key
+            self._next_key += 1
+        return pfns
+
+    def return_frames(self, pfns: List[int]) -> None:
+        if pfns:
+            self._keys.pop(pfns[0], None)
+            self._clock.advance(self.KEY_OP_NS)
+            self._counters.bump("crypto_key_destroy")
+        for pfn in pfns:
+            self._buddy.free(pfn)
+
+    @property
+    def live_keys(self) -> int:
+        """Keys currently installed (the space cost of this strategy)."""
+        return len(self._keys)
+
+    def background_ns(self) -> int:
+        return 0

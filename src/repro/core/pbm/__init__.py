@@ -1,0 +1,18 @@
+"""Physically based mappings (paper §4.2, Figure 8).
+
+Virtual addresses are generated algorithmically — here, VA = PA + a fixed
+global offset — so a mapped object lands at the *same* virtual address in
+every process.  That guarantee is what makes page-table sharing tractable:
+"Two processes with the same accesses to memory, such as a mapped file,
+can point to the same sub-tree of a page table as they are guaranteed to
+map it at the same location."
+
+:mod:`share` builds and caches the shared subtrees (one set per extent and
+permission — the paper's "two sets of page tables to allow different
+permissions"); :mod:`mapping` is the manager processes call.
+"""
+
+from repro.core.pbm.share import SharedSubtrees
+from repro.core.pbm.mapping import PbmManager, PbmMapping
+
+__all__ = ["PbmManager", "PbmMapping", "SharedSubtrees"]

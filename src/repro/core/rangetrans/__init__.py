@@ -1,0 +1,16 @@
+"""Range translations: O(1) mapping with base/limit/offset entries.
+
+The hardware/OS co-design of §3.2/§4.3 (after Gandhi et al. [9]): an
+architectural *range table* (:mod:`table`) holds fixed-size entries each
+translating an arbitrarily long contiguous range; the CPU's range TLB
+(:mod:`repro.hw.rtlb`) caches them.  :mod:`manager` is the OS side —
+"memory managed as extents in a file can be efficiently mapped by
+assigning one virtual memory range to each extent", and unmapping is "a
+single operation to update the range table and shoot down the entry in
+the TLB".
+"""
+
+from repro.core.rangetrans.table import RangeTable
+from repro.core.rangetrans.manager import RangeMapping, RangeMemory
+
+__all__ = ["RangeMapping", "RangeMemory", "RangeTable"]

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the O(1)-memory simulator.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type.  Subsystems raise the most specific subclass;
+messages always include the offending operands so failures are debuggable
+without a stack-trace spelunk.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class OutOfMemoryError(ReproError):
+    """Physical memory (or a specific region/pool) is exhausted."""
+
+
+class InvalidAddressError(ReproError):
+    """A virtual or physical address is outside any valid mapping/region."""
+
+
+class AlignmentError(ReproError):
+    """An address or size violates a required alignment."""
+
+
+class ProtectionError(ReproError):
+    """An access violates the permissions of its mapping (SIGSEGV-like)."""
+
+
+class MappingError(ReproError):
+    """mmap/munmap/mprotect request is malformed or conflicts with state."""
+
+
+class FileSystemError(ReproError):
+    """Generic file-system failure (bad path, exhausted blocks, ...)."""
+
+
+class FileNotFoundError_(FileSystemError):
+    """Named file does not exist.  Underscore avoids shadowing the builtin."""
+
+
+class FileExistsError_(FileSystemError):
+    """Named file already exists where exclusive creation was requested."""
+
+
+class NoSpaceError(FileSystemError):
+    """File system has no free blocks/extents for the request (ENOSPC)."""
+
+
+class BadFileDescriptorError(FileSystemError):
+    """Operation on a closed or never-opened file descriptor (EBADF)."""
+
+
+class ProcessError(ReproError):
+    """Invalid process operation (double exit, unknown pid, ...)."""
+
+
+class SimulatedCrashError(ReproError):
+    """Raised at an injected crash point (power failure mid-operation)."""
+
+
+class ConfigurationError(ReproError):
+    """Simulator was constructed with inconsistent parameters."""

@@ -1,0 +1,35 @@
+"""File systems: the substrate file-only memory is built on.
+
+The paper's central observation is that "operating systems already know
+how to manage large quantities of persistent data efficiently through the
+file system": coarse whole-file metadata, extent-based translation, one
+bit per free block.  This package supplies those mechanisms:
+
+* :mod:`repro.fs.vfs` — inodes, directories, file handles, path walking;
+* :mod:`repro.fs.extent` — extent trees mapping file blocks to frames;
+* :mod:`repro.fs.tmpfs` — page-cache-backed memory FS (per-page, baseline);
+* :mod:`repro.fs.pmfs` — extent-based persistent-memory FS with a block
+  bitmap and metadata journal, after Dulloor et al.'s PMFS [7];
+* :mod:`repro.fs.dax` — helpers for direct (page-cache-less) mappings;
+* :mod:`repro.fs.utilization` — the Agrawal-style utilization model behind
+  the "memory as storage" motivation (§2).
+"""
+
+from repro.fs.extent import Extent, ExtentTree
+from repro.fs.vfs import FileHandle, FileSystem, Inode, InodeKind
+from repro.fs.tmpfs import Tmpfs
+from repro.fs.pmfs import BlockAllocator, Pmfs
+from repro.fs.utilization import UtilizationModel
+
+__all__ = [
+    "BlockAllocator",
+    "Extent",
+    "ExtentTree",
+    "FileHandle",
+    "FileSystem",
+    "Inode",
+    "InodeKind",
+    "Pmfs",
+    "Tmpfs",
+    "UtilizationModel",
+]

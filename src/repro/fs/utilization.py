@@ -1,0 +1,109 @@
+"""Storage-utilization model behind the "memory as storage" motivation.
+
+Paper §2 cites Agrawal et al.'s five-year Microsoft study: "the mean and
+median file system utilization was below 50%", because disks fill slowly
+and get replaced when they near capacity.  The implication the paper draws:
+when storage moves into NVM, the same pattern leaves "vast amounts of
+memory provisioned for future persistent data but currently unused" —
+free capacity O(1) memory can spend.
+
+The model reproduces that fleet shape: each simulated machine's
+utilization follows a replacement lifecycle (fill linearly, replace with a
+bigger device at a threshold), yielding a fleet whose mean utilization
+sits in the 35-55% band of the study.  Deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.units import GIB
+
+
+@dataclass(frozen=True)
+class FleetStats:
+    """Summary of a simulated fleet's utilization."""
+
+    mean_utilization: float
+    median_utilization: float
+    total_capacity_bytes: int
+    total_used_bytes: int
+
+    @property
+    def excess_capacity_bytes(self) -> int:
+        """Provisioned-but-unused bytes: the O(1) memory budget."""
+        return self.total_capacity_bytes - self.total_used_bytes
+
+
+class UtilizationModel:
+    """Fleet of machines with replacement-lifecycle storage utilization."""
+
+    def __init__(
+        self,
+        seed: int = 2017,
+        replace_threshold: float = 0.75,
+        initial_capacity_bytes: int = 256 * GIB,
+        growth_factor: float = 3.0,
+        fill_bytes_per_epoch: int = 4 * GIB,
+    ) -> None:
+        if not 0.0 < replace_threshold <= 1.0:
+            raise ValueError("replace_threshold must be in (0, 1]")
+        if growth_factor <= 1.0:
+            raise ValueError("growth_factor must exceed 1.0")
+        self._rng = random.Random(seed)
+        self._replace_threshold = replace_threshold
+        self._initial_capacity = initial_capacity_bytes
+        self._growth_factor = growth_factor
+        self._fill_per_epoch = fill_bytes_per_epoch
+
+    def machine_utilization(self, epochs: int) -> float:
+        """Utilization of one machine after ``epochs`` of its lifecycle.
+
+        Data grows by a jittered amount each epoch; crossing the
+        replacement threshold swaps in a device ``growth_factor`` bigger
+        (data is carried over), dropping utilization — the sawtooth that
+        keeps the fleet mean low.
+        """
+        capacity = self._initial_capacity
+        used = int(capacity * self._rng.uniform(0.05, 0.30))
+        for _ in range(epochs):
+            used += int(self._fill_per_epoch * self._rng.uniform(0.3, 1.7))
+            if used >= capacity * self._replace_threshold:
+                capacity = int(capacity * self._growth_factor)
+        return min(1.0, used / capacity)
+
+    def sample_fleet(self, machines: int, max_epochs: int = 120) -> List[float]:
+        """Utilizations for a fleet at random lifecycle points."""
+        if machines <= 0:
+            raise ValueError(f"machines must be positive, got {machines}")
+        return [
+            self.machine_utilization(self._rng.randrange(max_epochs))
+            for _ in range(machines)
+        ]
+
+    def fleet_stats(
+        self, machines: int, capacity_bytes: int = 6 * 1024 * GIB
+    ) -> FleetStats:
+        """Aggregate stats for a fleet of NVM machines of equal capacity.
+
+        ``capacity_bytes`` defaults to the paper's "6TB of storage in a
+        2-socket server" 3D XPoint projection.
+        """
+        samples = sorted(self.sample_fleet(machines))
+        mean = sum(samples) / len(samples)
+        mid = len(samples) // 2
+        median = (
+            samples[mid]
+            if len(samples) % 2
+            else (samples[mid - 1] + samples[mid]) / 2
+        )
+        total_capacity = machines * capacity_bytes
+        total_used = int(mean * total_capacity)
+        return FleetStats(
+            mean_utilization=mean,
+            median_utilization=median,
+            total_capacity_bytes=total_capacity,
+            total_used_bytes=total_used,
+        )

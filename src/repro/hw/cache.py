@@ -1,0 +1,153 @@
+"""Cache-hierarchy model used to price individual memory references.
+
+The model tracks which physical cache lines are resident in an L1-like
+first level and an LLC-like second level, both LRU.  It exists because the
+paper's figures hinge on locality effects: a page-table walk over *warm*
+page-table nodes costs a handful of nanoseconds, while demand faults touch
+cold kernel structures and pay DRAM/NVM latency.  Pricing every reference
+through the same cache model makes those effects emerge rather than being
+hard-coded.
+
+The model is intentionally simple — fully shared, physically indexed,
+no associativity conflicts beyond capacity — because the reproduction
+targets the *shape* of the paper's curves, not cycle accuracy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Optional
+
+from repro.hw.clock import EventCounters, SimClock
+from repro.hw.costmodel import CostModel, MemoryTechnology
+from repro.units import CACHE_LINE
+
+
+class CacheModel:
+    """Two-level LRU cache over physical line addresses.
+
+    Parameters
+    ----------
+    clock, costs, counters:
+        Shared simulator plumbing; every :meth:`reference` advances the
+        clock by the reference's latency.
+    tech_of:
+        Callback mapping a physical address to its backing
+        :class:`MemoryTechnology`, normally provided by
+        :class:`repro.mem.physical.PhysicalMemory`.
+    l1_lines, llc_lines:
+        Capacities in cache lines (defaults: 32 KiB L1, 16 MiB LLC).
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        costs: CostModel,
+        counters: EventCounters,
+        tech_of: Optional[Callable[[int], MemoryTechnology]] = None,
+        l1_lines: int = 512,
+        llc_lines: int = 262144,
+    ) -> None:
+        if l1_lines <= 0 or llc_lines <= 0:
+            raise ValueError("cache capacities must be positive")
+        self._clock = clock
+        self._costs = costs
+        self._counters = counters
+        self._tech_of = tech_of or (lambda _pa: MemoryTechnology.DRAM)
+        self._l1_lines = l1_lines
+        self._llc_lines = llc_lines
+        # OrderedDict as LRU: most recently used at the end.
+        self._l1: "OrderedDict[int, None]" = OrderedDict()
+        self._llc: "OrderedDict[int, None]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Core operation
+    # ------------------------------------------------------------------
+    def reference(self, paddr: int, write: bool = False) -> int:
+        """Reference one cache line at physical address ``paddr``.
+
+        Advances the clock by the latency of the reference and returns it.
+        Writes are priced like reads on hit (write-back caches absorb the
+        store) but pay the technology's write latency on miss.
+        """
+        line = paddr & ~(CACHE_LINE - 1)
+        if line in self._l1:
+            self._l1.move_to_end(line)
+            cost = self._costs.l1_hit_ns
+            self._counters.bump("cache_l1_hit")
+        elif line in self._llc:
+            self._llc.move_to_end(line)
+            self._install_l1(line)
+            cost = self._costs.llc_hit_ns
+            self._counters.bump("cache_llc_hit")
+        else:
+            tech = self._tech_of(line)
+            if write:
+                cost = self._costs.write_ns(tech)
+            else:
+                cost = self._costs.read_ns(tech)
+            self._install_llc(line)
+            self._install_l1(line)
+            self._counters.bump("cache_miss")
+        self._clock.advance(cost)
+        return cost
+
+    def touch_range(self, paddr: int, size: int, write: bool = False) -> int:
+        """Reference every line in ``[paddr, paddr + size)``; total cost."""
+        if size <= 0:
+            return 0
+        start = paddr & ~(CACHE_LINE - 1)
+        end = paddr + size
+        total = 0
+        for line in range(start, end, CACHE_LINE):
+            total += self.reference(line, write=write)
+        return total
+
+    def warm_range(self, paddr: int, size: int) -> None:
+        """Install lines of ``[paddr, paddr+size)`` into the LLC, free.
+
+        Models data that was *just written* by another actor (e.g. the
+        process that created and filled a file) without charging the
+        measured region for it.  Lines land in the LLC only — the L1 is
+        too small to survive between phases anyway.  The paper's
+        measurement methodology reads files "after writing to the
+        allocated pages first", which is exactly this state.
+        """
+        start = paddr & ~(CACHE_LINE - 1)
+        for line in range(start, paddr + size, CACHE_LINE):
+            self._install_llc(line)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Drop all cached lines (e.g. to model a cold start)."""
+        self._l1.clear()
+        self._llc.clear()
+
+    def evict_range(self, paddr: int, size: int) -> None:
+        """Invalidate all lines covering ``[paddr, paddr + size)``."""
+        start = paddr & ~(CACHE_LINE - 1)
+        for line in range(start, paddr + size, CACHE_LINE):
+            self._l1.pop(line, None)
+            self._llc.pop(line, None)
+
+    def is_cached(self, paddr: int) -> bool:
+        """True if the line holding ``paddr`` is resident at any level."""
+        line = paddr & ~(CACHE_LINE - 1)
+        return line in self._l1 or line in self._llc
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _install_l1(self, line: int) -> None:
+        self._l1[line] = None
+        self._l1.move_to_end(line)
+        if len(self._l1) > self._l1_lines:
+            self._l1.popitem(last=False)
+
+    def _install_llc(self, line: int) -> None:
+        self._llc[line] = None
+        self._llc.move_to_end(line)
+        if len(self._llc) > self._llc_lines:
+            self._llc.popitem(last=False)

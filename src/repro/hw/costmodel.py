@@ -1,0 +1,194 @@
+"""Calibrated latency parameters for the simulated machine.
+
+Every cost the simulator charges comes from one :class:`CostModel` instance,
+so experiments can vary a single parameter (e.g. NVM write latency) and
+every subsystem sees it.  The defaults are calibrated against the absolute
+numbers the paper reports (see DESIGN.md "Calibrated cost-model anchors"):
+
+* ``mmap(MAP_PRIVATE)`` on tmpfs lands near 8 us, on DAX near 15 us;
+* pre-populating PTEs costs roughly 1 us/page (linear in file size);
+* a demand minor fault costs a few microseconds, so touching every page of
+  a large mapping is >50x the cost of walking pre-populated tables;
+* PMFS file allocation tracks malloc within a few percent.
+
+The values are in the range of published micro-architecture measurements
+(Skylake-era syscall ~150 ns bare, but several hundred ns to microseconds
+for the full kernel path; DRAM ~80 ns; 3D XPoint reads ~300 ns).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict
+
+
+class MemoryTechnology(enum.Enum):
+    """Backing technology of a physical-memory region."""
+
+    DRAM = "dram"
+    NVM = "nvm"  # 3D XPoint / PCM class persistent memory
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Latency parameters (integer nanoseconds) for the simulated machine.
+
+    Instances are frozen; use :meth:`with_overrides` to derive variants for
+    sensitivity studies.
+    """
+
+    # ------------------------------------------------------------------
+    # Raw memory-access latencies by technology and cache level.
+    # ------------------------------------------------------------------
+    l1_hit_ns: int = 1
+    l2_hit_ns: int = 4
+    llc_hit_ns: int = 14
+    dram_read_ns: int = 80
+    dram_write_ns: int = 80
+    nvm_read_ns: int = 300
+    nvm_write_ns: int = 600
+
+    # ------------------------------------------------------------------
+    # Kernel crossings.
+    # ------------------------------------------------------------------
+    #: User->kernel transition for a syscall, including register save and
+    #: kernel dispatch (paper-era KPTI-less machine).
+    syscall_entry_ns: int = 300
+    syscall_exit_ns: int = 200
+    #: Exception entry for a page fault: trap, fault-frame setup, and the
+    #: generic fault dispatch up to the mm-specific handler.  Faults are
+    #: more expensive than syscalls because they arrive unexpectedly and
+    #: must decode the faulting context.
+    fault_trap_ns: int = 700
+    fault_return_ns: int = 400
+
+    # ------------------------------------------------------------------
+    # Memory-management micro-operations.
+    # ------------------------------------------------------------------
+    #: Buddy-allocator fast path: pull one 4 KiB frame off a per-CPU list.
+    frame_alloc_ns: int = 150
+    #: Per extra order: splitting cost when the buddy must break a block.
+    buddy_split_ns: int = 40
+    frame_free_ns: int = 90
+    #: Write one page-table entry (cached store + accounting).
+    pte_write_ns: int = 25
+    #: Allocate + link one page-table node (a frame plus zeroing 4 KiB).
+    pt_node_alloc_ns: int = 500
+    #: Zero one cache line during page clearing (streaming stores).
+    zero_line_ns: int = 3
+    #: Update per-frame struct-page metadata (flags, refcount, LRU links).
+    frame_meta_update_ns: int = 60
+    #: rmap/LRU bookkeeping Linux performs on every faulted-in page.
+    fault_accounting_ns: int = 450
+    #: Per-page work in the MAP_POPULATE loop beyond the PTE write and
+    #: cache lookup: follow_page, rmap insert, LRU and mlock accounting.
+    #: Calibrated so populating a 1 MiB tmpfs file costs ~230 us (Fig 1a
+    #: shows ~250 us at 1024 KB, i.e. roughly 1 us/page).
+    populate_page_ns: int = 650
+    #: Per-resident-page work in fork's copy_page_range beyond the PTE
+    #: writes themselves (rmap duplication, refcount, accounting).
+    fork_page_copy_ns: int = 200
+    #: VMA allocation (slab) + red-black-tree insertion.
+    vma_insert_ns: int = 600
+    vma_remove_ns: int = 400
+    #: Look up the VMA covering a faulting address.
+    vma_find_ns: int = 250
+    #: Charge for acquiring/releasing mmap_sem and mm accounting per call.
+    mmap_lock_ns: int = 350
+    #: Constant per-mmap() work beyond lock+VMA: fd resolution, security
+    #: hooks, address-range search, accounting.  Calibrated so a tmpfs
+    #: MAP_PRIVATE mmap lands near the paper's ~8 us.
+    mmap_base_ns: int = 6000
+
+    # ------------------------------------------------------------------
+    # Swap device (NVMe-class SSD backing the baseline's paging).
+    # ------------------------------------------------------------------
+    swap_read_page_ns: int = 100_000
+    swap_write_page_ns: int = 25_000
+
+    # ------------------------------------------------------------------
+    # File-system operations.
+    # ------------------------------------------------------------------
+    #: Path walk + dentry lookup for one component.
+    path_component_ns: int = 400
+    #: Inode allocation/initialisation in a memory file system.
+    inode_alloc_ns: int = 800
+    #: tmpfs page-cache radix-tree insert/lookup per page.
+    pagecache_op_ns: int = 120
+    #: PMFS/DAX extent-tree lookup (whole extent, not per page).
+    extent_lookup_ns: int = 300
+    #: Extent allocation from the free-space structures (per extent).
+    extent_alloc_ns: int = 900
+    #: Bitmap update per block *run* (word-granularity, not per block).
+    bitmap_run_ns: int = 80
+    #: Extra constant work DAX mmap does to set up a direct mapping
+    #: (sizing, alignment checks, pfn remap bookkeeping).
+    dax_setup_ns: int = 6500
+    #: Journal a metadata record in PMFS (undo-log write + persist barrier).
+    journal_record_ns: int = 500
+    #: Copy cost per cache line for read()/write() through the kernel.
+    copy_line_ns: int = 2
+    #: Resolve a file descriptor to its open file (fdtable lookup).
+    fd_lookup_ns: int = 200
+
+    # ------------------------------------------------------------------
+    # TLB and range-translation hardware.
+    # ------------------------------------------------------------------
+    #: Cost of looking up the TLB itself (pipelined; nearly free on hit).
+    tlb_lookup_ns: int = 0
+    #: Fill one TLB entry after a walk completes.
+    tlb_fill_ns: int = 2
+    #: Invalidate one TLB entry (invlpg); a full flush costs this per
+    #: resident entry flushed.
+    tlb_invalidate_ns: int = 40
+    #: Inter-processor TLB shootdown (IPI round trip), charged per remote
+    #: CPU that must be interrupted.
+    tlb_shootdown_ipi_ns: int = 4000
+    #: Range-TLB lookup and fill (fully associative, small).
+    rtlb_fill_ns: int = 2
+    #: Write one range-table entry (the O(1) mapping operation).
+    rte_write_ns: int = 30
+    #: Resolve a range-TLB miss against the architectural range table
+    #: (a short fixed-size structure walk).
+    range_table_lookup_ns: int = 100
+
+    # ------------------------------------------------------------------
+    # Context / scheduling.
+    # ------------------------------------------------------------------
+    context_switch_ns: int = 2000
+    #: Address-space switch (CR3 write + pipeline effects), without the
+    #: full scheduler cost.
+    cr3_switch_ns: int = 300
+
+    def read_ns(self, tech: MemoryTechnology) -> int:
+        """Raw read latency of the backing technology."""
+        if tech is MemoryTechnology.DRAM:
+            return self.dram_read_ns
+        return self.nvm_read_ns
+
+    def write_ns(self, tech: MemoryTechnology) -> int:
+        """Raw write latency of the backing technology."""
+        if tech is MemoryTechnology.DRAM:
+            return self.dram_write_ns
+        return self.nvm_write_ns
+
+    def zero_page_ns(self, page_size: int, line_size: int = 64) -> int:
+        """Cost to zero a page of ``page_size`` bytes with streaming stores."""
+        return self.zero_line_ns * (page_size // line_size)
+
+    def with_overrides(self, **overrides: int) -> "CostModel":
+        """A copy of this model with some parameters replaced.
+
+        >>> CostModel().with_overrides(nvm_read_ns=100).nvm_read_ns
+        100
+        """
+        valid = {f.name for f in fields(self)}
+        unknown = set(overrides) - valid
+        if unknown:
+            raise ValueError(f"unknown cost parameters: {sorted(unknown)}")
+        return replace(self, **overrides)
+
+    def as_dict(self) -> Dict[str, int]:
+        """All parameters as a plain dict (for experiment records)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,187 @@
+"""Set-associative, multi-page-size TLB model.
+
+x86-64 processors keep separate TLB arrays per page size (4 KiB / 2 MiB /
+1 GiB) because the page size — and therefore which address bits form the
+tag — is unknown until the walk completes.  The model mirrors that: one
+set-associative array per supported page size, LRU replacement within a
+set, and optional ASID (PCID) tagging so address-space switches need not
+flush.
+
+The TLB stores *translations only*; costs for lookups and fills are charged
+by the CPU front-end (:mod:`repro.hw.cpu`) using the shared cost model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.units import HUGE_PAGE_1G, HUGE_PAGE_2M, PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class TlbEntry:
+    """One cached translation.
+
+    ``vpn``/``pfn`` are in units of the entry's own ``page_size``;
+    ``writable`` caches the permission bit so the CPU can detect permission
+    faults without a walk.
+    """
+
+    vpn: int
+    pfn: int
+    page_size: int
+    writable: bool
+    asid: int = 0
+
+    @property
+    def vaddr(self) -> int:
+        """Base virtual address covered by this entry."""
+        return self.vpn * self.page_size
+
+    @property
+    def paddr(self) -> int:
+        """Base physical address this entry maps to."""
+        return self.pfn * self.page_size
+
+
+#: Default geometry: (page_size -> (sets, ways)).  Roughly a Skylake L2
+#: STLB: 1536 x 4 KiB entries (128 sets x 12 ways), 32 x 2 MiB, 4 x 1 GiB.
+DEFAULT_GEOMETRY: Dict[int, Tuple[int, int]] = {
+    PAGE_SIZE: (128, 12),
+    HUGE_PAGE_2M: (8, 4),
+    HUGE_PAGE_1G: (1, 4),
+}
+
+
+class Tlb:
+    """Split, set-associative TLB with LRU replacement per set.
+
+    >>> tlb = Tlb()
+    >>> tlb.insert(TlbEntry(vpn=5, pfn=42, page_size=4096, writable=True))
+    >>> tlb.lookup(5 * 4096).pfn
+    42
+    """
+
+    def __init__(self, geometry: Optional[Dict[int, Tuple[int, int]]] = None) -> None:
+        self._geometry = dict(geometry or DEFAULT_GEOMETRY)
+        for size, (sets, ways) in self._geometry.items():
+            if sets <= 0 or ways <= 0:
+                raise ValueError(f"bad TLB geometry for page size {size}")
+        # arrays[page_size][set_index] = OrderedDict[(asid, vpn) -> TlbEntry]
+        self._arrays: Dict[int, Dict[int, "OrderedDict[Tuple[int, int], TlbEntry]"]] = {
+            size: {} for size in self._geometry
+        }
+
+    @property
+    def page_sizes(self) -> Tuple[int, ...]:
+        """Page sizes this TLB can hold, smallest first."""
+        return tuple(sorted(self._geometry))
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+    def lookup(self, vaddr: int, asid: int = 0) -> Optional[TlbEntry]:
+        """Translation covering ``vaddr`` for ``asid``, or None on miss.
+
+        Probes every page-size array, as hardware does in parallel.
+        """
+        for size, sets in self._arrays.items():
+            vpn = vaddr // size
+            nsets, _ = self._geometry[size]
+            entry_set = sets.get(vpn % nsets)
+            if entry_set is None:
+                continue
+            entry = entry_set.get((asid, vpn))
+            if entry is not None:
+                entry_set.move_to_end((asid, vpn))
+                return entry
+        return None
+
+    def insert(self, entry: TlbEntry) -> Optional[TlbEntry]:
+        """Install ``entry``, returning any entry evicted by LRU."""
+        if entry.page_size not in self._geometry:
+            raise ValueError(
+                f"TLB has no array for page size {entry.page_size}; "
+                f"supported: {sorted(self._geometry)}"
+            )
+        nsets, ways = self._geometry[entry.page_size]
+        sets = self._arrays[entry.page_size]
+        entry_set = sets.setdefault(entry.vpn % nsets, OrderedDict())
+        key = (entry.asid, entry.vpn)
+        entry_set[key] = entry
+        entry_set.move_to_end(key)
+        if len(entry_set) > ways:
+            _, evicted = entry_set.popitem(last=False)
+            return evicted
+        return None
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self, vaddr: int, asid: int = 0) -> int:
+        """Drop any entry covering ``vaddr`` (invlpg); returns count dropped."""
+        dropped = 0
+        for size, sets in self._arrays.items():
+            vpn = vaddr // size
+            nsets, _ = self._geometry[size]
+            entry_set = sets.get(vpn % nsets)
+            if entry_set and entry_set.pop((asid, vpn), None) is not None:
+                dropped += 1
+        return dropped
+
+    def invalidate_range(self, vaddr: int, length: int, asid: int = 0) -> int:
+        """Drop every entry overlapping ``[vaddr, vaddr + length)``."""
+        dropped = 0
+        end = vaddr + length
+        for size, sets in self._arrays.items():
+            for entry_set in sets.values():
+                stale = [
+                    key
+                    for key, entry in entry_set.items()
+                    if key[0] == asid
+                    and entry.vaddr < end
+                    and entry.vaddr + size > vaddr
+                ]
+                for key in stale:
+                    del entry_set[key]
+                    dropped += 1
+        return dropped
+
+    def flush_asid(self, asid: int) -> int:
+        """Drop every entry belonging to ``asid``; returns count dropped."""
+        dropped = 0
+        for sets in self._arrays.values():
+            for entry_set in sets.values():
+                stale = [key for key in entry_set if key[0] == asid]
+                for key in stale:
+                    del entry_set[key]
+                    dropped += 1
+        return dropped
+
+    def flush_all(self) -> int:
+        """Drop everything (CR3 write without PCID); returns count dropped."""
+        dropped = self.resident_count()
+        for sets in self._arrays.values():
+            sets.clear()
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def resident_count(self, page_size: Optional[int] = None) -> int:
+        """Number of valid entries (optionally for one page size)."""
+        sizes: Iterable[int] = (
+            [page_size] if page_size is not None else self._arrays.keys()
+        )
+        return sum(
+            len(entry_set)
+            for size in sizes
+            for entry_set in self._arrays.get(size, {}).values()
+        )
+
+    def capacity(self, page_size: int) -> int:
+        """Maximum entries for ``page_size``."""
+        nsets, ways = self._geometry[page_size]
+        return nsets * ways

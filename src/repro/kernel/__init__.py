@@ -1,0 +1,13 @@
+"""Kernel facade: machine assembly, processes, and the syscall layer.
+
+:class:`~repro.kernel.kernel.Kernel` wires the hardware models, physical
+memory, paging, vm and file systems into one simulated machine with a
+POSIX-ish syscall surface.  Benchmarks and the paper's O(1) designs all
+drive the system through this package.
+"""
+
+from repro.kernel.kernel import Kernel, MachineConfig
+from repro.kernel.process import Process
+from repro.kernel.syscalls import Syscalls
+
+__all__ = ["Kernel", "MachineConfig", "Process", "Syscalls"]

@@ -1,0 +1,388 @@
+"""The simulated machine: hardware + memory + file systems + processes.
+
+:class:`Kernel` is the composition root.  It builds the clock, cost model,
+cache, TLBs and CPU; carves physical memory into a DRAM region (buddy-
+managed) and an NVM region (extent-managed); mounts a tmpfs and a PMFS;
+and hands out processes whose address spaces are wired into all of it.
+
+Typical use::
+
+    from repro.kernel import Kernel
+    from repro.units import MIB
+
+    kernel = Kernel.standard()
+    proc = kernel.spawn("worker")
+    sys = kernel.syscalls(proc)
+    fd = sys.open(kernel.tmpfs, "/data", create=True, size=1 * MIB)
+    va = sys.mmap(1 * MIB, fd=fd)
+    kernel.access(proc, va)          # demand fault, charged
+    print(kernel.clock.now)           # simulated nanoseconds
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.fs.pmfs import BlockAllocator, Pmfs
+from repro.fs.tmpfs import Tmpfs
+from repro.hw.cache import CacheModel
+from repro.hw.clock import EventCounters, SimClock
+from repro.hw.costmodel import CostModel, MemoryTechnology
+from repro.hw.cpu import Cpu
+from repro.hw.rtlb import RangeTlb
+from repro.hw.tlb import Tlb
+from repro.kernel.process import Process
+from repro.kernel.syscalls import Syscalls
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.frame_meta import FrameTable
+from repro.mem.physical import PhysicalMemory
+from repro.mem.zeropool import ZeroPool
+from repro.paging.pagetable import PageTable
+from repro.paging.walker import PageWalker
+from repro.units import GIB, MIB, PAGE_SIZE
+from repro.vm.addrspace import AddressSpace
+from repro.vm.reclaimd import LruLists
+from repro.vm.swap import SwapDevice
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Knobs for assembling a simulated machine."""
+
+    dram_bytes: int = 4 * GIB
+    nvm_bytes: int = 16 * GIB
+    page_table_levels: int = 4
+    #: 2-D (nested) page walks, as under virtualization (§2's 35-reference
+    #: worst case for 5-level EPT).
+    virtualized: bool = False
+    #: Install a range TLB + range-table support (the paper's proposed
+    #: hardware, §3.2/§4.3).
+    range_hardware: bool = False
+    range_tlb_entries: int = 32
+    #: Align PMFS extents to this many frames (512 = 2 MiB) so file-only
+    #: memory can use huge mappings / linked subtrees.
+    pmfs_extent_align_frames: int = 1
+    #: Swap device capacity in pages; 0 = no swap (the paper's assumption).
+    swap_pages: int = 0
+    #: Pre-zeroed pool target (frames); 0 = no pool (baseline zeroes
+    #: on allocation).
+    zeropool_frames: int = 0
+    #: Buddy max order; 18 allows 1 GiB contiguous DRAM blocks.
+    buddy_max_order: int = 18
+    #: Cores in the machine; invalidations broadcast IPIs to cpus - 1
+    #: remote cores (one simulated core executes, the rest cost).
+    cpus: int = 1
+
+
+class Kernel:
+    """A fully wired simulated machine."""
+
+    def __init__(self, config: Optional[MachineConfig] = None, costs: Optional[CostModel] = None) -> None:
+        self.config = config or MachineConfig()
+        self.clock = SimClock()
+        self.counters = EventCounters()
+        self.costs = costs or CostModel()
+
+        cfg = self.config
+        if cfg.dram_bytes < 64 * MIB:
+            raise ConfigurationError("need at least 64 MiB of DRAM")
+
+        # --- physical memory -------------------------------------------------
+        self.physmem = PhysicalMemory()
+        self.dram_region = self.physmem.add_region(
+            cfg.dram_bytes, MemoryTechnology.DRAM, name="dram0"
+        )
+        self.nvm_region = None
+        if cfg.nvm_bytes:
+            self.nvm_region = self.physmem.add_region(
+                cfg.nvm_bytes, MemoryTechnology.NVM, name="nvm0"
+            )
+
+        # --- hardware ---------------------------------------------------------
+        self.cache = CacheModel(
+            self.clock, self.costs, self.counters, tech_of=self.physmem.tech_of
+        )
+        self.tlb = Tlb()
+        self.rtlb = RangeTlb(cfg.range_tlb_entries) if cfg.range_hardware else None
+        self.cpu = Cpu(
+            self.clock, self.costs, self.counters, self.cache, self.tlb, self.rtlb
+        )
+        if cfg.cpus < 1:
+            raise ConfigurationError(f"cpus must be >= 1, got {cfg.cpus}")
+        self.cpu.remote_cpus = cfg.cpus - 1
+        self.walker = PageWalker(
+            self.cache,
+            self.clock,
+            self.costs,
+            self.counters,
+            virtualized=cfg.virtualized,
+        )
+
+        # --- allocators & metadata -------------------------------------------
+        self.dram_buddy = BuddyAllocator(
+            self.dram_region,
+            max_order=cfg.buddy_max_order,
+            clock=self.clock,
+            costs=self.costs,
+            counters=self.counters,
+        )
+        self.frame_table = FrameTable(self.clock, self.costs, self.counters)
+        self.zeropool = None
+        if cfg.zeropool_frames:
+            self.zeropool = ZeroPool(
+                self.dram_buddy,
+                cfg.zeropool_frames,
+                clock=self.clock,
+                costs=self.costs,
+                counters=self.counters,
+            )
+            self.zeropool.refill()
+
+        # --- file systems -----------------------------------------------------
+        self.tmpfs = Tmpfs("tmpfs", self.dram_buddy, self.clock, self.costs, self.counters)
+        self.pmfs: Optional[Pmfs] = None
+        self.nvm_allocator: Optional[BlockAllocator] = None
+        if self.nvm_region is not None:
+            self.nvm_allocator = BlockAllocator(
+                self.nvm_region, self.clock, self.costs, self.counters
+            )
+            self.pmfs = Pmfs(
+                "pmfs",
+                self.nvm_allocator,
+                self.clock,
+                self.costs,
+                self.counters,
+                dax=True,
+                extent_align_frames=cfg.pmfs_extent_align_frames,
+            )
+
+        # --- swap & reclaim ----------------------------------------------------
+        self.swap: Optional[SwapDevice] = None
+        if cfg.swap_pages:
+            self.swap = SwapDevice(cfg.swap_pages, self.clock, self.costs, self.counters)
+        self.lru = LruLists(self.frame_table)
+
+        # --- processes ----------------------------------------------------------
+        self._pids = itertools.count(1)
+        self._asids = itertools.count(1)
+        self.processes: Dict[int, Process] = {}
+        self._current_asid: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def standard(cls, **overrides: object) -> "Kernel":
+        """A machine with the default config, tweaked by keyword."""
+        return cls(MachineConfig(**overrides))  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+    def spawn(self, name: str, track_lru: bool = False) -> Process:
+        """Create a process with an empty address space."""
+        asid = next(self._asids)
+        page_table = PageTable(
+            levels=self.config.page_table_levels,
+            clock=self.clock,
+            costs=self.costs,
+            counters=self.counters,
+            frame_source=lambda: self.dram_buddy.alloc(0),
+        )
+        space = AddressSpace(
+            asid=asid,
+            page_table=page_table,
+            walker=self.walker,
+            clock=self.clock,
+            costs=self.costs,
+            counters=self.counters,
+            frame_table=self.frame_table,
+        )
+        space.cpu = self.cpu
+        if track_lru:
+            space.lru = self.lru
+        process = Process(pid=next(self._pids), name=name, space=space)
+        self.processes[process.pid] = process
+        return process
+
+    def syscalls(self, process: Process) -> Syscalls:
+        """Syscall interface bound to ``process``."""
+        return Syscalls(self, process)
+
+    def fork(self, parent: Process) -> Process:
+        """Clone ``parent`` with copy-on-write semantics.
+
+        The baseline's fork: every VMA is duplicated, every *resident*
+        PTE is copied into the child, and writable private pages are
+        downgraded to read-only in both so first writes copy.  The cost
+        is linear in resident pages — which is the point of measuring it
+        against file-only process launch.
+        """
+        if not parent.alive:
+            raise ConfigurationError(f"cannot fork dead pid {parent.pid}")
+        child = self.spawn(f"{parent.name}-child")
+        self.counters.bump("fork")
+        from repro.vm.vma import Protection, Vma
+
+        for vma in parent.space.vmas:
+            add_user = getattr(vma.backing, "add_user", None)
+            if add_user is not None:
+                add_user()
+            cow = vma.is_private() and bool(vma.prot & Protection.WRITE)
+            if cow:
+                vma.cow_shared = True
+            child_vma = Vma(
+                start=vma.start,
+                end=vma.end,
+                prot=vma.prot,
+                flags=vma.flags,
+                backing=vma.backing,
+                backing_offset=vma.backing_offset,
+                name=vma.name,
+                cow_shared=vma.cow_shared,
+            )
+            child.space.adopt_vma(child_vma)
+            # Eagerly duplicate the parent's existing private copies for
+            # the child (rare; keeps sharing bookkeeping simple).
+            for page_index, src_pfn in vma.private_copies.items():
+                copy_pfn = self.dram_buddy.alloc(0)
+                self.clock.advance(self.costs.copy_line_ns * 128)
+                child_vma.private_copies[page_index] = copy_pfn
+            # Copy resident translations, downgrading COW pages.
+            for page_va, pte in list(
+                self._leaves_in_range(parent.space, vma.start, vma.end)
+            ):
+                self.clock.advance(self.costs.fork_page_copy_ns)
+                page_index = vma.backing_page(page_va)
+                child_pfn = child_vma.private_copies.get(page_index, pte.pfn)
+                writable = pte.writable and not cow
+                child.space.page_table.map(
+                    page_va, child_pfn, page_size=pte.page_size,
+                    writable=writable,
+                )
+                if cow and pte.writable:
+                    parent.space.page_table.protect(
+                        page_va, writable=False, page_size=pte.page_size
+                    )
+            if cow:
+                self.cpu.invalidate_space_range(
+                    vma.start, vma.length, asid=parent.space.asid
+                )
+        # Duplicate the descriptor table (shared offsets are not modeled).
+        for _fd, handle in parent.fds():
+            dup = handle.inode.fs.open_inode(handle.inode)
+            dup.pos = handle.pos
+            child.install_fd(dup)
+        return child
+
+    @staticmethod
+    def _leaves_in_range(space: AddressSpace, start: int, end: int):
+        for page_va, pte in space.page_table.iter_leaves():
+            if start <= page_va < end:
+                yield page_va, pte
+
+    # ------------------------------------------------------------------
+    # CPU entry points
+    # ------------------------------------------------------------------
+    def _ensure_current(self, process: Process) -> None:
+        if self._current_asid != process.space.asid:
+            # PCID-style switch: no flush, but the CR3 write is charged.
+            self.cpu.switch_address_space(process.space.asid, flush=False)
+            self._current_asid = process.space.asid
+
+    def access(self, process: Process, vaddr: int, write: bool = False) -> int:
+        """One user-mode memory access; returns the physical address."""
+        self._ensure_current(process)
+        return self.cpu.access(process.space, vaddr, write=write)
+
+    def access_range(
+        self,
+        process: Process,
+        vaddr: int,
+        size: int,
+        write: bool = False,
+        stride: int = PAGE_SIZE,
+    ) -> None:
+        """Touch ``[vaddr, vaddr+size)`` at ``stride`` intervals.
+
+        The default page stride is the paper's Figure 1b workload:
+        "access one byte of each page".
+        """
+        self._ensure_current(process)
+        self.cpu.access_range(process.space, vaddr, size, write=write, stride=stride)
+
+    def warm_file(self, inode) -> None:
+        """Install a file's data lines in the LLC, as if just written.
+
+        The paper's measurements read files "after writing to the
+        allocated pages first"; this models that prior write without
+        charging it to the measured region.
+        """
+        fs = inode.fs
+        npages = inode.page_count
+        if npages == 0:
+            return
+        backing = fs.backing_for(inode)
+        # frame_runs charges its (small) lookup costs; warm before opening
+        # a measure() block so they land outside the measured region.
+        for _index, pfn, run in backing.frame_runs(0, npages):
+            self.cache.warm_range(pfn * PAGE_SIZE, run * PAGE_SIZE)
+
+    # ------------------------------------------------------------------
+    # Whole-machine events
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Power failure: volatile state vanishes, persistent FS survives.
+
+        Processes die, DRAM-backed tmpfs loses everything, caches and
+        TLBs empty; PMFS replays its journal.
+        """
+        for process in list(self.processes.values()):
+            if process.alive:
+                process.exit()
+        self.processes.clear()
+        self.tmpfs.crash()
+        if self.pmfs is not None:
+            self.pmfs.crash()
+        self.cache.flush()
+        self.tlb.flush_all()
+        if self.rtlb is not None:
+            self.rtlb.flush_all()
+        self.counters.bump("machine_crash")
+
+    # ------------------------------------------------------------------
+    # Measurement helper
+    # ------------------------------------------------------------------
+    def measure(self):
+        """Context manager measuring simulated ns and counter deltas.
+
+        >>> kernel = Kernel.standard()
+        >>> with kernel.measure() as m:
+        ...     kernel.clock.advance(10)
+        >>> m.elapsed_ns
+        10
+        """
+        return _Measurement(self)
+
+
+class _Measurement:
+    """Result object for :meth:`Kernel.measure`."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self._kernel = kernel
+        self.elapsed_ns = 0
+        self.counter_delta: Dict[str, int] = {}
+        self._start_ns = 0
+        self._snapshot: Dict[str, int] = {}
+
+    def __enter__(self) -> "_Measurement":
+        self._start_ns = self._kernel.clock.now
+        self._snapshot = self._kernel.counters.snapshot()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed_ns = self._kernel.clock.now - self._start_ns
+        self.counter_delta = self._kernel.counters.delta_since(self._snapshot)

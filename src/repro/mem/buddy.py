@@ -1,0 +1,193 @@
+"""Binary-buddy page-frame allocator over one physical region.
+
+This is the baseline kernel allocator (Linux's ``alloc_pages``): free
+frames are kept on per-order free lists; allocation of order *k* splits a
+larger block if needed and frees coalesce with their buddy.  Costs mirror
+the real fast/slow path: a hit on the exact order costs one
+``frame_alloc_ns``; every split adds ``buddy_split_ns``.
+
+The paper's §3.1 notes that "Linux manages pages in the buddy allocator,
+but does not aggressively merge pages, so there may be contiguity present
+that is not available for use" and suggests slab-style extent allocation
+instead — the comparison appears in the extent-allocation ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import OutOfMemoryError
+from repro.hw.clock import EventCounters, SimClock
+from repro.hw.costmodel import CostModel
+from repro.mem.physical import MemoryRegion
+from repro.units import PAGE_SIZE
+
+
+class BuddyAllocator:
+    """Buddy allocator managing the frames of a single region.
+
+    Orders run from 0 (one 4 KiB frame) to ``max_order`` inclusive
+    (Linux's default ``MAX_ORDER - 1`` is 10, i.e. 4 MiB blocks).
+    """
+
+    def __init__(
+        self,
+        region: MemoryRegion,
+        max_order: int = 10,
+        clock: Optional[SimClock] = None,
+        costs: Optional[CostModel] = None,
+        counters: Optional[EventCounters] = None,
+    ) -> None:
+        if max_order < 0:
+            raise ValueError(f"max_order must be >= 0, got {max_order}")
+        self._region = region
+        self._max_order = max_order
+        self._clock = clock
+        self._costs = costs
+        self._counters = counters
+        self._free_lists: List[Set[int]] = [set() for _ in range(max_order + 1)]
+        #: pfn -> order for blocks handed out (needed to free by pfn alone).
+        self._allocated: Dict[int, int] = {}
+        self._free_frames = 0
+        self._seed_free_lists()
+
+    def _seed_free_lists(self) -> None:
+        """Carve the region into maximal aligned blocks."""
+        pfn = self._region.first_pfn
+        remaining = self._region.frame_count
+        while remaining > 0:
+            order = min(
+                self._max_order,
+                remaining.bit_length() - 1,
+                (pfn & -pfn).bit_length() - 1 if pfn else self._max_order,
+            )
+            self._free_lists[order].add(pfn)
+            pfn += 1 << order
+            remaining -= 1 << order
+        self._free_frames = self._region.frame_count
+
+    # ------------------------------------------------------------------
+    # Properties / helpers
+    # ------------------------------------------------------------------
+    @property
+    def region(self) -> MemoryRegion:
+        """The physical region this allocator manages."""
+        return self._region
+
+    @property
+    def max_order(self) -> int:
+        """Largest allocation order supported."""
+        return self._max_order
+
+    @property
+    def free_frames(self) -> int:
+        """Number of free 4 KiB frames."""
+        return self._free_frames
+
+    def _charge(self, ns: int, event: str) -> None:
+        if self._clock is not None:
+            self._clock.advance(ns)
+        if self._counters is not None:
+            self._counters.bump(event)
+
+    @staticmethod
+    def order_for_pages(npages: int) -> int:
+        """Smallest order whose block covers ``npages`` frames."""
+        if npages <= 0:
+            raise ValueError(f"npages must be positive, got {npages}")
+        return (npages - 1).bit_length()
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def alloc(self, order: int = 0) -> int:
+        """Allocate a block of 2**order frames; returns its first PFN."""
+        if not 0 <= order <= self._max_order:
+            raise ValueError(
+                f"order {order} outside supported range 0..{self._max_order}"
+            )
+        source = order
+        while source <= self._max_order and not self._free_lists[source]:
+            source += 1
+        if source > self._max_order:
+            raise OutOfMemoryError(
+                f"no free block of order {order} in region "
+                f"{self._region.name or self._region.start:#x} "
+                f"({self._free_frames} frames free but fragmented)"
+            )
+        costs = self._costs
+        self._charge(costs.frame_alloc_ns if costs else 0, "buddy_alloc")
+        pfn = self._free_lists[source].pop()
+        # Split down to the requested order, freeing the upper halves.
+        while source > order:
+            source -= 1
+            self._free_lists[source].add(pfn + (1 << source))
+            self._charge(costs.buddy_split_ns if costs else 0, "buddy_split")
+        self._allocated[pfn] = order
+        self._free_frames -= 1 << order
+        return pfn
+
+    def alloc_pages(self, npages: int) -> int:
+        """Allocate a contiguous run covering ``npages`` frames.
+
+        Rounds up to a power of two, like the kernel's higher-order
+        allocations; the extra frames are tracked as part of the block
+        (space traded for time, exactly the paper's O(1) bargain).
+        """
+        return self.alloc(self.order_for_pages(npages))
+
+    # ------------------------------------------------------------------
+    # Freeing
+    # ------------------------------------------------------------------
+    def free(self, pfn: int) -> None:
+        """Free a previously allocated block, coalescing with buddies."""
+        order = self._allocated.pop(pfn, None)
+        if order is None:
+            raise ValueError(f"pfn {pfn} was not allocated by this allocator")
+        self._charge(self._costs.frame_free_ns if self._costs else 0, "buddy_free")
+        self._free_frames += 1 << order
+        first = self._region.first_pfn
+        while order < self._max_order:
+            buddy = first + ((pfn - first) ^ (1 << order))
+            if buddy not in self._free_lists[order]:
+                break
+            self._free_lists[order].remove(buddy)
+            pfn = min(pfn, buddy)
+            order += 1
+            self._charge(0, "buddy_merge")
+        self._free_lists[order].add(pfn)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def free_blocks_by_order(self) -> Dict[int, int]:
+        """order -> number of free blocks (buddyinfo)."""
+        return {
+            order: len(blocks)
+            for order, blocks in enumerate(self._free_lists)
+            if blocks
+        }
+
+    def largest_free_order(self) -> Optional[int]:
+        """Largest order with at least one free block, or None if full."""
+        for order in range(self._max_order, -1, -1):
+            if self._free_lists[order]:
+                return order
+        return None
+
+    def is_allocated(self, pfn: int) -> bool:
+        """True if ``pfn`` is the start of a live allocation."""
+        return pfn in self._allocated
+
+    def fragmentation_index(self) -> float:
+        """0.0 = perfectly coalesced, 1.0 = maximally fragmented.
+
+        Defined as 1 - (largest free block / total free frames); 0 when
+        nothing is free.
+        """
+        if self._free_frames == 0:
+            return 0.0
+        largest = self.largest_free_order()
+        if largest is None:
+            return 0.0
+        return 1.0 - (1 << largest) / self._free_frames

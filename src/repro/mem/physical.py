@@ -1,0 +1,145 @@
+"""Physical address space: technology-typed memory regions.
+
+The simulated machine exposes physical memory as a sorted list of
+non-overlapping regions, each backed by one technology (DRAM or NVM).
+Everything above — allocators, page tables, file systems — deals in
+physical frame numbers (PFNs) carved from these regions; the cache model
+asks :meth:`PhysicalMemory.tech_of` to price misses correctly (NVM reads
+are ~4x DRAM in the default cost model).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError, InvalidAddressError
+from repro.hw.costmodel import MemoryTechnology
+from repro.units import PAGE_SIZE, fmt_bytes
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """One contiguous physical region of a single memory technology."""
+
+    start: int
+    size: int
+    tech: MemoryTechnology
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ConfigurationError(f"region start must be >= 0, got {self.start}")
+        if self.size <= 0 or self.size % PAGE_SIZE:
+            raise ConfigurationError(
+                f"region size must be a positive multiple of {PAGE_SIZE}, "
+                f"got {self.size}"
+            )
+        if self.start % PAGE_SIZE:
+            raise ConfigurationError(
+                f"region start must be page-aligned, got {self.start:#x}"
+            )
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.start + self.size
+
+    @property
+    def first_pfn(self) -> int:
+        """First page-frame number in the region."""
+        return self.start // PAGE_SIZE
+
+    @property
+    def frame_count(self) -> int:
+        """Number of 4 KiB frames in the region."""
+        return self.size // PAGE_SIZE
+
+    def contains(self, paddr: int) -> bool:
+        """True if ``paddr`` falls inside this region."""
+        return self.start <= paddr < self.end
+
+    def __repr__(self) -> str:
+        label = self.name or self.tech.value
+        return (
+            f"MemoryRegion({label}: {self.start:#x}..{self.end:#x}, "
+            f"{fmt_bytes(self.size)})"
+        )
+
+
+class PhysicalMemory:
+    """The machine's physical address map.
+
+    >>> from repro.units import GIB
+    >>> pm = PhysicalMemory()
+    >>> dram = pm.add_region(1 * GIB, MemoryTechnology.DRAM, name="dram0")
+    >>> nvm = pm.add_region(4 * GIB, MemoryTechnology.NVM, name="nvm0")
+    >>> pm.tech_of(dram.start) is MemoryTechnology.DRAM
+    True
+    """
+
+    def __init__(self) -> None:
+        self._regions: List[MemoryRegion] = []
+        self._starts: List[int] = []
+        self._next_start = 0
+
+    @property
+    def regions(self) -> List[MemoryRegion]:
+        """All regions, sorted by start address."""
+        return list(self._regions)
+
+    def add_region(
+        self,
+        size: int,
+        tech: MemoryTechnology,
+        name: str = "",
+        start: Optional[int] = None,
+    ) -> MemoryRegion:
+        """Append a region; defaults to packing after the last one."""
+        if start is None:
+            start = self._next_start
+        region = MemoryRegion(start=start, size=size, tech=tech, name=name)
+        for existing in self._regions:
+            if region.start < existing.end and existing.start < region.end:
+                raise ConfigurationError(
+                    f"region {region!r} overlaps existing {existing!r}"
+                )
+        index = bisect.bisect_left(self._starts, region.start)
+        self._regions.insert(index, region)
+        self._starts.insert(index, region.start)
+        self._next_start = max(self._next_start, region.end)
+        return region
+
+    def region_of(self, paddr: int) -> MemoryRegion:
+        """Region containing ``paddr``; raises if it maps nowhere."""
+        index = bisect.bisect_right(self._starts, paddr) - 1
+        if index >= 0 and self._regions[index].contains(paddr):
+            return self._regions[index]
+        raise InvalidAddressError(
+            f"physical address {paddr:#x} is outside all memory regions"
+        )
+
+    def tech_of(self, paddr: int) -> MemoryTechnology:
+        """Backing technology at ``paddr`` (DRAM if the address is hole —
+        holes arise only from modeling artifacts like MMIO, so default
+        cheap rather than raising on the hot cache path)."""
+        index = bisect.bisect_right(self._starts, paddr) - 1
+        if index >= 0 and self._regions[index].contains(paddr):
+            return self._regions[index].tech
+        return MemoryTechnology.DRAM
+
+    def total_size(self, tech: Optional[MemoryTechnology] = None) -> int:
+        """Total bytes, optionally restricted to one technology."""
+        return sum(
+            region.size
+            for region in self._regions
+            if tech is None or region.tech is tech
+        )
+
+    def total_frames(self, tech: Optional[MemoryTechnology] = None) -> int:
+        """Total 4 KiB frames, optionally restricted to one technology."""
+        return self.total_size(tech) // PAGE_SIZE
+
+    def __repr__(self) -> str:
+        return f"PhysicalMemory({len(self._regions)} regions, {fmt_bytes(self.total_size())})"

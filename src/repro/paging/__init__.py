@@ -1,0 +1,23 @@
+"""Address translation: multi-level page tables, walks, and huge pages.
+
+The baseline mechanism the paper measures against: every 4 KiB of mapped
+virtual memory needs a leaf PTE, every TLB miss walks one node per level
+(4 or 5, doubled-plus under virtualization), and every mapping operation
+is therefore linear in its operand size.  The O(1) designs in
+:mod:`repro.core` exist to bypass exactly this machinery.
+"""
+
+from repro.paging.pagetable import PageTable, PageTableNode, Pte
+from repro.paging.walker import PageWalker
+from repro.paging.hugepages import choose_page_runs, largest_page_for
+from repro.paging.fault import FaultType
+
+__all__ = [
+    "FaultType",
+    "PageTable",
+    "PageTableNode",
+    "PageWalker",
+    "Pte",
+    "choose_page_runs",
+    "largest_page_for",
+]

@@ -1,0 +1,402 @@
+"""Multi-level (radix) page tables, x86-64 style.
+
+A page table is a radix tree with 512-entry nodes translating 9 bits per
+level.  Four levels translate 48 bits; five translate 57 (Intel's 5-level
+paging, which §2 of the paper cites as the price of ever-larger physical
+memories).  Leaves can sit at any of the bottom three levels: a leaf at
+the lowest level maps 4 KiB, one level up 2 MiB, two levels up 1 GiB —
+matching x86-64's "powers of 512 times bigger than 4 KB" page sizes.
+
+Two features exist specifically for the paper's O(1) designs:
+
+* :meth:`PageTable.link_subtree` grafts an *existing* interior node into
+  another table, which is how physically based mappings and pre-created
+  page tables turn "map a file" into a single pointer write (§3.1:
+  "mapping becomes changing a single pointer in a page table to refer to
+  existing page tables");
+* interior nodes are reference-counted so shared subtrees survive the
+  teardown of any one address space.
+
+Costs: creating a node charges ``pt_node_alloc_ns`` (a frame allocation
+plus zeroing), and writing a leaf entry charges ``pte_write_ns``.  Walk
+costs are charged by :mod:`repro.paging.walker`, not here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import AlignmentError, ConfigurationError, MappingError
+from repro.hw.clock import EventCounters, SimClock
+from repro.hw.costmodel import CostModel
+from repro.units import HUGE_PAGE_1G, HUGE_PAGE_2M, PAGE_SIZE, PTES_PER_TABLE
+
+#: Bits translated per level and by the page offset.
+_BITS_PER_LEVEL = 9
+_PAGE_SHIFT = 12
+
+#: Page size mapped by a leaf at depth (levels - 1 - d) from the bottom.
+_LEAF_SIZES = (PAGE_SIZE, HUGE_PAGE_2M, HUGE_PAGE_1G)
+
+#: Synthetic physical addresses for page-table nodes when no frame source
+#: is wired in (standalone/unit-test use).  Placed high so they never
+#: collide with simulated RAM.
+_SYNTHETIC_NODE_BASE = 1 << 52
+
+
+@dataclass(frozen=True)
+class Pte:
+    """A leaf translation entry.
+
+    ``pfn`` is in units of the entry's own ``page_size`` (so a 2 MiB PTE's
+    pfn counts 2 MiB frames), mirroring how hardware reads the address
+    bits of a huge-page entry.
+    """
+
+    pfn: int
+    page_size: int = PAGE_SIZE
+    writable: bool = True
+    user: bool = True
+    dirty: bool = False
+    accessed: bool = False
+
+    @property
+    def paddr(self) -> int:
+        """Base physical address of the mapped page."""
+        return self.pfn * self.page_size
+
+
+class PageTableNode:
+    """One 4 KiB radix node holding up to 512 entries.
+
+    ``refs`` counts how many parent slots (or table roots) point here;
+    shared subtrees are freed only when the last reference drops.
+    """
+
+    _synthetic_addrs = itertools.count(_SYNTHETIC_NODE_BASE, PAGE_SIZE)
+
+    __slots__ = ("entries", "depth", "paddr", "refs")
+
+    def __init__(self, depth: int, paddr: Optional[int] = None) -> None:
+        self.entries: Dict[int, Union["PageTableNode", Pte]] = {}
+        self.depth = depth
+        self.paddr = paddr if paddr is not None else next(self._synthetic_addrs)
+        self.refs = 1
+
+    def entry_paddr(self, index: int) -> int:
+        """Physical address of slot ``index`` (8 bytes per entry)."""
+        return self.paddr + index * 8
+
+    def __repr__(self) -> str:
+        return (
+            f"PageTableNode(depth={self.depth}, entries={len(self.entries)}, "
+            f"refs={self.refs})"
+        )
+
+
+class PageTable:
+    """A process's page-table tree.
+
+    Parameters
+    ----------
+    levels:
+        4 (48-bit VA) or 5 (57-bit VA).
+    frame_source:
+        Optional callable returning a PFN for each new node, so node
+        frames come from the simulated buddy allocator.  Without it,
+        synthetic high addresses are used.
+    """
+
+    def __init__(
+        self,
+        levels: int = 4,
+        clock: Optional[SimClock] = None,
+        costs: Optional[CostModel] = None,
+        counters: Optional[EventCounters] = None,
+        frame_source: Optional[Callable[[], int]] = None,
+    ) -> None:
+        if levels not in (4, 5):
+            raise ConfigurationError(f"levels must be 4 or 5, got {levels}")
+        self._levels = levels
+        self._clock = clock
+        self._costs = costs
+        self._counters = counters
+        self._frame_source = frame_source
+        self._node_count = 0
+        self._root = self._new_node(depth=0)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> int:
+        """Number of radix levels (4 or 5)."""
+        return self._levels
+
+    @property
+    def root(self) -> PageTableNode:
+        """Top-level node (CR3 target)."""
+        return self._root
+
+    @property
+    def va_bits(self) -> int:
+        """Virtual-address bits this table can translate."""
+        return _PAGE_SHIFT + _BITS_PER_LEVEL * self._levels
+
+    @property
+    def node_count(self) -> int:
+        """Interior+leaf nodes allocated by *this* table (shared subtrees
+        grafted in via :meth:`link_subtree` are not counted)."""
+        return self._node_count
+
+    def _leaf_depth_for(self, page_size: int) -> int:
+        """Tree depth at which a leaf of ``page_size`` sits."""
+        for up, size in enumerate(_LEAF_SIZES):
+            if size == page_size:
+                depth = self._levels - 1 - up
+                if depth < 1:
+                    raise ConfigurationError(
+                        f"page size {page_size} needs more levels than {self._levels}"
+                    )
+                return depth
+        raise ConfigurationError(
+            f"unsupported page size {page_size}; supported: {_LEAF_SIZES}"
+        )
+
+    def index_at(self, vaddr: int, depth: int) -> int:
+        """Radix index used at ``depth`` (0 = root) for ``vaddr``."""
+        shift = _PAGE_SHIFT + _BITS_PER_LEVEL * (self._levels - 1 - depth)
+        return (vaddr >> shift) & (PTES_PER_TABLE - 1)
+
+    def span_at(self, depth: int) -> int:
+        """Bytes of VA covered by one slot at ``depth``."""
+        return 1 << (_PAGE_SHIFT + _BITS_PER_LEVEL * (self._levels - 1 - depth))
+
+    # ------------------------------------------------------------------
+    # Charging helpers
+    # ------------------------------------------------------------------
+    def _new_node(self, depth: int) -> PageTableNode:
+        pfn = self._frame_source() if self._frame_source is not None else None
+        paddr = pfn * PAGE_SIZE if pfn is not None else None
+        if self._clock is not None and self._costs is not None:
+            self._clock.advance(self._costs.pt_node_alloc_ns)
+        if self._counters is not None:
+            self._counters.bump("pt_node_alloc")
+        self._node_count += 1
+        return PageTableNode(depth=depth, paddr=paddr)
+
+    def _charge_pte_write(self) -> None:
+        if self._clock is not None and self._costs is not None:
+            self._clock.advance(self._costs.pte_write_ns)
+        if self._counters is not None:
+            self._counters.bump("pte_write")
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        vaddr: int,
+        pfn: int,
+        page_size: int = PAGE_SIZE,
+        writable: bool = True,
+        user: bool = True,
+    ) -> Pte:
+        """Install one leaf PTE mapping ``vaddr`` -> frame ``pfn``.
+
+        ``vaddr`` must be aligned to ``page_size``.  This is the per-page
+        operation whose repetition makes MAP_POPULATE linear.
+        """
+        if vaddr % page_size:
+            raise AlignmentError(
+                f"vaddr {vaddr:#x} not aligned to page size {page_size}"
+            )
+        leaf_depth = self._leaf_depth_for(page_size)
+        node = self._descend_creating(vaddr, leaf_depth)
+        index = self.index_at(vaddr, leaf_depth)
+        existing = node.entries.get(index)
+        if isinstance(existing, PageTableNode):
+            raise MappingError(
+                f"vaddr {vaddr:#x}: cannot place a {page_size}-byte leaf over "
+                f"an existing subtree"
+            )
+        pte = Pte(pfn=pfn, page_size=page_size, writable=writable, user=user)
+        node.entries[index] = pte
+        self._charge_pte_write()
+        return pte
+
+    def _descend_creating(self, vaddr: int, leaf_depth: int) -> PageTableNode:
+        node = self._root
+        for depth in range(leaf_depth):
+            index = self.index_at(vaddr, depth)
+            child = node.entries.get(index)
+            if child is None:
+                child = self._new_node(depth + 1)
+                node.entries[index] = child
+            elif isinstance(child, Pte):
+                raise MappingError(
+                    f"vaddr {vaddr:#x}: a {child.page_size}-byte huge page "
+                    f"already maps this region"
+                )
+            node = child
+        return node
+
+    def unmap(self, vaddr: int, page_size: int = PAGE_SIZE) -> Pte:
+        """Remove the leaf PTE at ``vaddr``; returns it.
+
+        Empty interior nodes are *not* eagerly freed (Linux keeps them
+        too); whole-tree teardown happens via :meth:`clear`.
+        """
+        leaf_depth = self._leaf_depth_for(page_size)
+        node = self._root
+        for depth in range(leaf_depth):
+            child = node.entries.get(self.index_at(vaddr, depth))
+            if not isinstance(child, PageTableNode):
+                raise MappingError(f"vaddr {vaddr:#x} is not mapped")
+            node = child
+        index = self.index_at(vaddr, leaf_depth)
+        entry = node.entries.get(index)
+        if not isinstance(entry, Pte):
+            raise MappingError(f"vaddr {vaddr:#x} is not mapped")
+        del node.entries[index]
+        self._charge_pte_write()
+        return entry
+
+    def protect(self, vaddr: int, writable: bool, page_size: int = PAGE_SIZE) -> Pte:
+        """Rewrite the leaf PTE's permission at ``vaddr``."""
+        old = self.unmap(vaddr, page_size)
+        return self.map(
+            vaddr, old.pfn, page_size=page_size, writable=writable, user=old.user
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup (uncharged; the walker prices hardware walks)
+    # ------------------------------------------------------------------
+    def lookup(self, vaddr: int) -> Optional[Pte]:
+        """Leaf PTE covering ``vaddr``, or None.  Pure data-structure op."""
+        node = self._root
+        for depth in range(self._levels):
+            entry = node.entries.get(self.index_at(vaddr, depth))
+            if entry is None:
+                return None
+            if isinstance(entry, Pte):
+                return entry
+            node = entry
+        return None
+
+    def path_nodes(self, vaddr: int) -> List[PageTableNode]:
+        """Nodes visited translating ``vaddr`` (for the walker), root first.
+
+        Stops at the node containing the leaf (or the last node that
+        exists, if the translation is absent)."""
+        nodes = [self._root]
+        node = self._root
+        for depth in range(self._levels - 1):
+            entry = node.entries.get(self.index_at(vaddr, depth))
+            if not isinstance(entry, PageTableNode):
+                break
+            node = entry
+            nodes.append(node)
+        return nodes
+
+    # ------------------------------------------------------------------
+    # Subtree sharing — the O(1) mapping primitive
+    # ------------------------------------------------------------------
+    def subtree_at(self, vaddr: int, depth: int) -> Optional[PageTableNode]:
+        """Interior node rooted at ``vaddr``'s slot chain down to ``depth``."""
+        if depth < 1 or depth >= self._levels:
+            raise ValueError(f"depth must be in 1..{self._levels - 1}, got {depth}")
+        node = self._root
+        for d in range(depth):
+            entry = node.entries.get(self.index_at(vaddr, d))
+            if not isinstance(entry, PageTableNode):
+                return None
+            node = entry
+        return node
+
+    def link_subtree(self, vaddr: int, subtree: PageTableNode) -> None:
+        """Graft ``subtree`` so it translates the region at ``vaddr``.
+
+        One pointer write: this is the paper's O(1) mapping operation.
+        ``vaddr`` must be aligned to the VA span of a slot at the
+        subtree's depth (e.g. 2 MiB for a bottom-level node, 1 GiB one
+        level up) — the "natural granularities of page table structures"
+        constraint the paper calls out.
+        """
+        depth = subtree.depth
+        if depth < 1 or depth >= self._levels:
+            raise MappingError(
+                f"cannot link a node of depth {depth} into a {self._levels}-level table"
+            )
+        span = self.span_at(depth - 1)
+        if vaddr % span:
+            raise AlignmentError(
+                f"vaddr {vaddr:#x} not aligned to subtree span {span:#x}"
+            )
+        parent = self._descend_creating(vaddr, depth - 1) if depth > 1 else self._root
+        index = self.index_at(vaddr, depth - 1)
+        if index in parent.entries:
+            raise MappingError(f"slot for {vaddr:#x} already populated")
+        parent.entries[index] = subtree
+        subtree.refs += 1
+        self._charge_pte_write()
+
+    def unlink_subtree(self, vaddr: int, depth: int) -> PageTableNode:
+        """Remove the graft at ``vaddr``/``depth``; returns the subtree."""
+        parent = self.subtree_at(vaddr, depth - 1) if depth > 1 else self._root
+        if parent is None:
+            raise MappingError(f"no subtree parent at {vaddr:#x}")
+        index = self.index_at(vaddr, depth - 1)
+        entry = parent.entries.get(index)
+        if not isinstance(entry, PageTableNode):
+            raise MappingError(f"no linked subtree at {vaddr:#x} depth {depth}")
+        del parent.entries[index]
+        entry.refs -= 1
+        self._charge_pte_write()
+        return entry
+
+    # ------------------------------------------------------------------
+    # Teardown / iteration
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Drop every mapping; returns the number of leaf PTEs removed.
+
+        Shared subtrees (refs > 1 after decrement) are detached, not
+        recursed into — their owner tears them down.
+        """
+        removed = self._clear_node(self._root)
+        return removed
+
+    def _clear_node(self, node: PageTableNode) -> int:
+        removed = 0
+        for index, entry in list(node.entries.items()):
+            if isinstance(entry, Pte):
+                removed += 1
+            else:
+                entry.refs -= 1
+                if entry.refs <= 0:
+                    removed += self._clear_node(entry)
+            del node.entries[index]
+        return removed
+
+    def iter_leaves(self) -> Iterator[Tuple[int, Pte]]:
+        """All (vaddr, Pte) pairs, ascending by vaddr."""
+        yield from self._iter_node(self._root, 0, 0)
+
+    def _iter_node(
+        self, node: PageTableNode, depth: int, base: int
+    ) -> Iterator[Tuple[int, Pte]]:
+        span = self.span_at(depth)
+        for index in sorted(node.entries):
+            entry = node.entries[index]
+            vaddr = base + index * span
+            if isinstance(entry, Pte):
+                yield vaddr, entry
+            else:
+                yield from self._iter_node(entry, depth + 1, vaddr)
+
+    def leaf_count(self) -> int:
+        """Number of installed leaf PTEs."""
+        return sum(1 for _ in self.iter_leaves())

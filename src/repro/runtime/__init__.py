@@ -1,0 +1,23 @@
+"""Language-runtime layer: O(1) memory management above the OS.
+
+The paper's conclusion extends the principle upward: "how systems manage
+memory should be reinvestigated and rethought to achieve O(1) operations,
+from processors, through the operating system, and up to **language
+runtimes** and applications."  And §2 points at the existing evidence:
+"recent efforts such as TCMalloc and log-structured memory that waste
+space for improved performance show some of the potential available."
+
+Two runtime designs built on file-only memory:
+
+* :mod:`repro.runtime.objheap` — region-based object allocation: bump
+  pointers inside file-backed regions, no per-object free, whole regions
+  released as whole files;
+* :mod:`repro.runtime.logstruct` — a log-structured store (after Rumble
+  et al. [27]): append-only segments, copying cleaner, segment
+  reclamation by file deletion.
+"""
+
+from repro.runtime.objheap import ObjectHeap, ObjRef, Region
+from repro.runtime.logstruct import LogRecord, LogStructuredStore
+
+__all__ = ["LogRecord", "LogStructuredStore", "ObjRef", "ObjectHeap", "Region"]

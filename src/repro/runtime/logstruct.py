@@ -1,0 +1,223 @@
+"""Log-structured memory over file-only memory (after Rumble et al. [27]).
+
+§2 cites "log-structured memory for DRAM-based storage" as an existing
+system that "wastes space for improved performance".  This store keeps
+records in append-only *segments*; each segment is one file-only-memory
+region (one file, one extent).  Writes are bump appends; deletes are
+tombstones; a copying cleaner compacts live records into fresh segments
+and reclaims dead ones by *deleting their files* — segment reclamation is
+O(1) per segment no matter how many records it held.
+
+Record data is actually stored (in the segment files' payload) so reads
+round-trip, making this a usable little storage engine, not a mock.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.fom.manager import FileOnlyMemory, FomRegion
+from repro.errors import MappingError
+from repro.units import KIB, MIB, align_up
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.process import Process
+
+_RECORD_ALIGN = 64
+_HEADER_BYTES = 24  # key, length, liveness word
+
+
+@dataclass
+class LogRecord:
+    """Location of one live record."""
+
+    key: int
+    segment_id: int
+    offset: int
+    length: int
+
+
+class _Segment:
+    """One append-only segment file."""
+
+    def __init__(self, segment_id: int, backing: FomRegion) -> None:
+        self.segment_id = segment_id
+        self.backing = backing
+        self.head = 0
+        self.live_bytes = 0
+        self.sealed = False
+
+    @property
+    def capacity(self) -> int:
+        return self.backing.length
+
+    def room_for(self, length: int) -> bool:
+        return self.head + align_up(length + _HEADER_BYTES, _RECORD_ALIGN) <= self.capacity
+
+    def utilization(self) -> float:
+        if self.head == 0:
+            return 0.0
+        return self.live_bytes / self.head
+
+
+class LogStructuredStore:
+    """Append-only key/value store with a copying cleaner."""
+
+    def __init__(
+        self,
+        fom: FileOnlyMemory,
+        process: "Process",
+        segment_bytes: int = 2 * MIB,
+        clean_below: float = 0.5,
+    ) -> None:
+        if not 0.0 < clean_below < 1.0:
+            raise ValueError("clean_below must be in (0, 1)")
+        self._fom = fom
+        self._process = process
+        self._segment_bytes = segment_bytes
+        self._clean_below = clean_below
+        self._ids = itertools.count(1)
+        self._segments: Dict[int, _Segment] = {}
+        self._head: Optional[_Segment] = None
+        self._index: Dict[int, LogRecord] = {}
+        self.segments_cleaned = 0
+        self.bytes_copied_cleaning = 0
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put(self, key: int, value: bytes) -> LogRecord:
+        """Append (or overwrite) ``key``; old versions become dead bytes."""
+        if not value:
+            raise MappingError("empty values are not supported")
+        total = align_up(len(value) + _HEADER_BYTES, _RECORD_ALIGN)
+        if total > self._segment_bytes:
+            raise MappingError(
+                f"value of {len(value)} bytes exceeds segment size"
+            )
+        segment = self._writable_segment(len(value))
+        offset = segment.head
+        self._write_payload(segment, offset, value)
+        segment.head += total
+        segment.live_bytes += total
+        old = self._index.get(key)
+        if old is not None:
+            self._kill(old)
+        record = LogRecord(
+            key=key, segment_id=segment.segment_id, offset=offset,
+            length=len(value),
+        )
+        self._index[key] = record
+        return record
+
+    def delete(self, key: int) -> None:
+        """Tombstone ``key``; space comes back via cleaning."""
+        record = self._index.pop(key, None)
+        if record is None:
+            raise KeyError(key)
+        self._kill(record)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> bytes:
+        """Read the live value for ``key``."""
+        record = self._index.get(key)
+        if record is None:
+            raise KeyError(key)
+        segment = self._segments[record.segment_id]
+        with self._fom.fs.open(segment.backing.path) as handle:
+            data = handle.pread(record.offset + _HEADER_BYTES, record.length)
+        return data
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    # ------------------------------------------------------------------
+    # Cleaning
+    # ------------------------------------------------------------------
+    def clean(self, max_segments: int = 4) -> int:
+        """Compact the emptiest sealed segments; returns segments freed.
+
+        Live records are copied to the head of the log; the dead segment
+        files are deleted whole — the O(1)-per-segment reclamation the
+        design buys by wasting space between cleanings.
+        """
+        candidates = sorted(
+            (
+                segment
+                for segment in self._segments.values()
+                if segment.sealed and segment.utilization() < self._clean_below
+            ),
+            key=_Segment.utilization,
+        )[:max_segments]
+        freed = 0
+        for segment in candidates:
+            movers = [
+                record
+                for record in self._index.values()
+                if record.segment_id == segment.segment_id
+            ]
+            for record in movers:
+                value = self.get(record.key)
+                self.bytes_copied_cleaning += len(value)
+                self.put(record.key, value)
+            del self._segments[segment.segment_id]
+            self._fom.release(segment.backing)
+            self.segments_cleaned += 1
+            freed += 1
+        return freed
+
+    # ------------------------------------------------------------------
+    # Stats / internals
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Log occupancy and cleaning totals."""
+        capacity = sum(s.capacity for s in self._segments.values())
+        live = sum(s.live_bytes for s in self._segments.values())
+        appended = sum(s.head for s in self._segments.values())
+        return {
+            "segments": len(self._segments),
+            "live_records": len(self._index),
+            "capacity_bytes": capacity,
+            "live_bytes": live,
+            "dead_bytes": appended - live,
+            "utilization": live / capacity if capacity else 0.0,
+            "segments_cleaned": self.segments_cleaned,
+            "bytes_copied_cleaning": self.bytes_copied_cleaning,
+        }
+
+    def _writable_segment(self, value_len: int) -> _Segment:
+        if self._head is not None and self._head.room_for(value_len):
+            return self._head
+        if self._head is not None:
+            self._head.sealed = True
+        backing = self._fom.allocate(self._process, self._segment_bytes)
+        segment = _Segment(next(self._ids), backing)
+        self._segments[segment.segment_id] = segment
+        self._head = segment
+        return segment
+
+    def _write_payload(self, segment: _Segment, offset: int, value: bytes) -> None:
+        with self._fom.fs.open(segment.backing.path) as handle:
+            handle.pwrite(offset + _HEADER_BYTES, value)
+
+    def _kill(self, record: LogRecord) -> None:
+        segment = self._segments.get(record.segment_id)
+        if segment is not None:
+            segment.live_bytes -= align_up(
+                record.length + _HEADER_BYTES, _RECORD_ALIGN
+            )
+
+    def destroy(self) -> None:
+        """Release every segment file."""
+        for segment in list(self._segments.values()):
+            self._fom.release(segment.backing)
+        self._segments.clear()
+        self._index.clear()
+        self._head = None

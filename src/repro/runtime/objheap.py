@@ -1,0 +1,187 @@
+"""Region-based object heap: allocation without per-object bookkeeping.
+
+The runtime embodiment of the paper's bargain.  Objects are bump-allocated
+into *regions*; a region is one file-only-memory region (one file, one
+extent).  There is no per-object free and no garbage collector scanning
+for dead objects — a region dies as a unit ("memory is only reclaimed in
+the unit of a file"), which is exactly how arena/region systems and
+request-scoped allocators behave.
+
+Costs: ``new()`` is a pointer bump (plus the charged store for the object
+header); ``free_region()`` is one FOM release regardless of how many
+objects the region held.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.fom.manager import FileOnlyMemory, FomRegion
+from repro.errors import MappingError, OutOfMemoryError
+from repro.units import HUGE_PAGE_2M, align_up
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.process import Process
+
+#: Object alignment within a region.
+_OBJ_ALIGN = 16
+#: Per-object header the runtime writes (size + type word).
+_HEADER_BYTES = 16
+
+
+@dataclass(frozen=True)
+class ObjRef:
+    """A reference to one allocated object."""
+
+    addr: int
+    size: int
+    region_id: int
+
+
+class Region:
+    """One bump-allocated arena backed by a file region."""
+
+    def __init__(self, region_id: int, backing: FomRegion) -> None:
+        self.region_id = region_id
+        self.backing = backing
+        self.bump = 0
+        self.object_count = 0
+        self.dead = False
+
+    @property
+    def capacity(self) -> int:
+        """Bytes this region can hold."""
+        return self.backing.length
+
+    @property
+    def used(self) -> int:
+        """Bytes bumped so far (headers included)."""
+        return self.bump
+
+    def try_alloc(self, size: int) -> Optional[int]:
+        """Bump-allocate ``size`` payload bytes; None if it won't fit."""
+        total = align_up(size + _HEADER_BYTES, _OBJ_ALIGN)
+        if self.bump + total > self.capacity:
+            return None
+        addr = self.backing.vaddr + self.bump + _HEADER_BYTES
+        self.bump += total
+        self.object_count += 1
+        return addr
+
+
+class ObjectHeap:
+    """Region-based object allocator over file-only memory."""
+
+    def __init__(
+        self,
+        fom: FileOnlyMemory,
+        process: "Process",
+        region_bytes: int = HUGE_PAGE_2M,
+    ) -> None:
+        if region_bytes <= _HEADER_BYTES + _OBJ_ALIGN:
+            raise MappingError(f"region_bytes {region_bytes} is too small")
+        self._fom = fom
+        self._process = process
+        self._region_bytes = region_bytes
+        self._ids = itertools.count(1)
+        self._regions: Dict[int, Region] = {}
+        self._current: Optional[Region] = None
+        self.allocated_objects = 0
+
+    # ------------------------------------------------------------------
+    # Regions
+    # ------------------------------------------------------------------
+    def create_region(self) -> Region:
+        """Open a fresh region (one file, one extent)."""
+        backing = self._fom.allocate(self._process, self._region_bytes)
+        region = Region(next(self._ids), backing)
+        self._regions[region.region_id] = region
+        return region
+
+    def free_region(self, region: Region) -> int:
+        """Release a region and every object in it — one file unlink.
+
+        Returns the number of objects that died with it.
+        """
+        if region.dead:
+            raise MappingError(f"region {region.region_id} already freed")
+        region.dead = True
+        del self._regions[region.region_id]
+        if self._current is region:
+            self._current = None
+        self._fom.release(region.backing)
+        return region.object_count
+
+    @property
+    def live_regions(self) -> int:
+        """Regions currently holding objects."""
+        return len(self._regions)
+
+    # ------------------------------------------------------------------
+    # Objects
+    # ------------------------------------------------------------------
+    def new(self, size: int, region: Optional[Region] = None) -> ObjRef:
+        """Allocate one object of ``size`` payload bytes.
+
+        Without an explicit region, allocation goes to the heap's current
+        region, opening a new one when it fills — so ``new`` is O(1)
+        amortized and exactly O(1) given a non-full region.
+        """
+        if size <= 0:
+            raise MappingError(f"object size must be positive, got {size}")
+        if size + _HEADER_BYTES > self._region_bytes:
+            raise MappingError(
+                f"object of {size} bytes exceeds region size "
+                f"{self._region_bytes}; allocate a dedicated FOM region"
+            )
+        target = region
+        if target is None:
+            if self._current is None or self._current.dead:
+                self._current = self.create_region()
+            target = self._current
+        addr = target.try_alloc(size)
+        if addr is None:
+            if region is not None:
+                raise OutOfMemoryError(
+                    f"region {region.region_id} is full "
+                    f"({region.used}/{region.capacity} bytes)"
+                )
+            self._current = self.create_region()
+            target = self._current
+            addr = target.try_alloc(size)
+            assert addr is not None, "fresh region rejected a fitting object"
+        self.allocated_objects += 1
+        return ObjRef(addr=addr, size=size, region_id=target.region_id)
+
+    def region_of(self, ref: ObjRef) -> Region:
+        """The region an object lives in (raises if it died)."""
+        region = self._regions.get(ref.region_id)
+        if region is None:
+            raise MappingError(
+                f"object {ref.addr:#x} belongs to freed region {ref.region_id}"
+            )
+        return region
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Occupancy across live regions."""
+        used = sum(region.used for region in self._regions.values())
+        capacity = sum(region.capacity for region in self._regions.values())
+        return {
+            "live_regions": len(self._regions),
+            "used_bytes": used,
+            "capacity_bytes": capacity,
+            "allocated_objects": self.allocated_objects,
+            "live_objects": sum(
+                region.object_count for region in self._regions.values()
+            ),
+        }
+
+    def destroy(self) -> None:
+        """Free every region (runtime shutdown)."""
+        for region in list(self._regions.values()):
+            self.free_region(region)

@@ -1,0 +1,102 @@
+"""Size and time units used throughout the simulator.
+
+All sizes are in bytes and all simulated times are in nanoseconds, carried
+as plain ints so arithmetic stays exact and hashable.  The helpers here keep
+call sites readable (``4 * KIB`` instead of ``4096``) and centralise the
+page-geometry constants of the simulated x86-64-like machine.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Sizes (bytes)
+# ---------------------------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+#: Base (small) page size, as on x86-64.
+PAGE_SIZE = 4 * KIB
+
+#: Huge-page sizes supported by the simulated processor.  x86-64 pages are
+#: powers of 512 times larger than 4 KiB.
+HUGE_PAGE_2M = 2 * MIB
+HUGE_PAGE_1G = 1 * GIB
+
+#: Number of entries in one page-table node (9 translated bits per level).
+PTES_PER_TABLE = 512
+
+#: Cache-line size used by the cache model.
+CACHE_LINE = 64
+
+# ---------------------------------------------------------------------------
+# Times (nanoseconds)
+# ---------------------------------------------------------------------------
+
+NSEC = 1
+USEC = 1000
+MSEC = 1000 * USEC
+SEC = 1000 * MSEC
+
+
+def pages_for(size: int, page_size: int = PAGE_SIZE) -> int:
+    """Number of pages of ``page_size`` needed to cover ``size`` bytes.
+
+    >>> pages_for(1)
+    1
+    >>> pages_for(4096)
+    1
+    >>> pages_for(4097)
+    2
+    """
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    if page_size <= 0:
+        raise ValueError(f"page_size must be positive, got {page_size}")
+    return -(-size // page_size)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment`` (a power of two)."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment`` (a power of two)."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """True if ``value`` is a multiple of ``alignment`` (a power of two)."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (value & (alignment - 1)) == 0
+
+
+def fmt_bytes(size: int) -> str:
+    """Human-readable size, e.g. ``fmt_bytes(2 * MIB) == '2.0 MiB'``."""
+    if size < 0:
+        return "-" + fmt_bytes(-size)
+    for unit, name in ((TIB, "TiB"), (GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")):
+        if size >= unit:
+            return f"{size / unit:.1f} {name}"
+    return f"{size} B"
+
+
+def fmt_ns(ns: int) -> str:
+    """Human-readable simulated time, e.g. ``fmt_ns(2500) == '2.50 us'``."""
+    if ns < 0:
+        return "-" + fmt_ns(-ns)
+    if ns >= SEC:
+        return f"{ns / SEC:.3f} s"
+    if ns >= MSEC:
+        return f"{ns / MSEC:.3f} ms"
+    if ns >= USEC:
+        return f"{ns / USEC:.2f} us"
+    return f"{ns} ns"

@@ -1,0 +1,31 @@
+"""Virtual memory: address spaces, VMAs, demand paging, reclamation.
+
+This package is the *baseline* the paper argues against: per-page demand
+faults, per-page populate loops, LRU/clock reclaim scans, and swap.  The
+O(1) designs in :mod:`repro.core` replace pieces of it while reusing its
+address-space plumbing.
+"""
+
+from repro.vm.vma import (
+    AnonBacking,
+    MapFlags,
+    MemoryBacking,
+    Protection,
+    Vma,
+)
+from repro.vm.addrspace import AddressSpace
+from repro.vm.reclaimd import ClockReclaimer, LruLists, TwoQueueReclaimer
+from repro.vm.swap import SwapDevice
+
+__all__ = [
+    "AddressSpace",
+    "AnonBacking",
+    "ClockReclaimer",
+    "LruLists",
+    "MapFlags",
+    "MemoryBacking",
+    "Protection",
+    "SwapDevice",
+    "TwoQueueReclaimer",
+    "Vma",
+]

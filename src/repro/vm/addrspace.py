@@ -1,0 +1,489 @@
+"""Address spaces: mmap/munmap/mprotect, demand faults, populate.
+
+:class:`AddressSpace` is the simulator's ``mm_struct``.  It owns the VMA
+list and the page table, implements the CPU's
+:class:`~repro.hw.cpu.TranslationContext` protocol, and charges the
+baseline's per-page costs exactly where Linux pays them:
+
+* ``mmap(MAP_POPULATE)`` walks every page of the request, allocating a
+  frame and writing a PTE for each — the linear curve of Figure 1a/6a;
+* a demand fault pays trap + VMA lookup + allocation + accounting — the
+  per-page cost whose total, Figure 1b/6b shows, exceeds 50x the populate
+  path's;
+* ``munmap`` and ``mprotect`` visit every mapped page.
+
+The O(1) designs bypass these loops: file-only memory maps whole extents
+(optionally as huge pages or linked subtrees), and range translations
+attach a range table via :attr:`range_provider` so the CPU never walks at
+all.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import MappingError, OutOfMemoryError, ProtectionError
+from repro.hw.clock import EventCounters, SimClock
+from repro.hw.costmodel import CostModel
+from repro.hw.rtlb import RangeEntry
+from repro.hw.tlb import TlbEntry
+from repro.mem.frame_meta import FrameTable, PageFlags
+from repro.paging.fault import FaultType
+from repro.paging.hugepages import choose_page_runs
+from repro.paging.pagetable import PageTable
+from repro.paging.walker import PageWalker
+from repro.units import CACHE_LINE, PAGE_SIZE, align_up
+from repro.vm.vma import MapFlags, MemoryBacking, Protection, Vma
+
+#: Default base of the mmap area (x86-64 userland convention-ish).
+_MMAP_BASE = 0x7F00_0000_0000
+
+
+class AddressSpace:
+    """One process's virtual address space."""
+
+    def __init__(
+        self,
+        asid: int,
+        page_table: PageTable,
+        walker: PageWalker,
+        clock: SimClock,
+        costs: CostModel,
+        counters: EventCounters,
+        frame_table: Optional[FrameTable] = None,
+        mmap_base: int = _MMAP_BASE,
+    ) -> None:
+        self._asid = asid
+        self._pt = page_table
+        self._walker = walker
+        self._clock = clock
+        self._costs = costs
+        self._counters = counters
+        self._frame_table = frame_table
+        self._vmas: List[Vma] = []  # sorted by start
+        self._starts: List[int] = []
+        self._mmap_cursor = mmap_base
+        #: Optional architectural range table (set by core.rangetrans).
+        self.range_provider: Optional[Callable[[int], Optional[RangeEntry]]] = None
+        #: Optional CPU back-reference for TLB maintenance on unmap.
+        self.cpu = None
+        #: Optional LRU registry for the reclaim baseline.
+        self.lru = None
+        self.fault_stats: Dict[FaultType, int] = {kind: 0 for kind in FaultType}
+
+    # ------------------------------------------------------------------
+    # TranslationContext protocol
+    # ------------------------------------------------------------------
+    @property
+    def asid(self) -> int:
+        """Address-space identifier tagging TLB entries."""
+        return self._asid
+
+    @property
+    def page_table(self) -> PageTable:
+        """The backing page-table tree."""
+        return self._pt
+
+    @property
+    def vmas(self) -> List[Vma]:
+        """All VMAs, sorted by start address."""
+        return list(self._vmas)
+
+    def walk(self, vaddr: int) -> Optional[TlbEntry]:
+        """Hardware walk of this space's page table (costs charged)."""
+        return self._walker.walk(self._pt, vaddr, asid=self._asid)
+
+    def lookup_range(self, vaddr: int) -> Optional[RangeEntry]:
+        """Architectural range-table lookup, if range hardware is wired."""
+        if self.range_provider is None:
+            return None
+        return self.range_provider(vaddr)
+
+    # ------------------------------------------------------------------
+    # VMA bookkeeping
+    # ------------------------------------------------------------------
+    def find_vma(self, vaddr: int) -> Optional[Vma]:
+        """VMA containing ``vaddr`` (no cost charged — internal)."""
+        index = bisect.bisect_right(self._starts, vaddr) - 1
+        if index >= 0 and self._vmas[index].contains(vaddr):
+            return self._vmas[index]
+        return None
+
+    def _insert_vma(self, vma: Vma) -> Vma:
+        """Insert, merging with neighbours when Linux would."""
+        self._clock.advance(self._costs.vma_insert_ns)
+        self._counters.bump("vma_insert")
+        index = bisect.bisect_left(self._starts, vma.start)
+        for other in self._vmas:
+            if other.overlaps(vma.start, vma.end):
+                raise MappingError(f"{vma!r} overlaps existing {other!r}")
+        # Merge with predecessor / successor when compatible.
+        if index > 0 and self._vmas[index - 1].can_merge_with(vma):
+            prev = self._vmas[index - 1]
+            prev.merge_with(vma)
+            self._counters.bump("vma_merge")
+            vma = prev
+            index -= 1
+        else:
+            self._vmas.insert(index, vma)
+            self._starts.insert(index, vma.start)
+        if index + 1 < len(self._vmas) and vma.can_merge_with(self._vmas[index + 1]):
+            nxt = self._vmas.pop(index + 1)
+            self._starts.pop(index + 1)
+            vma.merge_with(nxt)
+            self._counters.bump("vma_merge")
+        return vma
+
+    def _remove_vma(self, vma: Vma) -> None:
+        self._clock.advance(self._costs.vma_remove_ns)
+        self._counters.bump("vma_remove")
+        index = self._vmas.index(vma)
+        self._vmas.pop(index)
+        self._starts.pop(index)
+
+    def pick_address(self, length: int, alignment: int = PAGE_SIZE) -> int:
+        """Reserve a fresh virtual range for a mapping (bump allocator)."""
+        addr = align_up(self._mmap_cursor, alignment)
+        self._mmap_cursor = addr + align_up(length, PAGE_SIZE)
+        return addr
+
+    # ------------------------------------------------------------------
+    # mmap / munmap / mprotect
+    # ------------------------------------------------------------------
+    def mmap(
+        self,
+        length: int,
+        prot: Protection,
+        flags: MapFlags,
+        backing: MemoryBacking,
+        addr: Optional[int] = None,
+        backing_offset: int = 0,
+        name: str = "",
+        align: int = PAGE_SIZE,
+    ) -> Vma:
+        """Create a mapping; with MAP_POPULATE, pre-fill every PTE.
+
+        Charges the constant mmap cost always, plus the linear populate
+        loop when requested.  Returns the (possibly merged) VMA.
+        """
+        if length <= 0:
+            raise MappingError(f"mmap length must be positive, got {length}")
+        length = align_up(length, PAGE_SIZE)
+        if addr is None:
+            addr = self.pick_address(length, align)
+        self._clock.advance(self._costs.mmap_lock_ns + self._costs.mmap_base_ns)
+        self._counters.bump("mmap_call")
+        vma = Vma(
+            start=addr,
+            end=addr + length,
+            prot=prot,
+            flags=flags,
+            backing=backing,
+            backing_offset=backing_offset,
+            name=name,
+        )
+        vma = self._insert_vma(vma)
+        if flags & MapFlags.POPULATE:
+            self.populate(addr, length)
+        return vma
+
+    def populate(self, addr: int, length: int) -> int:
+        """Pre-fault ``[addr, addr+length)``; returns PTEs written.
+
+        The baseline linear loop: one frame lookup/allocation, one
+        metadata touch, and one PTE write per 4 KiB page (or fewer with
+        huge pages when the VMA allows them and alignment cooperates).
+        """
+        vma = self.find_vma(addr)
+        if vma is None or addr + length > vma.end:
+            raise MappingError(
+                f"populate range {addr:#x}+{length:#x} not covered by one VMA"
+            )
+        first_page = vma.backing_page(addr)
+        npages = length // PAGE_SIZE
+        allow_huge = bool(vma.flags & MapFlags.HUGEPAGE)
+        writable = self._map_writable(vma)
+        written = 0
+        for page_index, first_pfn, run_pages in vma.backing.frame_runs(
+            first_page, npages
+        ):
+            run_va = vma.start + (page_index - vma.backing_offset) * PAGE_SIZE
+            run_pa = first_pfn * PAGE_SIZE
+            sizes = (
+                None if allow_huge else (PAGE_SIZE,)
+            )  # None = all supported sizes
+            runs = (
+                choose_page_runs(run_va, run_pa, run_pages * PAGE_SIZE)
+                if sizes is None
+                else choose_page_runs(
+                    run_va, run_pa, run_pages * PAGE_SIZE, allowed=sizes
+                )
+            )
+            for va, pa, size in runs:
+                self._pt.map(va, pa // size, page_size=size, writable=writable)
+                self._clock.advance(self._costs.populate_page_ns)
+                written += 1
+            # Per-4KiB-frame metadata updates: the baseline pays these
+            # regardless of mapping granularity (mapcount, flags).  DAX
+            # backings opt out — their frames have no struct page.
+            if self._frame_table is not None and getattr(
+                vma.backing, "tracks_frame_meta", True
+            ):
+                for pfn in range(first_pfn, first_pfn + run_pages):
+                    meta = self._frame_table.get_ref(pfn)
+                    meta.mapcount += 1
+        self._counters.bump("populate_pages", npages)
+        return written
+
+    def _map_writable(self, vma: Vma) -> bool:
+        """Whether PTEs for this VMA are installed writable.
+
+        COW mappings (private file maps, fork-shared anon) start
+        read-only so stores trap and copy; everything else follows the
+        VMA protection.
+        """
+        if not vma.prot & Protection.WRITE:
+            return False
+        if vma.needs_cow():
+            return False
+        return True
+
+    def munmap(self, addr: int, length: int) -> int:
+        """Unmap ``[addr, addr+length)``; returns pages unmapped.
+
+        Only whole-VMA and prefix/suffix unmaps are supported (enough for
+        every path in the paper); a mid-VMA hole raises.
+        """
+        length = align_up(length, PAGE_SIZE)
+        end = addr + length
+        self._clock.advance(self._costs.mmap_lock_ns)
+        self._counters.bump("munmap_call")
+        unmapped = 0
+        for vma in [v for v in self._vmas if v.overlaps(addr, end)]:
+            if addr > vma.start and end < vma.end:
+                raise MappingError(
+                    "punching a hole inside a VMA is not supported; unmap "
+                    "the whole VMA or a prefix/suffix"
+                )
+            cut_start = max(addr, vma.start)
+            cut_end = min(end, vma.end)
+            unmapped += self._unmap_vma_range(vma, cut_start, cut_end)
+        if self.cpu is not None:
+            self.cpu.invalidate_space_range(addr, length, asid=self._asid)
+        return unmapped
+
+    def _unmap_vma_range(self, vma: Vma, start: int, end: int) -> int:
+        """Tear down PTEs and backing for ``[start, end)`` of ``vma``."""
+        tracks_meta = getattr(vma.backing, "tracks_frame_meta", True)
+        pages = 0
+        va = start
+        while va < end:
+            pte = self._pt.lookup(va)
+            if pte is not None:
+                page_base = va - va % pte.page_size
+                self._pt.unmap(page_base, page_size=pte.page_size)
+                if self._frame_table is not None and tracks_meta:
+                    for pfn4k in range(
+                        pte.paddr // PAGE_SIZE,
+                        (pte.paddr + pte.page_size) // PAGE_SIZE,
+                    ):
+                        meta = self._frame_table.touch(pfn4k)
+                        meta.mapcount = max(0, meta.mapcount - 1)
+                        if meta.refcount:
+                            meta.refcount -= 1
+                va = page_base + pte.page_size
+                pages += pte.page_size // PAGE_SIZE
+            else:
+                va += PAGE_SIZE
+        first_page = vma.backing_page(start)
+        npages = (end - start) // PAGE_SIZE
+        vma.backing.release(first_page, npages)
+        # COW copies for the range go back to nowhere — they were
+        # allocator frames owned by the VMA.
+        for page_index in list(vma.private_copies):
+            if first_page <= page_index < first_page + npages:
+                del vma.private_copies[page_index]
+        # Adjust or remove the VMA itself.
+        if start == vma.start and end == vma.end:
+            self._remove_vma(vma)
+        elif start == vma.start:
+            index = self._vmas.index(vma)
+            vma.start = end
+            vma.backing_offset = first_page + npages
+            self._starts[index] = end
+        else:  # suffix
+            vma.end = start
+        return pages
+
+    def adopt_vma(self, vma: Vma) -> Vma:
+        """Insert an externally built VMA (the fork duplication path).
+
+        Charges the VMA insertion like any mapping, but skips the mmap
+        syscall constants — fork duplicates in-kernel.
+        """
+        return self._insert_vma(vma)
+
+    def detach_vma(self, vma: Vma) -> None:
+        """Remove a VMA *without* per-page PTE teardown.
+
+        The O(1) unmap path: regions whose translations live in shared
+        subtrees or range tables are detached by their owner (file-only
+        memory, PBM, range manager), which unlinks the one pointer / RTE
+        itself; the per-page loop of :meth:`munmap` never runs.
+        """
+        self._remove_vma(vma)
+        if self.cpu is not None:
+            self.cpu.invalidate_space_range(vma.start, vma.length, asid=self._asid)
+
+    def mprotect(self, addr: int, length: int, prot: Protection) -> None:
+        """Change protection; rewrites every resident PTE (linear)."""
+        length = align_up(length, PAGE_SIZE)
+        vma = self.find_vma(addr)
+        if vma is None or addr + length > vma.end:
+            raise MappingError(
+                f"mprotect range {addr:#x}+{length:#x} not covered by one VMA"
+            )
+        if addr != vma.start or length != vma.length:
+            raise MappingError("partial-VMA mprotect is not supported")
+        self._clock.advance(self._costs.mmap_lock_ns)
+        vma.prot = prot
+        writable = self._map_writable(vma)
+        va = vma.start
+        while va < vma.end:
+            pte = self._pt.lookup(va)
+            if pte is not None:
+                base = va - va % pte.page_size
+                self._pt.protect(base, writable=writable, page_size=pte.page_size)
+                va = base + pte.page_size
+            else:
+                va += PAGE_SIZE
+        if self.cpu is not None:
+            self.cpu.invalidate_space_range(vma.start, vma.length, asid=self._asid)
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def handle_fault(self, vaddr: int, write: bool) -> None:
+        """Resolve a page fault at ``vaddr`` or raise ProtectionError."""
+        self._clock.advance(self._costs.vma_find_ns)
+        vma = self.find_vma(vaddr)
+        if vma is None:
+            raise ProtectionError(f"segfault: {vaddr:#x} maps no VMA")
+        if write and not vma.prot & Protection.WRITE:
+            raise ProtectionError(f"write to read-only mapping at {vaddr:#x}")
+        if not write and not vma.prot & Protection.READ:
+            raise ProtectionError(f"read from PROT_NONE mapping at {vaddr:#x}")
+        page_va = vaddr - vaddr % PAGE_SIZE
+        existing = self._pt.lookup(page_va)
+        if existing is not None and write and not existing.writable:
+            self._cow_fault(vma, page_va)
+            return
+        if existing is not None:
+            return  # spurious — translation already valid
+        self._minor_fault(vma, page_va, write)
+
+    def _minor_fault(self, vma: Vma, page_va: int, write: bool) -> None:
+        self._clock.advance(self._costs.fault_accounting_ns)
+        page_index = vma.backing_page(page_va)
+        pfn = vma.private_copies.get(page_index)
+        major = False
+        if pfn is None:
+            before = self._counters.get("swap_in")
+            pfn = vma.backing.frame_for(page_index, write=write)
+            major = self._counters.get("swap_in") > before
+        writable = self._map_writable(vma) or page_index in vma.private_copies
+        if write and vma.needs_cow():
+            # Write fault on a COW page (private file / forked anon):
+            # copy immediately rather than mapping read-only and
+            # re-faulting.
+            pfn = self._make_private_copy(vma, page_index, pfn)
+            writable = True
+        self._pt.map(page_va, pfn, writable=writable)
+        if self._frame_table is not None and getattr(
+            vma.backing, "tracks_frame_meta", True
+        ):
+            meta = self._frame_table.get_ref(pfn)
+            meta.mapcount += 1
+            meta.set_flag(PageFlags.REFERENCED)
+        if self.lru is not None:
+            self.lru.page_mapped(pfn, self, page_va)
+        kind = FaultType.MAJOR if major else FaultType.MINOR
+        self.fault_stats[kind] += 1
+        self._counters.bump(kind.counter_name)
+
+    def _cow_fault(self, vma: Vma, page_va: int) -> None:
+        if not vma.is_private():
+            raise ProtectionError(
+                f"write to read-only shared mapping at {page_va:#x}"
+            )
+        page_index = vma.backing_page(page_va)
+        old = self._pt.lookup(page_va)
+        assert old is not None
+        new_pfn = self._make_private_copy(vma, page_index, old.pfn)
+        self._pt.unmap(page_va)
+        self._pt.map(page_va, new_pfn, writable=True)
+        if self._frame_table is not None:
+            self._frame_table.get_ref(new_pfn)
+        self.fault_stats[FaultType.COW] += 1
+        self._counters.bump(FaultType.COW.counter_name)
+
+    def _make_private_copy(self, vma: Vma, page_index: int, src_pfn: int) -> int:
+        """Allocate and fill a private copy of a backing page."""
+        existing = vma.private_copies.get(page_index)
+        if existing is not None:
+            return existing
+        allocator = getattr(vma.backing, "_allocator", None)
+        if allocator is None:
+            raise MappingError(
+                "COW on a backing without an allocator; map MAP_SHARED or "
+                "provide an allocator-backed mapping"
+            )
+        new_pfn = allocator.alloc(0)
+        lines = PAGE_SIZE // CACHE_LINE
+        self._clock.advance(self._costs.copy_line_ns * lines * 2)
+        self._counters.bump("cow_copy")
+        vma.private_copies[page_index] = new_pfn
+        return new_pfn
+
+    # ------------------------------------------------------------------
+    # Eviction (used by the reclaim baseline)
+    # ------------------------------------------------------------------
+    def evict_page(self, vaddr: int) -> bool:
+        """Unmap one resident page so its frame can be reclaimed.
+
+        Returns False if the page was not resident.  The backing decides
+        whether eviction needs a swap write (dirty anon) or is free
+        (clean file page).
+        """
+        page_va = vaddr - vaddr % PAGE_SIZE
+        pte = self._pt.lookup(page_va)
+        if pte is None:
+            return False
+        self._pt.unmap(page_va, page_size=pte.page_size)
+        if self.cpu is not None:
+            self.cpu.invalidate_page(page_va, asid=self._asid)
+        vma = self.find_vma(page_va)
+        if vma is not None:
+            swap_out = getattr(vma.backing, "swap_out", None)
+            if swap_out is not None:
+                swap_out(vma.backing_page(page_va))
+        self._counters.bump("page_evicted")
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def resident_pages(self) -> int:
+        """Number of 4 KiB pages with live translations."""
+        return sum(
+            pte.page_size // PAGE_SIZE for _, pte in self._pt.iter_leaves()
+        )
+
+    def total_mapped_bytes(self) -> int:
+        """Sum of VMA lengths (virtual footprint)."""
+        return sum(vma.length for vma in self._vmas)
+
+    def fault_stats_total(self) -> int:
+        """Total faults of all kinds this space has taken."""
+        return sum(self.fault_stats.values())

@@ -1,0 +1,186 @@
+"""Page-reclaim baselines: clock (second chance) and 2Q.
+
+These are the algorithms the paper's §3.1 declares unnecessary under
+file-only memory ("avoids the need for page reclamation algorithms (e.g.,
+clock, 2-queue)").  Both are implemented faithfully enough to expose their
+defining cost: *scanning* — every page examined is a charged metadata
+touch, so reclaiming under pressure is linear in resident memory even when
+few pages are actually evicted.  Bench E10 contrasts this with file-
+granularity reclamation (delete one discardable file, O(1) per file).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.hw.clock import EventCounters, SimClock
+from repro.hw.costmodel import CostModel
+from repro.mem.frame_meta import FrameTable, PageFlags
+
+
+@dataclass
+class _LruEntry:
+    """One resident page the reclaimers may scan."""
+
+    pfn: int
+    space: object  # AddressSpace; typed loosely to avoid an import cycle
+    vaddr: int
+
+
+class LruLists:
+    """Active/inactive page lists shared by the reclaim algorithms."""
+
+    def __init__(self, frame_table: FrameTable) -> None:
+        self._frame_table = frame_table
+        self.active: Deque[_LruEntry] = deque()
+        self.inactive: Deque[_LruEntry] = deque()
+        self._entries: Dict[int, _LruEntry] = {}
+
+    def page_mapped(self, pfn: int, space: object, vaddr: int) -> None:
+        """Register a freshly mapped page (called from the fault path)."""
+        if pfn in self._entries:
+            return
+        entry = _LruEntry(pfn=pfn, space=space, vaddr=vaddr)
+        self._entries[pfn] = entry
+        self.inactive.append(entry)
+        meta = self._frame_table.peek(pfn)
+        if meta is not None:
+            meta.lru_list = "inactive"
+
+    def page_unmapped(self, pfn: int) -> None:
+        """Forget a page that went away outside reclaim (munmap)."""
+        entry = self._entries.pop(pfn, None)
+        if entry is None:
+            return
+        for queue in (self.active, self.inactive):
+            try:
+                queue.remove(entry)
+            except ValueError:
+                pass
+
+    @property
+    def resident_count(self) -> int:
+        """Pages currently tracked on either list."""
+        return len(self._entries)
+
+    def _drop(self, entry: _LruEntry) -> None:
+        self._entries.pop(entry.pfn, None)
+
+
+class ClockReclaimer:
+    """Second-chance (clock) reclaim over the LRU lists.
+
+    ``reclaim(n)`` scans the inactive list: referenced pages get a second
+    chance (promoted to active, flag cleared); unreferenced pages are
+    evicted via their address space.  When the inactive list runs dry the
+    active list is aged into it.  Every examined page is a charged
+    ``FrameTable.touch`` — the linear scan cost.
+    """
+
+    def __init__(
+        self,
+        lru: LruLists,
+        frame_table: FrameTable,
+        counters: EventCounters,
+    ) -> None:
+        self._lru = lru
+        self._frame_table = frame_table
+        self._counters = counters
+
+    def reclaim(self, nr_pages: int) -> int:
+        """Try to evict ``nr_pages``; returns pages actually reclaimed."""
+        reclaimed = 0
+        # Bound total scanning at a few passes over everything, as kswapd
+        # priorities do, so pressure with all-hot pages terminates.
+        scan_budget = 4 * max(1, self._lru.resident_count)
+        while reclaimed < nr_pages and scan_budget > 0:
+            if not self._lru.inactive:
+                if not self._age_active():
+                    break
+            entry = self._lru.inactive.popleft()
+            scan_budget -= 1
+            self._counters.bump("reclaim_scanned")
+            meta = self._frame_table.touch(entry.pfn)
+            if meta.has_flag(PageFlags.REFERENCED):
+                meta.clear_flag(PageFlags.REFERENCED)
+                meta.lru_list = "active"
+                self._lru.active.append(entry)
+                continue
+            if entry.space.evict_page(entry.vaddr):
+                self._lru._drop(entry)
+                meta.lru_list = ""
+                reclaimed += 1
+                self._counters.bump("reclaim_evicted")
+        return reclaimed
+
+    def _age_active(self) -> bool:
+        """Move the active list to inactive (one aging pass)."""
+        if not self._lru.active:
+            return False
+        while self._lru.active:
+            entry = self._lru.active.popleft()
+            self._counters.bump("reclaim_scanned")
+            meta = self._frame_table.touch(entry.pfn)
+            meta.lru_list = "inactive"
+            self._lru.inactive.append(entry)
+        return True
+
+
+class TwoQueueReclaimer:
+    """Simplified 2Q: FIFO trial queue (A1) plus a protected main queue (Am).
+
+    New pages enter A1 and are evicted from it unless referenced, in which
+    case they are promoted to Am; Am overflows back into A1's tail.  Like
+    clock, every examined page charges a metadata touch.
+    """
+
+    def __init__(
+        self,
+        lru: LruLists,
+        frame_table: FrameTable,
+        counters: EventCounters,
+        protected_fraction: float = 0.75,
+    ) -> None:
+        if not 0.0 < protected_fraction < 1.0:
+            raise ValueError("protected_fraction must be in (0, 1)")
+        self._lru = lru  # inactive = A1, active = Am
+        self._frame_table = frame_table
+        self._counters = counters
+        self._protected_fraction = protected_fraction
+
+    def reclaim(self, nr_pages: int) -> int:
+        """Try to evict ``nr_pages``; returns pages actually reclaimed."""
+        reclaimed = 0
+        scan_budget = 4 * max(1, self._lru.resident_count)
+        max_protected = int(self._protected_fraction * self._lru.resident_count)
+        while reclaimed < nr_pages and scan_budget > 0:
+            if not self._lru.inactive:
+                if not self._lru.active:
+                    break
+                # Demote the Am head when A1 is empty.
+                entry = self._lru.active.popleft()
+                self._counters.bump("reclaim_scanned")
+                scan_budget -= 1
+                self._frame_table.touch(entry.pfn).lru_list = "inactive"
+                self._lru.inactive.append(entry)
+                continue
+            entry = self._lru.inactive.popleft()
+            scan_budget -= 1
+            self._counters.bump("reclaim_scanned")
+            meta = self._frame_table.touch(entry.pfn)
+            if (
+                meta.has_flag(PageFlags.REFERENCED)
+                and len(self._lru.active) < max_protected
+            ):
+                meta.clear_flag(PageFlags.REFERENCED)
+                meta.lru_list = "active"
+                self._lru.active.append(entry)
+                continue
+            if entry.space.evict_page(entry.vaddr):
+                self._lru._drop(entry)
+                meta.lru_list = ""
+                reclaimed += 1
+                self._counters.bump("reclaim_evicted")
+        return reclaimed

@@ -1,0 +1,258 @@
+"""Virtual memory areas and memory backings.
+
+A :class:`Vma` describes one contiguous mapped region of an address space
+(Linux's ``vm_area_struct``): extent, protection, flags, and the
+:class:`MemoryBacking` that supplies physical frames for it.  Backings
+abstract over anonymous memory, tmpfs page caches, and DAX extents so the
+fault and populate paths are uniform — and so the file-only-memory design
+can swap in extent-granularity backings without touching the VM core.
+
+Adjacent-VMA merging is implemented because the paper explicitly names it
+as an optimization that file-granularity management gives up ("Linux
+merges adjacent memory regions when possible"); the FOM ablation measures
+what that costs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.errors import MappingError
+from repro.units import PAGE_SIZE
+
+
+class Protection(enum.IntFlag):
+    """Access permissions of a mapping (PROT_*)."""
+
+    NONE = 0
+    READ = enum.auto()
+    WRITE = enum.auto()
+    EXEC = enum.auto()
+
+    @classmethod
+    def rw(cls) -> "Protection":
+        """Convenience READ|WRITE."""
+        return cls.READ | cls.WRITE
+
+
+class MapFlags(enum.IntFlag):
+    """mmap() behaviour flags (MAP_*)."""
+
+    NONE = 0
+    PRIVATE = enum.auto()
+    SHARED = enum.auto()
+    ANONYMOUS = enum.auto()
+    #: Pre-populate all PTEs at map time — the linear-cost path of Fig 1a.
+    POPULATE = enum.auto()
+    #: Hint that huge pages may be used where alignment allows.
+    HUGEPAGE = enum.auto()
+
+
+@runtime_checkable
+class MemoryBacking(Protocol):
+    """Supplier of physical frames for a mapped region.
+
+    All methods charge their own simulated costs.  ``page_index`` is
+    relative to the backing object (file page number), not the VMA.
+    """
+
+    def frame_for(self, page_index: int, write: bool) -> int:
+        """PFN backing ``page_index``, allocating/fetching if needed."""
+        ...
+
+    def frame_runs(self, start_page: int, npages: int) -> Iterator[Tuple[int, int, int]]:
+        """(page_index, first_pfn, run_pages) runs covering the range.
+
+        Extent-based backings return long runs (cheap to enumerate);
+        page-cache backings return one run per page.
+        """
+        ...
+
+    def release(self, page_index: int, npages: int) -> None:
+        """Drop any per-mapping resources for the range (on munmap)."""
+        ...
+
+
+class AnonBacking:
+    """Anonymous (demand-zero) memory, the MAP_ANONYMOUS baseline.
+
+    Frames come from the buddy allocator one at a time and are zeroed on
+    allocation — exactly the per-page work the paper wants amortized away.
+    An optional zero pool turns the zeroing O(1); that path is used by the
+    O(1) experiments, not the baseline.
+    """
+
+    def __init__(
+        self, allocator, clock, costs, counters, zeropool=None, swap=None
+    ) -> None:
+        self._allocator = allocator
+        self._clock = clock
+        self._costs = costs
+        self._counters = counters
+        self._zeropool = zeropool
+        self._swap = swap
+        self._frames = {}
+        #: page_index -> swap slot, for pages the reclaimer pushed out.
+        self._swapped = {}
+        #: Address spaces referencing this backing (fork shares it); the
+        #: frames are freed only when the last user releases.
+        self._users = 1
+
+    def add_user(self) -> None:
+        """Register another address space sharing these frames (fork)."""
+        self._users += 1
+
+    def frame_for(self, page_index: int, write: bool) -> int:
+        pfn = self._frames.get(page_index)
+        if pfn is not None:
+            return pfn
+        slot = self._swapped.pop(page_index, None)
+        if slot is not None:
+            # Major fault: bring the page back from the swap device.
+            pfn = self._allocator.alloc(0)
+            self._swap.read_page(slot)
+            self._frames[page_index] = pfn
+            return pfn
+        if self._zeropool is not None:
+            pfn = self._zeropool.take()
+        else:
+            pfn = self._allocator.alloc(0)
+            self._clock.advance(self._costs.zero_page_ns(PAGE_SIZE))
+        self._counters.bump("anon_page_alloc")
+        self._frames[page_index] = pfn
+        return pfn
+
+    def swap_out(self, page_index: int) -> None:
+        """Push one resident page to swap (dirty anon pages always write)."""
+        pfn = self._frames.pop(page_index, None)
+        if pfn is None:
+            return
+        if self._swap is None:
+            # No swap device: the page's contents are simply dropped
+            # (acceptable for benchmarks that never re-read evicted data).
+            self._allocator.free(pfn)
+            return
+        slot = self._swap.write_page()
+        self._swapped[page_index] = slot
+        self._allocator.free(pfn)
+
+    def frame_runs(self, start_page: int, npages: int) -> Iterator[Tuple[int, int, int]]:
+        # Anonymous memory has no pre-existing frames: populate allocates
+        # page by page, which is what makes MAP_POPULATE linear.
+        for page_index in range(start_page, start_page + npages):
+            yield page_index, self.frame_for(page_index, write=True), 1
+
+    def release(self, page_index: int, npages: int) -> None:
+        if self._users > 1:
+            # Another address space still maps these frames; the last
+            # release frees them.
+            self._users -= 1
+            return
+        for index in range(page_index, page_index + npages):
+            pfn = self._frames.pop(index, None)
+            if pfn is not None:
+                self._allocator.free(pfn)
+            slot = self._swapped.pop(index, None)
+            if slot is not None and self._swap is not None:
+                self._swap.free_slot(slot)
+
+    @property
+    def resident_pages(self) -> int:
+        """Pages currently backed by a frame."""
+        return len(self._frames)
+
+
+@dataclass
+class Vma:
+    """One mapped region ``[start, end)`` of an address space."""
+
+    start: int
+    end: int
+    prot: Protection
+    flags: MapFlags
+    backing: MemoryBacking
+    #: Page offset into the backing at which this VMA begins.
+    backing_offset: int = 0
+    name: str = ""
+    #: page_index (backing-relative) -> private COW copy pfn.
+    private_copies: dict = field(default_factory=dict)
+    #: True after fork(): the backing's frames are shared copy-on-write
+    #: with another address space, so writes must copy even for anon.
+    cow_shared: bool = False
+
+    def __post_init__(self) -> None:
+        if self.start % PAGE_SIZE or self.end % PAGE_SIZE:
+            raise MappingError(
+                f"VMA [{self.start:#x}, {self.end:#x}) is not page-aligned"
+            )
+        if self.end <= self.start:
+            raise MappingError(
+                f"VMA end {self.end:#x} must be after start {self.start:#x}"
+            )
+
+    @property
+    def length(self) -> int:
+        """Bytes covered."""
+        return self.end - self.start
+
+    @property
+    def page_count(self) -> int:
+        """4 KiB pages covered."""
+        return self.length // PAGE_SIZE
+
+    def contains(self, vaddr: int) -> bool:
+        """True if ``vaddr`` falls in this VMA."""
+        return self.start <= vaddr < self.end
+
+    def overlaps(self, start: int, end: int) -> bool:
+        """True if ``[start, end)`` intersects this VMA."""
+        return self.start < end and start < self.end
+
+    def backing_page(self, vaddr: int) -> int:
+        """Backing-relative page index for ``vaddr``."""
+        return self.backing_offset + (vaddr - self.start) // PAGE_SIZE
+
+    def is_private(self) -> bool:
+        """True for MAP_PRIVATE semantics (writes don't reach the backing)."""
+        return bool(self.flags & MapFlags.PRIVATE)
+
+    def needs_cow(self) -> bool:
+        """True if stores must copy before writing.
+
+        Private file mappings always COW; private anonymous memory COWs
+        only after a fork made its frames shared.
+        """
+        if not self.is_private():
+            return False
+        if not self.flags & MapFlags.ANONYMOUS:
+            return True
+        return self.cow_shared
+
+    def can_merge_with(self, other: "Vma") -> bool:
+        """True if ``other`` directly follows and is mergeable.
+
+        Linux merges when flags, protection and backing agree and file
+        offsets are contiguous.
+        """
+        return (
+            other.start == self.end
+            and other.prot == self.prot
+            and other.flags == self.flags
+            and other.backing is self.backing
+            and other.backing_offset == self.backing_offset + self.page_count
+        )
+
+    def merge_with(self, other: "Vma") -> None:
+        """Absorb ``other`` (caller checked :meth:`can_merge_with`)."""
+        if not self.can_merge_with(other):
+            raise MappingError(f"cannot merge {self!r} with {other!r}")
+        self.end = other.end
+        self.private_copies.update(other.private_copies)
+
+    def __repr__(self) -> str:
+        return (
+            f"Vma({self.name or 'anon'}: {self.start:#x}..{self.end:#x}, "
+            f"prot={self.prot!r}, flags={self.flags!r})"
+        )

@@ -1,0 +1,27 @@
+"""Workload generators for the benchmarks.
+
+Access patterns (:mod:`patterns`) reproduce the paper's measurement
+workloads — touch one byte per page, sparse access to large data sets —
+and allocation traces (:mod:`alloc_traces`) drive the heap comparisons.
+All generators are deterministic given a seed.
+"""
+
+from repro.workloads.patterns import (
+    hot_cold_pages,
+    random_pages,
+    sequential_pages,
+    sparse_pages,
+    strided_offsets,
+)
+from repro.workloads.alloc_traces import AllocEvent, AllocTrace, TraceOp
+
+__all__ = [
+    "AllocEvent",
+    "AllocTrace",
+    "TraceOp",
+    "hot_cold_pages",
+    "random_pages",
+    "sequential_pages",
+    "sparse_pages",
+    "strided_offsets",
+]

@@ -1,0 +1,108 @@
+"""Allocation-trace generators for heap and allocator benchmarks.
+
+Synthesizes malloc/free sequences with realistic size and lifetime
+distributions: "most programs do not allocate their entire data set in one
+large contiguous chunk, but instead call an allocator repeatedly to
+allocate small regions" (§4.2).  Sizes follow a heavy-tailed mixture
+(mostly small objects, occasional large buffers); lifetimes follow the
+usual die-young pattern.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.units import KIB, MIB
+
+
+class TraceOp(enum.Enum):
+    """One trace event kind."""
+
+    MALLOC = "malloc"
+    FREE = "free"
+
+
+@dataclass(frozen=True)
+class AllocEvent:
+    """One allocation-trace event.
+
+    ``tag`` identifies the object so FREE events can name their MALLOC.
+    ``size`` is 0 for FREE events.
+    """
+
+    op: TraceOp
+    tag: int
+    size: int = 0
+
+
+class AllocTrace:
+    """Deterministic malloc/free trace generator."""
+
+    def __init__(
+        self,
+        seed: int = 42,
+        small_bytes_max: int = 512,
+        medium_bytes_max: int = 16 * KIB,
+        large_bytes_max: int = 4 * MIB,
+        large_fraction: float = 0.02,
+        medium_fraction: float = 0.18,
+    ) -> None:
+        if not 0 <= large_fraction + medium_fraction <= 1:
+            raise ValueError("size-class fractions must sum to <= 1")
+        self._seed = seed
+        self._small_max = small_bytes_max
+        self._medium_max = medium_bytes_max
+        self._large_max = large_bytes_max
+        self._large_fraction = large_fraction
+        self._medium_fraction = medium_fraction
+
+    def _sample_size(self, rng: random.Random) -> int:
+        roll = rng.random()
+        if roll < self._large_fraction:
+            return rng.randint(self._medium_max + 1, self._large_max)
+        if roll < self._large_fraction + self._medium_fraction:
+            return rng.randint(self._small_max + 1, self._medium_max)
+        return rng.randint(16, self._small_max)
+
+    def generate(
+        self,
+        operations: int,
+        live_target: int = 256,
+        die_young_probability: float = 0.6,
+    ) -> List[AllocEvent]:
+        """A trace of ``operations`` events with bounded live objects.
+
+        Allocates until ``live_target`` objects are live, then mixes
+        frees in; ``die_young_probability`` frees recent objects first
+        (LIFO-ish), the common heap behaviour.
+        """
+        if operations <= 0:
+            raise ValueError(f"operations must be positive, got {operations}")
+        rng = random.Random(self._seed)
+        events: List[AllocEvent] = []
+        live: List[int] = []
+        next_tag = 0
+        for _ in range(operations):
+            must_free = len(live) >= 2 * live_target
+            want_free = live and len(live) >= live_target and rng.random() < 0.5
+            if must_free or want_free:
+                if rng.random() < die_young_probability:
+                    index = len(live) - 1 - rng.randrange(max(1, len(live) // 4))
+                else:
+                    index = rng.randrange(len(live))
+                tag = live.pop(max(0, index))
+                events.append(AllocEvent(op=TraceOp.FREE, tag=tag))
+            else:
+                size = self._sample_size(rng)
+                events.append(AllocEvent(op=TraceOp.MALLOC, tag=next_tag, size=size))
+                live.append(next_tag)
+                next_tag += 1
+        return events
+
+    @staticmethod
+    def total_allocated(events: List[AllocEvent]) -> int:
+        """Sum of all MALLOC sizes in a trace."""
+        return sum(event.size for event in events if event.op is TraceOp.MALLOC)

@@ -1,0 +1,95 @@
+"""Deterministic access-pattern generators.
+
+Each generator yields virtual addresses to touch, given a mapped region's
+base and length.  The paper's workloads map onto these directly:
+
+* Figure 1b / student figures: :func:`sequential_pages` with one byte per
+  page ("access one byte of each page of a file");
+* "sparse access to large data sets" (§3): :func:`sparse_pages`;
+* TLB-pressure studies (§3.2's read()-vs-mmap claim): :func:`random_pages`
+  over a working set larger than TLB reach.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from repro.units import PAGE_SIZE
+
+
+def sequential_pages(base: int, length: int, page_size: int = PAGE_SIZE) -> List[int]:
+    """One address per page, ascending — the Figure 1b workload."""
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    return list(range(base, base + length, page_size))
+
+
+def random_pages(
+    base: int,
+    length: int,
+    count: int,
+    seed: int = 1,
+    page_size: int = PAGE_SIZE,
+) -> List[int]:
+    """``count`` uniformly random page addresses (with replacement)."""
+    if length < page_size:
+        raise ValueError(f"length {length} smaller than one page")
+    rng = random.Random(seed)
+    npages = length // page_size
+    return [base + rng.randrange(npages) * page_size for _ in range(count)]
+
+
+def sparse_pages(
+    base: int,
+    length: int,
+    fraction: float,
+    seed: int = 1,
+    page_size: int = PAGE_SIZE,
+) -> List[int]:
+    """A random ``fraction`` of the region's pages, each touched once.
+
+    Models "sparse access to large data sets" where demand paging's
+    per-reference cost cannot amortize.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    rng = random.Random(seed)
+    npages = length // page_size
+    chosen = rng.sample(range(npages), max(1, int(npages * fraction)))
+    return [base + page * page_size for page in sorted(chosen)]
+
+
+def hot_cold_pages(
+    base: int,
+    length: int,
+    count: int,
+    hot_fraction: float = 0.1,
+    hot_probability: float = 0.9,
+    seed: int = 1,
+    page_size: int = PAGE_SIZE,
+) -> List[int]:
+    """Skewed accesses: ``hot_probability`` of touches land in the first
+    ``hot_fraction`` of pages — the reclaim benches' working-set shape."""
+    if not 0.0 < hot_fraction < 1.0:
+        raise ValueError(f"hot_fraction must be in (0, 1), got {hot_fraction}")
+    if not 0.0 <= hot_probability <= 1.0:
+        raise ValueError("hot_probability must be in [0, 1]")
+    rng = random.Random(seed)
+    npages = length // page_size
+    hot_pages = max(1, int(npages * hot_fraction))
+    out = []
+    for _ in range(count):
+        if rng.random() < hot_probability:
+            page = rng.randrange(hot_pages)
+        else:
+            page = hot_pages + rng.randrange(max(1, npages - hot_pages))
+        out.append(base + page * page_size)
+    return out
+
+
+def strided_offsets(base: int, length: int, stride: int) -> List[int]:
+    """Fixed-stride addresses (cache/TLB-set pressure patterns)."""
+    if stride <= 0:
+        raise ValueError(f"stride must be positive, got {stride}")
+    return list(range(base, base + length, stride))

@@ -1,0 +1,68 @@
+"""Shared fixtures: small, fast machines for unit and integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.clock import EventCounters, SimClock
+from repro.hw.costmodel import CostModel, MemoryTechnology
+from repro.kernel import Kernel, MachineConfig
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.physical import MemoryRegion, PhysicalMemory
+from repro.units import GIB, MIB
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def counters() -> EventCounters:
+    return EventCounters()
+
+
+@pytest.fixture
+def costs() -> CostModel:
+    return CostModel()
+
+
+@pytest.fixture
+def dram_region() -> MemoryRegion:
+    return MemoryRegion(start=0, size=256 * MIB, tech=MemoryTechnology.DRAM, name="t-dram")
+
+
+@pytest.fixture
+def buddy(dram_region, clock, costs, counters) -> BuddyAllocator:
+    return BuddyAllocator(dram_region, clock=clock, costs=costs, counters=counters)
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    """Small default machine: 512 MiB DRAM + 1 GiB NVM."""
+    return Kernel(MachineConfig(dram_bytes=512 * MIB, nvm_bytes=1 * GIB))
+
+
+@pytest.fixture
+def range_kernel() -> Kernel:
+    """Machine with range-translation hardware and aligned PMFS extents."""
+    return Kernel(
+        MachineConfig(
+            dram_bytes=512 * MIB,
+            nvm_bytes=2 * GIB,
+            range_hardware=True,
+            pmfs_extent_align_frames=512,
+        )
+    )
+
+
+@pytest.fixture
+def aligned_kernel() -> Kernel:
+    """Machine whose PMFS extents are 2 MiB-aligned (for PBM/premap)."""
+    return Kernel(
+        MachineConfig(
+            dram_bytes=512 * MIB,
+            nvm_bytes=2 * GIB,
+            pmfs_extent_align_frames=512,
+        )
+    )

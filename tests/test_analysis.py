@@ -1,0 +1,79 @@
+"""Experiment sweeps and table formatting."""
+
+import pytest
+
+from repro.analysis import Series, format_ratio, format_series_table, format_table, sweep
+
+
+class TestSeries:
+    def test_add_and_lookup(self):
+        series = Series("s")
+        series.add(1, 10.0)
+        series.add(2, 20.0, {"faults": 3})
+        assert series.y_at(2) == 20.0
+        assert series.meta[1] == {"faults": 3}
+
+    def test_roughly_constant(self):
+        flat = Series("flat", xs=[1, 2, 3], ys=[100, 110, 105])
+        steep = Series("steep", xs=[1, 2, 3], ys=[100, 1000, 10000])
+        assert flat.is_roughly_constant(tolerance=0.2)
+        assert not steep.is_roughly_constant()
+
+    def test_roughly_constant_edge_cases(self):
+        assert Series("empty").is_roughly_constant()
+        assert Series("zeros", xs=[1], ys=[0]).is_roughly_constant()
+
+    def test_is_increasing(self):
+        assert Series("up", xs=[1, 2, 3], ys=[1, 2, 3]).is_increasing()
+        assert not Series("down", xs=[1, 2, 3], ys=[3, 2, 1]).is_increasing()
+        # Sorts by x before checking.
+        assert Series("shuffled", xs=[3, 1, 2], ys=[9, 1, 4]).is_increasing()
+
+    def test_growth_factor(self):
+        series = Series("g", xs=[1, 2, 4], ys=[10, 20, 80])
+        assert series.growth_factor() == 8.0
+
+    def test_sweep_runs_body_per_parameter(self):
+        calls = []
+
+        def body(x):
+            calls.append(x)
+            return x * 2.0, {"n": int(x)}
+
+        series = sweep("test", [1, 2, 3], body)
+        assert calls == [1, 2, 3]
+        assert series.ys == [2.0, 4.0, 6.0]
+        assert series.meta[2] == {"n": 3}
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_format_table_validates(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_series_table(self):
+        a = Series("alpha", xs=[4, 16], ys=[1000, 2000])
+        b = Series("beta", xs=[4, 16], ys=[3000, 4000])
+        text = format_series_table([a, b], x_label="KB")
+        assert "alpha (us)" in text and "beta (us)" in text
+        assert "1.00" in text and "4.00" in text
+
+    def test_format_series_table_mismatched_xs(self):
+        a = Series("a", xs=[1], ys=[1])
+        b = Series("b", xs=[2], ys=[1])
+        with pytest.raises(ValueError):
+            format_series_table([a, b])
+        with pytest.raises(ValueError):
+            format_series_table([])
+
+    def test_format_ratio(self):
+        assert format_ratio(100, 8) == "12.5x"
+        assert format_ratio(1, 0) == "inf"

@@ -1,0 +1,60 @@
+"""smaps/meminfo reporting."""
+
+import pytest
+
+from repro.analysis.report import format_meminfo, meminfo, smaps
+from repro.core.fom import FileOnlyMemory
+from repro.units import KIB, MIB, PAGE_SIZE
+from repro.vm.vma import MapFlags
+
+
+class TestSmaps:
+    def test_lists_every_vma(self, kernel):
+        process = kernel.spawn("p")
+        sys = kernel.syscalls(process)
+        sys.mmap(16 * KIB, name="heap")
+        sys.mmap(8 * KIB, name="stack")
+        text = smaps(process)
+        assert "heap" in text and "stack" in text
+        assert text.count("0x7f") >= 2
+
+    def test_resident_tracks_faults(self, kernel):
+        process = kernel.spawn("p")
+        sys = kernel.syscalls(process)
+        va = sys.mmap(16 * KIB, name="data")
+        assert "0 B" in smaps(process)
+        kernel.access(process, va)
+        assert "4.0 KiB" in smaps(process)
+
+    def test_huge_mappings_reported(self, aligned_kernel):
+        fom = FileOnlyMemory(aligned_kernel)
+        process = aligned_kernel.spawn("p")
+        fom.allocate(process, 2 * MIB)
+        text = smaps(process)
+        assert "2.0 MiB" in text
+
+
+class TestMeminfo:
+    def test_accounts_dram_and_nvm(self, kernel):
+        info = meminfo(kernel)
+        assert info["dram_total_bytes"] == kernel.dram_region.size
+        assert info["nvm_total_bytes"] == kernel.nvm_region.size
+        assert info["dram_free_bytes"] <= info["dram_total_bytes"]
+
+    def test_allocation_moves_the_needle(self, kernel):
+        before = meminfo(kernel)["dram_free_bytes"]
+        kernel.tmpfs.create("/f", size=1 * MIB)
+        after = meminfo(kernel)["dram_free_bytes"]
+        assert before - after == 1 * MIB
+
+    def test_process_count(self, kernel):
+        kernel.spawn("a")
+        b = kernel.spawn("b")
+        assert meminfo(kernel)["processes"] == 2
+        b.exit()
+        assert meminfo(kernel)["processes"] == 1
+
+    def test_format_meminfo_renders(self, kernel):
+        text = format_meminfo(kernel)
+        assert "dram_total_bytes" in text
+        assert "MiB" in text or "GiB" in text

@@ -1,0 +1,31 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--mib", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "demand paging" in out
+        assert "file-only memory" in out
+        assert "0 faults" in out
+
+    def test_meminfo_runs(self, capsys):
+        assert main(["meminfo", "--dram-gib", "1", "--nvm-gib", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "dram_total_bytes" in out
+        assert "1.0 GiB" in out
+
+    def test_figures_runs(self, capsys):
+        assert main(["figures"]) == 0
+        assert "pytest benchmarks/" in capsys.readouterr().out
+
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_parser_prog_name(self):
+        assert build_parser().prog == "repro-o1"

@@ -1,0 +1,96 @@
+"""FOM region growth: extend in place, VMA merging, extent economy."""
+
+import pytest
+
+from repro.core.fom import FileOnlyMemory, MapStrategy
+from repro.errors import MappingError, ProtectionError
+from repro.units import MIB, PAGE_SIZE
+
+
+@pytest.fixture
+def env(aligned_kernel):
+    return aligned_kernel, FileOnlyMemory(aligned_kernel)
+
+
+class TestGrow:
+    def test_grow_extends_usable_range(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 2 * MIB)
+        with pytest.raises(ProtectionError):
+            kernel.access(process, region.vaddr + 3 * MIB)
+        fom.grow_region(region, 4 * MIB)
+        kernel.access(process, region.vaddr + 3 * MIB)  # now mapped
+        assert region.length == 4 * MIB
+
+    def test_grow_merges_vma(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 2 * MIB)
+        fom.grow_region(region, 4 * MIB)
+        assert len(process.space.vmas) == 1
+        assert process.space.vmas[0].length == 4 * MIB
+
+    def test_grow_maps_only_new_pages(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 2 * MIB)
+        with kernel.measure() as m:
+            fom.grow_region(region, 4 * MIB)
+        # One new 2 MiB extent mapped as one huge PTE.
+        assert m.counter_delta.get("pte_write", 0) <= 2
+        assert m.counter_delta.get("fault_minor") is None
+
+    def test_grow_no_faults_after(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 2 * MIB)
+        fom.grow_region(region, 6 * MIB)
+        kernel.access_range(process, region.vaddr, 6 * MIB)
+        assert kernel.counters.get("page_fault") == 0
+
+    def test_file_grew_too(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 2 * MIB)
+        fom.grow_region(region, 4 * MIB)
+        assert region.inode.page_count == 4 * MIB // PAGE_SIZE
+
+    def test_release_after_grow_frees_everything(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        free_before = kernel.nvm_allocator.free_blocks
+        region = fom.allocate(process, 2 * MIB)
+        fom.grow_region(region, 8 * MIB)
+        fom.release(region)
+        assert kernel.nvm_allocator.free_blocks == free_before
+        assert process.space.vmas == []
+
+    def test_shrink_rejected(self, env):
+        kernel, fom = env
+        region = fom.allocate(kernel.spawn("p"), 4 * MIB)
+        with pytest.raises(MappingError):
+            fom.grow_region(region, 2 * MIB)
+
+    def test_premap_region_cannot_grow(self, env):
+        kernel, fom = env
+        region = fom.allocate(
+            kernel.spawn("p"), 2 * MIB, strategy=MapStrategy.PREMAP
+        )
+        with pytest.raises(MappingError):
+            fom.grow_region(region, 4 * MIB)
+
+    def test_released_region_cannot_grow(self, env):
+        kernel, fom = env
+        region = fom.allocate(kernel.spawn("p"), 2 * MIB)
+        fom.release(region)
+        with pytest.raises(MappingError):
+            fom.grow_region(region, 4 * MIB)
+
+    def test_demand_region_grows_lazily(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 2 * MIB, strategy=MapStrategy.DEMAND)
+        fom.grow_region(region, 4 * MIB)
+        kernel.access(process, region.vaddr + 3 * MIB)
+        assert kernel.counters.get("fault_minor") == 1

@@ -1,0 +1,150 @@
+"""File-backed heap: size classes, arenas, large objects, traces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fom import FileOnlyMemory, FomHeap, MapStrategy
+from repro.errors import MappingError
+from repro.kernel import Kernel, MachineConfig
+from repro.units import GIB, KIB, MIB, PAGE_SIZE
+from repro.workloads.alloc_traces import AllocTrace, TraceOp
+
+
+@pytest.fixture
+def env(aligned_kernel):
+    kernel = aligned_kernel
+    fom = FileOnlyMemory(kernel)
+    process = kernel.spawn("heap")
+    return kernel, FomHeap(fom, process), fom
+
+
+class TestSmallObjects:
+    def test_distinct_addresses(self, env):
+        _, heap, _ = env
+        addrs = {heap.malloc(100) for _ in range(100)}
+        assert len(addrs) == 100
+
+    def test_size_class_rounding(self, env):
+        _, heap, _ = env
+        a = heap.malloc(17)  # class 32
+        b = heap.malloc(17)
+        assert abs(a - b) >= 32
+
+    def test_free_reuses_address(self, env):
+        _, heap, _ = env
+        addr = heap.malloc(64)
+        heap.malloc(64)
+        heap.free(addr)
+        assert heap.malloc(64) == addr
+
+    def test_one_arena_serves_many_allocations(self, env):
+        kernel, heap, fom = env
+        before = kernel.counters.get("fom_allocate")
+        for _ in range(1000):
+            heap.malloc(128)
+        # 1000 x 128 B fits in one 2 MiB arena file.
+        assert kernel.counters.get("fom_allocate") - before == 1
+
+    def test_no_faults_during_heap_use(self, env):
+        kernel, heap, _ = env
+        addrs = [heap.malloc(256) for _ in range(64)]
+        for addr in addrs:
+            kernel.access(heap._process, addr, write=True)
+        assert kernel.counters.get("page_fault") == 0
+
+    def test_double_free_detected(self, env):
+        _, heap, _ = env
+        addr = heap.malloc(64)
+        heap.free(addr)
+        with pytest.raises(MappingError):
+            heap.free(addr)
+
+    def test_free_unknown_rejected(self, env):
+        _, heap, _ = env
+        with pytest.raises(MappingError):
+            heap.free(0x12345)
+
+    def test_zero_malloc_rejected(self, env):
+        _, heap, _ = env
+        with pytest.raises(MappingError):
+            heap.malloc(0)
+
+
+class TestLargeObjects:
+    def test_large_object_gets_own_region(self, env):
+        kernel, heap, fom = env
+        addr = heap.malloc(10 * MIB)
+        stats = heap.stats()
+        assert stats["large_count"] == 1
+        assert stats["large_bytes"] >= 10 * MIB
+
+    def test_large_free_releases_file(self, env):
+        kernel, heap, fom = env
+        free_before = kernel.nvm_allocator.free_blocks
+        addr = heap.malloc(10 * MIB)
+        heap.free(addr)
+        assert kernel.nvm_allocator.free_blocks == free_before
+
+    def test_boundary_at_4k(self, env):
+        _, heap, _ = env
+        small = heap.malloc(4 * KIB)  # largest size class
+        large = heap.malloc(4 * KIB + 1)  # own region
+        stats = heap.stats()
+        assert stats["large_count"] == 1
+
+
+class TestArenaLifecycle:
+    def test_empty_extra_arena_released(self, env):
+        kernel, heap, _ = env
+        per_arena = (2 * MIB) // 4096  # 4 KiB class slots per arena
+        addrs = [heap.malloc(4 * KIB) for _ in range(per_arena + 1)]
+        assert heap.stats()["arena_count"] == 2
+        # Free everything in the *second* arena.
+        heap.free(addrs[-1])
+        assert heap.stats()["arena_count"] == 1
+
+    def test_destroy_releases_all(self, env):
+        kernel, heap, fom = env
+        free_before = kernel.nvm_allocator.free_blocks
+        for _ in range(100):
+            heap.malloc(512)
+        heap.malloc(8 * MIB)
+        heap.destroy()
+        assert kernel.nvm_allocator.free_blocks == free_before
+        assert heap.stats()["arena_count"] == 0
+
+
+class TestTraceDriven:
+    def test_trace_replay_consistency(self, env):
+        _, heap, _ = env
+        trace = AllocTrace(seed=11).generate(400, live_target=64)
+        live = {}
+        for event in trace:
+            if event.op is TraceOp.MALLOC:
+                live[event.tag] = heap.malloc(event.size)
+            else:
+                heap.free(live.pop(event.tag))
+        stats = heap.stats()
+        assert stats["malloc_count"] - stats["free_count"] == len(live)
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_random_traces_never_corrupt(self, seed):
+        """Property: any generated trace replays without address clashes."""
+        kernel = Kernel(
+            MachineConfig(
+                dram_bytes=256 * MIB, nvm_bytes=2 * GIB,
+                pmfs_extent_align_frames=512,
+            )
+        )
+        fom = FileOnlyMemory(kernel)
+        heap = FomHeap(fom, kernel.spawn("h"))
+        trace = AllocTrace(seed=seed).generate(150, live_target=32)
+        live = {}
+        for event in trace:
+            if event.op is TraceOp.MALLOC:
+                addr = heap.malloc(event.size)
+                assert addr not in live.values()
+                live[event.tag] = addr
+            else:
+                heap.free(live.pop(event.tag))

@@ -1,0 +1,89 @@
+"""The limitations the paper concedes, pinned as explicit behaviour.
+
+§3.1: "some operations that depend on page-level mappings, such as guard
+pages or copy-on-write, cannot easily be supported", and whole-file
+permissions preclude page-granularity mprotect.  These tests document
+that the implementation *honestly* refuses those operations (rather than
+silently doing per-page work), and show the file-granularity workarounds.
+"""
+
+import pytest
+
+from repro.core.fom import FileOnlyMemory, MapStrategy
+from repro.errors import MappingError, ProtectionError
+from repro.units import KIB, MIB, PAGE_SIZE
+from repro.vm.vma import MapFlags, Protection
+
+
+@pytest.fixture
+def env(aligned_kernel):
+    return aligned_kernel, FileOnlyMemory(aligned_kernel)
+
+
+class TestPageGranularityOperationsRefused:
+    def test_no_partial_mprotect_inside_region(self, env):
+        # Guard pages need one page of a region made PROT_NONE; FOM
+        # permissions are whole-file, so partial mprotect refuses.
+        kernel, fom = env
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 2 * MIB)
+        with pytest.raises(MappingError):
+            process.space.mprotect(region.vaddr, PAGE_SIZE, Protection.NONE)
+
+    def test_whole_region_mprotect_allowed(self, env):
+        # Whole-file permission change is the supported granularity.
+        kernel, fom = env
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 2 * MIB)
+        process.space.mprotect(region.vaddr, 2 * MIB, Protection.READ)
+        with pytest.raises(ProtectionError):
+            kernel.access(process, region.vaddr, write=True)
+
+    def test_no_hole_punching_in_regions(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 4 * MIB)
+        with pytest.raises(MappingError):
+            process.space.munmap(region.vaddr + 1 * MIB, 1 * MIB)
+
+    def test_cow_mapping_of_fom_file_goes_through_vm_layer(self, env):
+        # Private (COW) mappings of file data are possible — but only via
+        # the classic per-page VM path, not FOM's extent mapping; the
+        # paper's point is that FOM itself doesn't provide COW.
+        kernel, fom = env
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 2 * MIB, name="/d", persistent=True)
+        fom.release(region)
+        sys = kernel.syscalls(process)
+        fd = sys.open(kernel.pmfs, "/d")
+        va = sys.mmap(2 * MIB, fd=fd, flags=MapFlags.PRIVATE)
+        kernel.access(process, va, write=True)  # COW fault, per-page
+        assert kernel.counters.get("cow_copy") == 1
+
+
+class TestFileGranularityWorkarounds:
+    def test_guard_via_separate_files(self, env):
+        # The workaround for a guarded stack: stack file + unmapped VA
+        # gap — overruns hit the gap and segfault, no page tricks needed.
+        kernel, fom = env
+        process = kernel.spawn("p")
+        stack = fom.allocate(process, 2 * MIB)
+        gap_va = stack.vaddr + stack.length  # nothing mapped here
+        next_region = fom.allocate(process, 2 * MIB)
+        assert next_region.vaddr > gap_va  # allocator left the gap
+        kernel.access(process, stack.vaddr + stack.length - 1)
+        with pytest.raises(ProtectionError):
+            kernel.access(process, gap_va)  # the "guard" fires
+
+    def test_vma_merging_lost_but_growth_works(self, env):
+        # Paper: Linux merges adjacent regions; FOM loses cross-file
+        # merging but regains growth via grow_region (same file).
+        kernel, fom = env
+        process = kernel.spawn("p")
+        a = fom.allocate(process, 2 * MIB)
+        b = fom.allocate(process, 2 * MIB)
+        assert len(process.space.vmas) == 2  # distinct files never merge
+        fom.grow_region(a, 4 * MIB)
+        # Growth of one file's region *does* merge (same backing).
+        assert len(process.space.vmas) == 2
+        assert process.space.vmas[0].length == 4 * MIB

@@ -1,0 +1,199 @@
+"""File-only memory manager: allocate, map strategies, release."""
+
+import pytest
+
+from repro.core.fom import FileOnlyMemory, MapStrategy
+from repro.core.o1.policy import ExtentPolicy
+from repro.errors import ConfigurationError, MappingError, ProtectionError
+from repro.units import HUGE_PAGE_2M, KIB, MIB, PAGE_SIZE
+from repro.vm.vma import Protection
+
+
+@pytest.fixture
+def env(aligned_kernel):
+    return aligned_kernel, FileOnlyMemory(aligned_kernel)
+
+
+@pytest.fixture
+def renv(range_kernel):
+    return range_kernel, FileOnlyMemory(range_kernel)
+
+
+class TestAllocate:
+    def test_region_is_a_file(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 100 * KIB)
+        assert fom.fs.exists(region.path)
+        assert region.inode.fs is kernel.pmfs
+
+    def test_policy_rounds_up_space_for_time(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 100 * KIB)
+        assert region.allocated_bytes == HUGE_PAGE_2M
+        assert fom.policy.ledger.wasted_bytes > 0
+
+    def test_named_region(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 1 * MIB, name="/mydata", persistent=True)
+        assert region.path == "/mydata"
+        assert kernel.pmfs.lookup("/mydata").persistent
+
+    def test_extent_strategy_no_faults(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 4 * MIB)
+        kernel.access_range(process, region.vaddr, 4 * MIB)
+        assert kernel.counters.get("page_fault") == 0
+
+    def test_extent_strategy_uses_huge_pages(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        with kernel.measure() as m:
+            fom.allocate(process, 4 * MIB)
+        assert m.counter_delta.get("pte_write") == 2  # two 2 MiB PTEs
+
+    def test_demand_strategy_faults_per_page(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 64 * KIB, strategy=MapStrategy.DEMAND)
+        kernel.access_range(process, region.vaddr, 64 * KIB)
+        assert kernel.counters.get("fault_minor") == 16
+
+    def test_premap_strategy(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 2 * MIB, strategy=MapStrategy.PREMAP)
+        kernel.access_range(process, region.vaddr, 2 * MIB)
+        assert kernel.counters.get("page_fault") == 0
+        assert region.attachment is not None
+
+    def test_range_strategy_needs_hardware(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        with pytest.raises(ConfigurationError):
+            fom.allocate(process, 1 * MIB, strategy=MapStrategy.RANGE)
+
+    def test_range_strategy_with_hardware(self, renv):
+        kernel, fom = renv
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 64 * MIB, strategy=MapStrategy.RANGE)
+        assert region.range_mapping is not None
+        kernel.access(process, region.vaddr + 63 * MIB)
+        assert kernel.counters.get("page_fault") == 0
+
+    def test_readonly_region(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 1 * MIB, prot=Protection.READ)
+        kernel.access(process, region.vaddr)
+        with pytest.raises(ProtectionError):
+            kernel.access(process, region.vaddr, write=True)
+
+    def test_zero_size_rejected(self, env):
+        kernel, fom = env
+        with pytest.raises(MappingError):
+            fom.allocate(kernel.spawn("p"), 0)
+
+    def test_allocation_constant_time_across_sizes(self, env):
+        # The headline O(1) property: allocating 2 MiB and 512 MiB cost
+        # the same number of PTE writes and extent allocations.
+        kernel, fom = env
+        process = kernel.spawn("p")
+        with kernel.measure() as small:
+            fom.allocate(process, 2 * MIB)
+        with kernel.measure() as big:
+            fom.allocate(process, 512 * MIB)
+        assert small.counter_delta.get("extent_alloc") == big.counter_delta.get(
+            "extent_alloc"
+        )
+        # Huge-page PTEs scale with size/2MiB, not size/4KiB; at 512 MiB
+        # the count is 256 instead of 131072.
+        assert big.counter_delta.get("pte_write") <= 512
+
+
+class TestOpenRegion:
+    def test_reopen_persistent_data(self, env):
+        kernel, fom = env
+        p1 = kernel.spawn("writer")
+        region = fom.allocate(p1, 1 * MIB, name="/db", persistent=True)
+        fom.release(region)
+        assert fom.fs.exists("/db")  # persistent: unlink skipped
+        p2 = kernel.spawn("reader")
+        reopened = fom.open_region(p2, "/db")
+        kernel.access(p2, reopened.vaddr)
+
+    def test_open_missing_raises(self, env):
+        kernel, fom = env
+        from repro.errors import FileNotFoundError_
+
+        with pytest.raises(FileNotFoundError_):
+            fom.open_region(kernel.spawn("p"), "/absent")
+
+    def test_open_empty_rejected(self, env):
+        kernel, fom = env
+        fom.fs.create("/empty")
+        with pytest.raises(MappingError):
+            fom.open_region(kernel.spawn("p"), "/empty")
+
+
+class TestRelease:
+    def test_release_unmaps_and_unlinks_temp(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 1 * MIB)
+        path = region.path
+        fom.release(region)
+        assert not fom.fs.exists(path)
+        assert process.space.vmas == []
+
+    def test_release_frees_nvm_blocks(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        free_before = kernel.nvm_allocator.free_blocks
+        region = fom.allocate(process, 4 * MIB)
+        fom.release(region)
+        assert kernel.nvm_allocator.free_blocks == free_before
+
+    def test_double_release_rejected(self, env):
+        kernel, fom = env
+        region = fom.allocate(kernel.spawn("p"), 1 * MIB)
+        fom.release(region)
+        with pytest.raises(MappingError):
+            fom.release(region)
+
+    def test_exit_process_releases_everything(self, env):
+        kernel, fom = env
+        process = kernel.spawn("p")
+        for _ in range(5):
+            fom.allocate(process, 1 * MIB)
+        assert fom.exit_process(process) == 5
+        assert fom.regions_of(process) == []
+
+    def test_release_keeps_named_persistent(self, env):
+        kernel, fom = env
+        region = fom.allocate(
+            kernel.spawn("p"), 1 * MIB, name="/keepme", persistent=True
+        )
+        fom.release(region)
+        assert fom.fs.exists("/keepme")
+
+    def test_release_unlink_override(self, env):
+        kernel, fom = env
+        region = fom.allocate(
+            kernel.spawn("p"), 1 * MIB, name="/tmpdata", persistent=True
+        )
+        fom.release(region, unlink=True)
+        assert not fom.fs.exists("/tmpdata")
+
+
+class TestTmpfsBackend:
+    def test_fom_over_tmpfs(self, aligned_kernel):
+        kernel = aligned_kernel
+        fom = FileOnlyMemory(kernel, fs=kernel.tmpfs)
+        process = kernel.spawn("p")
+        region = fom.allocate(process, 256 * KIB)
+        kernel.access_range(process, region.vaddr, 256 * KIB)
+        assert kernel.counters.get("page_fault") == 0

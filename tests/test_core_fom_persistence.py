@@ -1,0 +1,123 @@
+"""Persistence marking and crash recovery."""
+
+import pytest
+
+from repro.core.fom import FileOnlyMemory, PersistenceManager
+from repro.errors import FileSystemError
+from repro.units import KIB, MIB, PAGE_SIZE
+
+
+@pytest.fixture
+def env(aligned_kernel):
+    kernel = aligned_kernel
+    fom = FileOnlyMemory(kernel)
+    return kernel, fom, PersistenceManager(fom)
+
+
+class TestMarking:
+    def test_mark_persistent_flips_inode(self, env):
+        kernel, fom, pm = env
+        region = fom.allocate(kernel.spawn("p"), 1 * MIB, name="/d")
+        assert not region.inode.persistent
+        pm.mark_persistent(region)
+        assert region.inode.persistent and region.persistent
+
+    def test_mark_volatile(self, env):
+        kernel, fom, pm = env
+        region = fom.allocate(
+            kernel.spawn("p"), 1 * MIB, name="/d", persistent=True
+        )
+        pm.mark_volatile(region)
+        assert not region.inode.persistent
+
+    def test_marking_is_o1(self, env):
+        kernel, fom, pm = env
+        process = kernel.spawn("p")
+        small = fom.allocate(process, 1 * MIB, name="/s")
+        big = fom.allocate(process, 256 * MIB, name="/b")
+        with kernel.measure() as m_small:
+            pm.mark_persistent(small)
+        with kernel.measure() as m_big:
+            pm.mark_persistent(big)
+        assert m_small.elapsed_ns == m_big.elapsed_ns
+
+    def test_tmpfs_region_cannot_persist(self, aligned_kernel):
+        kernel = aligned_kernel
+        fom = FileOnlyMemory(kernel, fs=kernel.tmpfs)
+        pm = PersistenceManager(fom)
+        region = fom.allocate(kernel.spawn("p"), 1 * MIB, name="/v")
+        with pytest.raises(FileSystemError):
+            pm.mark_persistent(region)
+
+
+class TestRecovery:
+    def test_persistent_files_survive(self, env):
+        kernel, fom, pm = env
+        process = kernel.spawn("p")
+        keep = fom.allocate(process, 1 * MIB, name="/keep", persistent=True)
+        fom.allocate(process, 1 * MIB, name="/lose")
+        kernel.crash()
+        report = pm.recover()
+        assert report.survivors == ["/keep"]
+        assert "/lose" in report.erased
+        assert fom.fs.exists("/keep")
+        assert not fom.fs.exists("/lose")
+
+    def test_volatile_erase_is_linear_by_default(self, env):
+        kernel, fom, pm = env
+        process = kernel.spawn("p")
+        fom.allocate(process, 2 * MIB, name="/small-v")
+        fom.allocate(process, 64 * MIB, name="/big-v")
+        kernel.crash()
+        report = pm.recover()
+        # Linear erase: time proportional to total volatile pages.
+        expected_pages = (2 * MIB + 64 * MIB) // PAGE_SIZE
+        # There are also the anon-dir bookkeeping files... only named
+        # regions exist here, so the count is exact.
+        assert report.erase_ns >= expected_pages * kernel.costs.zero_line_ns
+        assert not report.constant_time_erase
+
+    def test_crypto_erase_is_constant_per_file(self, aligned_kernel):
+        kernel = aligned_kernel
+        fom = FileOnlyMemory(kernel)
+        pm = PersistenceManager(fom, crypto_erase=True)
+        process = kernel.spawn("p")
+        fom.allocate(process, 256 * MIB, name="/huge-v")
+        kernel.crash()
+        report = pm.recover()
+        assert report.constant_time_erase
+        assert report.erase_ns < 100_000  # not proportional to 256 MiB
+
+    def test_reopen_persistent_data_after_crash(self, env):
+        kernel, fom, pm = env
+        process = kernel.spawn("writer")
+        region = fom.allocate(process, 1 * MIB, name="/db", persistent=True)
+        with fom.fs.open("/db") as handle:
+            handle.pwrite(0, b"state")
+        kernel.crash()
+        pm.recover()
+        survivor = kernel.spawn("reader")
+        reopened = fom.open_region(survivor, "/db")
+        kernel.access(survivor, reopened.vaddr)
+        with fom.fs.open("/db") as handle:
+            assert handle.pread(0, 5) == b"state"
+
+    def test_recover_on_volatile_fs_is_trivial(self, aligned_kernel):
+        kernel = aligned_kernel
+        fom = FileOnlyMemory(kernel, fs=kernel.tmpfs)
+        pm = PersistenceManager(fom)
+        fom.allocate(kernel.spawn("p"), 1 * MIB, name="/x")
+        kernel.crash()
+        report = pm.recover()
+        assert report.survivors == [] and report.erased == []
+
+    def test_premap_cache_pruned_on_recover(self, env):
+        kernel, fom, pm = env
+        process = kernel.spawn("p")
+        from repro.core.fom import MapStrategy
+
+        fom.allocate(process, 2 * MIB, name="/pm", strategy=MapStrategy.PREMAP)
+        assert fom.ptcache.cached_files == 1
+        kernel.crash()
+        pm.recover()
+        assert fom.ptcache.cached_files == 0

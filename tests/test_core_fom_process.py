@@ -1,0 +1,102 @@
+"""FOM process launch: segments as files, thread stacks, O(#files) exit."""
+
+import pytest
+
+from repro.core.fom import FileOnlyMemory, MapStrategy, launch_fom_process
+from repro.errors import ProtectionError
+from repro.units import KIB, MIB
+from repro.vm.vma import Protection
+
+
+@pytest.fixture
+def env(aligned_kernel):
+    return aligned_kernel, FileOnlyMemory(aligned_kernel)
+
+
+def launch(fom, **kw):
+    defaults = dict(code_bytes=1 * MIB, heap_bytes=4 * MIB, stack_bytes=1 * MIB)
+    defaults.update(kw)
+    return launch_fom_process(fom, "app", **defaults)
+
+
+class TestLaunch:
+    def test_three_segment_files(self, env):
+        kernel, fom = env
+        fp = launch(fom)
+        assert fp.segment_count == 3
+        assert fom.fs.exists(fp.heap.path)
+        assert len(fom.regions_of(fp.process)) == 3
+
+    def test_segments_usable_without_faults(self, env):
+        kernel, fom = env
+        fp = launch(fom)
+        kernel.access(fp.process, fp.heap.vaddr, write=True)
+        kernel.access(fp.process, fp.stack.vaddr, write=True)
+        kernel.access(fp.process, fp.code.vaddr)
+        assert kernel.counters.get("page_fault") == 0
+
+    def test_code_segment_not_writable(self, env):
+        kernel, fom = env
+        fp = launch(fom)
+        with pytest.raises(ProtectionError):
+            kernel.access(fp.process, fp.code.vaddr, write=True)
+
+    def test_named_code_shared_between_launches(self, env):
+        kernel, fom = env
+        first = launch(fom, code_path="/bin/app")
+        second = launch(fom, code_path="/bin/app")
+        assert first.code.inode is second.code.inode
+        assert first.code.inode.persistent
+
+    def test_launch_cost_independent_of_segment_size(self, env):
+        kernel, fom = env
+        with kernel.measure() as small:
+            launch(fom, heap_bytes=2 * MIB)
+        with kernel.measure() as big:
+            launch(fom, heap_bytes=256 * MIB)
+        # Same extent count; PTE count grows only with 2 MiB pages.
+        assert small.counter_delta.get("extent_alloc") == big.counter_delta.get(
+            "extent_alloc"
+        )
+
+
+class TestThreadStacks:
+    def test_thread_stack_is_single_extent_file(self, env):
+        kernel, fom = env
+        fp = launch(fom)
+        stack = fp.create_thread_stack(512 * KIB)
+        assert kernel.pmfs.extent_count(stack.inode) == 1
+        kernel.access(fp.process, stack.vaddr, write=True)
+        assert fp.segment_count == 4
+
+    def test_thread_stack_no_per_page_metadata(self, env):
+        kernel, fom = env
+        fp = launch(fom)
+        with kernel.measure() as m:
+            fp.create_thread_stack(1 * MIB)
+        # No per-4KiB frame-metadata churn: the file extent is one unit.
+        assert m.counter_delta.get("frame_meta_touch", 0) == 0
+
+
+class TestExit:
+    def test_exit_releases_all_files(self, env):
+        kernel, fom = env
+        fp = launch(fom)
+        fp.create_thread_stack(512 * KIB)
+        released = fp.exit()
+        assert released == 4
+        assert not fp.process.alive
+        assert fom.regions_of(fp.process) == []
+
+    def test_exit_returns_storage(self, env):
+        kernel, fom = env
+        free_before = kernel.nvm_allocator.free_blocks
+        fp = launch(fom)
+        fp.exit()
+        assert kernel.nvm_allocator.free_blocks == free_before
+
+    def test_exit_keeps_named_code_file(self, env):
+        kernel, fom = env
+        fp = launch(fom, code_path="/bin/app")
+        fp.exit()
+        assert fom.fs.exists("/bin/app")

@@ -1,0 +1,81 @@
+"""Extent policy: rounding rules and the space-for-time ledger."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.o1.policy import ExtentPolicy, SpaceTimeLedger
+from repro.units import GIB, HUGE_PAGE_1G, HUGE_PAGE_2M, KIB, MIB, PAGE_SIZE
+
+
+class TestSpaceTimeLedger:
+    def test_records_waste_by_reason(self):
+        ledger = SpaceTimeLedger()
+        ledger.record(100 * KIB, 2 * MIB, reason="rounding")
+        ledger.record(4 * KIB, 4 * KIB, reason="exact")
+        assert ledger.wasted_bytes == 2 * MIB - 100 * KIB
+        assert ledger.by_reason == {"rounding": 2 * MIB - 100 * KIB}
+
+    def test_overhead_ratio(self):
+        ledger = SpaceTimeLedger()
+        assert ledger.overhead_ratio == 1.0
+        ledger.record(MIB, 2 * MIB, reason="r")
+        assert ledger.overhead_ratio == 2.0
+
+    def test_under_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            SpaceTimeLedger().record(MIB, KIB, reason="r")
+
+
+class TestExtentPolicy:
+    def test_paper_example_hundreds_of_kb_gets_2mb(self):
+        # §1: "allocate a large page (e.g., 2MB) when only hundreds of
+        # kilobytes are needed".
+        policy = ExtentPolicy()
+        assert policy.extent_bytes_for(300 * KIB) == HUGE_PAGE_2M
+
+    def test_multi_mb_rounds_to_2mb_multiple(self):
+        policy = ExtentPolicy()
+        assert policy.extent_bytes_for(3 * MIB) == 4 * MIB
+
+    def test_gigabyte_requests_round_to_1g(self):
+        policy = ExtentPolicy()
+        assert policy.extent_bytes_for(GIB + 1) == 2 * GIB
+
+    def test_waste_cap_falls_back(self):
+        policy = ExtentPolicy(max_waste_ratio=2.0)
+        # 4 KiB request would waste 512x; cap forces the page-rounded size.
+        assert policy.extent_bytes_for(4 * KIB) == 4 * KIB
+
+    def test_alignment_matches_granule(self):
+        policy = ExtentPolicy()
+        assert policy.alignment_frames_for(2 * MIB) == 512
+        assert policy.alignment_frames_for(2 * GIB) == GIB // PAGE_SIZE
+        assert policy.alignment_frames_for(3 * PAGE_SIZE) == 1
+
+    def test_no_structural_alignment_mode(self):
+        policy = ExtentPolicy(align_to_page_structures=False, min_extent_bytes=PAGE_SIZE)
+        assert policy.extent_bytes_for(5 * KIB) == 8 * KIB
+        assert policy.alignment_frames_for(2 * MIB) == 1
+
+    def test_ledger_wired(self):
+        policy = ExtentPolicy()
+        policy.extent_bytes_for(300 * KIB)
+        assert policy.ledger.wasted_bytes == HUGE_PAGE_2M - 304 * KIB + (304 - 300) * KIB
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            ExtentPolicy(min_extent_bytes=100)
+        with pytest.raises(ValueError):
+            ExtentPolicy(max_waste_ratio=0.5)
+        with pytest.raises(ValueError):
+            ExtentPolicy().extent_bytes_for(0)
+
+    @given(st.integers(1, 8 * GIB))
+    def test_never_under_allocates(self, requested):
+        policy = ExtentPolicy()
+        assert policy.extent_bytes_for(requested) >= requested
+
+    @given(st.integers(1, 8 * GIB))
+    def test_result_is_page_multiple(self, requested):
+        policy = ExtentPolicy()
+        assert policy.extent_bytes_for(requested) % PAGE_SIZE == 0

@@ -1,0 +1,162 @@
+"""Pre-created page tables: build once, attach O(1), persist."""
+
+import pytest
+
+from repro.core.o1.premap import PageTableCache
+from repro.errors import MappingError
+from repro.units import HUGE_PAGE_2M, KIB, MIB, PAGE_SIZE
+from repro.vm.vma import Protection
+
+
+@pytest.fixture
+def env(aligned_kernel):
+    kernel = aligned_kernel
+    cache = PageTableCache(
+        kernel.config.page_table_levels,
+        kernel.clock,
+        kernel.costs,
+        kernel.counters,
+    )
+    return kernel, cache
+
+
+class TestBuild:
+    def test_premap_builds_once(self, env):
+        kernel, cache = env
+        inode = kernel.pmfs.create("/f", size=2 * MIB)
+        first = cache.premap(inode)
+        second = cache.premap(inode)
+        assert first is second
+        assert kernel.counters.get("premap_build") == 1
+        assert kernel.counters.get("premap_cache_hit") == 1
+
+    def test_windows_cover_file(self, env):
+        kernel, cache = env
+        inode = kernel.pmfs.create("/f", size=6 * MIB)
+        premapped = cache.premap(inode)
+        assert len(premapped.windows) == 3  # 6 MiB / 2 MiB
+
+    def test_permissions_cached_separately(self, env):
+        kernel, cache = env
+        inode = kernel.pmfs.create("/f", size=2 * MIB)
+        rw = cache.premap(inode, writable=True)
+        ro = cache.premap(inode, writable=False)
+        assert rw is not ro
+        assert cache.cached_files == 2
+
+    def test_empty_file_rejected(self, env):
+        kernel, cache = env
+        inode = kernel.pmfs.create("/empty")
+        with pytest.raises(MappingError):
+            cache.premap(inode)
+
+
+class TestAttach:
+    def test_attach_costs_one_write_per_window(self, env):
+        kernel, cache = env
+        inode = kernel.pmfs.create("/f", size=4 * MIB)
+        cache.premap(inode)  # pre-build outside the measured region
+        process = kernel.spawn("p")
+        with kernel.measure() as m:
+            cache.attach(process.space, inode)
+        assert m.counter_delta.get("pte_write") == 2  # two 2 MiB windows
+
+    def test_attached_mapping_translates(self, env):
+        kernel, cache = env
+        inode = kernel.pmfs.create("/f", size=2 * MIB)
+        process = kernel.spawn("p")
+        attachment = cache.attach(process.space, inode)
+        paddr = kernel.access(process, attachment.vaddr + 5 * PAGE_SIZE)
+        backing_pfn = kernel.pmfs.backing_for(inode).frame_for(5, False)
+        assert paddr // PAGE_SIZE == backing_pfn
+
+    def test_no_faults_after_attach(self, env):
+        kernel, cache = env
+        inode = kernel.pmfs.create("/f", size=2 * MIB)
+        process = kernel.spawn("p")
+        attachment = cache.attach(process.space, inode)
+        kernel.access_range(process, attachment.vaddr, 2 * MIB)
+        assert kernel.counters.get("page_fault") == 0
+
+    def test_two_processes_share_one_build(self, env):
+        kernel, cache = env
+        inode = kernel.pmfs.create("/f", size=2 * MIB)
+        a, b = kernel.spawn("a"), kernel.spawn("b")
+        cache.attach(a.space, inode)
+        before = kernel.counters.get("pt_node_alloc")
+        before_pte = kernel.counters.get("pte_write")
+        cache.attach(b.space, inode)
+        # Only b's own interior path is created (a constant <= levels-1
+        # nodes); the 512 leaf PTEs are shared, so one link write suffices.
+        assert kernel.counters.get("pt_node_alloc") - before <= 3
+        assert kernel.counters.get("pte_write") - before_pte == 1
+
+    def test_misaligned_attach_rejected(self, env):
+        kernel, cache = env
+        inode = kernel.pmfs.create("/f", size=2 * MIB)
+        process = kernel.spawn("p")
+        with pytest.raises(MappingError):
+            cache.attach(process.space, inode, vaddr=HUGE_PAGE_2M + PAGE_SIZE)
+
+    def test_detach_is_o_windows(self, env):
+        kernel, cache = env
+        inode = kernel.pmfs.create("/f", size=2 * MIB)
+        process = kernel.spawn("p")
+        attachment = cache.attach(process.space, inode)
+        kernel.access(process, attachment.vaddr)
+        with kernel.measure() as m:
+            cache.detach(attachment)
+        assert m.counter_delta.get("pte_write") == 1  # one unlink
+        assert process.space.vmas == []
+
+    def test_access_after_detach_segfaults(self, env):
+        from repro.errors import ProtectionError
+
+        kernel, cache = env
+        inode = kernel.pmfs.create("/f", size=2 * MIB)
+        process = kernel.spawn("p")
+        attachment = cache.attach(process.space, inode)
+        kernel.access(process, attachment.vaddr)
+        cache.detach(attachment)
+        with pytest.raises(ProtectionError):
+            kernel.access(process, attachment.vaddr)
+
+    def test_readonly_attach_blocks_writes(self, env):
+        from repro.errors import ProtectionError
+
+        kernel, cache = env
+        inode = kernel.pmfs.create("/f", size=2 * MIB)
+        process = kernel.spawn("p")
+        attachment = cache.attach(process.space, inode, prot=Protection.READ)
+        kernel.access(process, attachment.vaddr)
+        with pytest.raises(ProtectionError):
+            kernel.access(process, attachment.vaddr, write=True)
+
+
+class TestPersistence:
+    def test_persist_requires_persistent_fs(self, env):
+        kernel, cache = env
+        volatile = kernel.tmpfs.create("/v", size=2 * MIB)
+        with pytest.raises(MappingError):
+            cache.persist(volatile)
+
+    def test_persistent_entries_survive_crash(self, env):
+        kernel, cache = env
+        keep = kernel.pmfs.create("/keep", size=2 * MIB)
+        drop = kernel.pmfs.create("/drop", size=2 * MIB)
+        cache.persist(keep)
+        cache.premap(drop)
+        survivors = cache.on_crash()
+        assert survivors == 1
+        assert cache.cached_files == 1
+
+    def test_first_map_after_crash_is_o1(self, env):
+        kernel, cache = env
+        inode = kernel.pmfs.create("/keep", size=2 * MIB)
+        cache.persist(inode)
+        cache.on_crash()
+        process = kernel.spawn("reborn")
+        with kernel.measure() as m:
+            cache.attach(process.space, inode)
+        assert m.counter_delta.get("premap_build") is None  # cache hit
+        assert m.counter_delta.get("pte_write") == 1

@@ -1,0 +1,149 @@
+"""Physically based mappings: identical VAs, shared subtrees, collisions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pbm import PbmManager
+from repro.core.pbm.mapping import PBM_BASE
+from repro.errors import MappingError, ProtectionError
+from repro.kernel import Kernel, MachineConfig
+from repro.units import GIB, KIB, MIB, PAGE_SIZE
+from repro.vm.vma import Protection
+
+
+@pytest.fixture
+def env(aligned_kernel):
+    return aligned_kernel, PbmManager(aligned_kernel)
+
+
+class TestAlgorithmicAddresses:
+    def test_va_is_pa_plus_offset(self, env):
+        kernel, pbm = env
+        inode = kernel.pmfs.create("/f", size=2 * MIB)
+        process = kernel.spawn("p")
+        mapping = pbm.map_file(process, inode)
+        extent = kernel.pmfs._tree_of(inode).extents()[0]
+        assert mapping.vaddr == PBM_BASE + extent.pfn * PAGE_SIZE
+
+    def test_same_va_in_every_process(self, env):
+        kernel, pbm = env
+        inode = kernel.pmfs.create("/f", size=2 * MIB)
+        mappings = [
+            pbm.map_file(kernel.spawn(f"p{i}"), inode) for i in range(4)
+        ]
+        assert len({m.vaddr for m in mappings}) == 1
+
+    def test_different_files_never_collide(self, env):
+        kernel, pbm = env
+        process = kernel.spawn("p")
+        a = pbm.map_file(process, kernel.pmfs.create("/a", size=2 * MIB))
+        b = pbm.map_file(process, kernel.pmfs.create("/b", size=2 * MIB))
+        a_range = range(a.vaddr, a.vaddr + a.total_length)
+        assert b.vaddr not in a_range
+        assert a.vaddr != b.vaddr
+
+    @given(st.lists(st.integers(1, 8), min_size=2, max_size=6))
+    @settings(max_examples=15, deadline=None)
+    def test_collision_freedom_property(self, sizes_mib):
+        """Arbitrary file sets: PBM segments never overlap, because
+        physical extents never overlap."""
+        kernel = Kernel(
+            MachineConfig(
+                dram_bytes=256 * MIB, nvm_bytes=2 * GIB,
+                pmfs_extent_align_frames=512,
+            )
+        )
+        pbm = PbmManager(kernel)
+        process = kernel.spawn("p")
+        intervals = []
+        for index, size in enumerate(sizes_mib):
+            inode = kernel.pmfs.create(f"/f{index}", size=size * MIB)
+            mapping = pbm.map_file(process, inode)
+            for segment in mapping.segments:
+                intervals.append((segment.vaddr, segment.vaddr + segment.length))
+        intervals.sort()
+        for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2
+
+
+class TestSharedSubtrees:
+    def test_first_map_builds_second_links(self, env):
+        kernel, pbm = env
+        inode = kernel.pmfs.create("/f", size=4 * MIB)
+        a, b = kernel.spawn("a"), kernel.spawn("b")
+        with kernel.measure() as first:
+            pbm.map_file(a, inode)
+        with kernel.measure() as second:
+            pbm.map_file(b, inode)
+        assert first.counter_delta.get("pte_write", 0) >= 1024
+        assert second.counter_delta.get("pte_write", 0) <= 2 + 2  # links only
+        assert kernel.counters.get("pbm_subtree_hit") == 1
+
+    def test_both_processes_translate_correctly(self, env):
+        kernel, pbm = env
+        inode = kernel.pmfs.create("/f", size=2 * MIB)
+        a, b = kernel.spawn("a"), kernel.spawn("b")
+        map_a = pbm.map_file(a, inode)
+        map_b = pbm.map_file(b, inode)
+        pa = kernel.access(a, map_a.vaddr + 9 * PAGE_SIZE)
+        pb = kernel.access(b, map_b.vaddr + 9 * PAGE_SIZE)
+        assert pa == pb  # same physical page through shared tables
+
+    def test_no_faults_after_pbm_map(self, env):
+        kernel, pbm = env
+        inode = kernel.pmfs.create("/f", size=2 * MIB)
+        process = kernel.spawn("p")
+        mapping = pbm.map_file(process, inode)
+        kernel.access_range(process, mapping.vaddr, 2 * MIB)
+        assert kernel.counters.get("page_fault") == 0
+
+    def test_permission_variants_use_distinct_subtrees(self, env):
+        kernel, pbm = env
+        inode = kernel.pmfs.create("/f", size=2 * MIB)
+        a, b = kernel.spawn("a"), kernel.spawn("b")
+        pbm.map_file(a, inode, prot=Protection.rw())
+        pbm.map_file(b, inode, prot=Protection.READ)
+        assert pbm.subtrees.cached_extents == 2
+        with pytest.raises(ProtectionError):
+            kernel.access(b, PBM_BASE + kernel.pmfs._tree_of(inode).extents()[0].pfn * PAGE_SIZE, write=True)
+
+    def test_unaligned_extent_falls_back_to_private(self):
+        kernel = Kernel(
+            MachineConfig(dram_bytes=256 * MIB, nvm_bytes=1 * GIB)
+        )  # no extent alignment
+        pbm = PbmManager(kernel)
+        kernel.nvm_allocator.alloc_extent(3)  # force misalignment
+        inode = kernel.pmfs.create("/u", size=2 * MIB)
+        process = kernel.spawn("p")
+        mapping = pbm.map_file(process, inode)
+        assert mapping.shared_window_count == 0
+        assert kernel.counters.get("pbm_private_pages") == 512
+        kernel.access(process, mapping.vaddr)  # still translates
+
+
+class TestUnmap:
+    def test_unmap_unlinks_and_clears_vmas(self, env):
+        kernel, pbm = env
+        inode = kernel.pmfs.create("/f", size=2 * MIB)
+        process = kernel.spawn("p")
+        mapping = pbm.map_file(process, inode)
+        kernel.access(process, mapping.vaddr)
+        pbm.unmap(mapping)
+        assert process.space.vmas == []
+        with pytest.raises(ProtectionError):
+            kernel.access(process, mapping.vaddr)
+
+    def test_shared_subtree_survives_one_unmap(self, env):
+        kernel, pbm = env
+        inode = kernel.pmfs.create("/f", size=2 * MIB)
+        a, b = kernel.spawn("a"), kernel.spawn("b")
+        map_a = pbm.map_file(a, inode)
+        map_b = pbm.map_file(b, inode)
+        pbm.unmap(map_a)
+        kernel.access(b, map_b.vaddr)  # b unaffected
+
+    def test_empty_file_rejected(self, env):
+        kernel, pbm = env
+        inode = kernel.pmfs.create("/empty")
+        with pytest.raises(MappingError):
+            pbm.map_file(kernel.spawn("p"), inode)

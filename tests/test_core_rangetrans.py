@@ -1,0 +1,170 @@
+"""Range translations: table semantics and the O(1) map/unmap path."""
+
+import pytest
+
+from repro.core.rangetrans import RangeMemory, RangeTable
+from repro.errors import ConfigurationError, MappingError, ProtectionError
+from repro.kernel import Kernel, MachineConfig
+from repro.units import GIB, KIB, MIB, PAGE_SIZE
+from repro.vm.vma import Protection
+
+
+@pytest.fixture
+def env(range_kernel):
+    return range_kernel, RangeMemory(range_kernel)
+
+
+class TestRangeTable:
+    def make_table(self, kernel):
+        return RangeTable(1, kernel.clock, kernel.costs, kernel.counters)
+
+    def test_insert_lookup(self, range_kernel):
+        table = self.make_table(range_kernel)
+        table.insert(base=0x10000, limit=MIB, paddr=0x900000, writable=True)
+        entry = table.lookup(0x10000 + 1234)
+        assert entry is not None
+        assert entry.translate(0x10000) == 0x900000
+
+    def test_lookup_miss(self, range_kernel):
+        table = self.make_table(range_kernel)
+        assert table.lookup(0x5000) is None
+
+    def test_overlap_rejected(self, range_kernel):
+        table = self.make_table(range_kernel)
+        table.insert(base=0, limit=MIB, paddr=0, writable=True)
+        with pytest.raises(MappingError):
+            table.insert(base=MIB // 2, limit=MIB, paddr=0, writable=True)
+        with pytest.raises(MappingError):
+            table.insert(base=0, limit=4 * KIB, paddr=0, writable=True)
+
+    def test_remove(self, range_kernel):
+        table = self.make_table(range_kernel)
+        table.insert(base=0, limit=MIB, paddr=0, writable=True)
+        table.remove(0)
+        assert table.entry_count == 0
+        with pytest.raises(MappingError):
+            table.remove(0)
+
+    def test_insert_cost_independent_of_limit(self, range_kernel):
+        table = self.make_table(range_kernel)
+        with range_kernel.measure() as small:
+            table.insert(base=0, limit=4 * KIB, paddr=0, writable=True)
+        with range_kernel.measure() as big:
+            table.insert(base=GIB, limit=GIB, paddr=GIB, writable=True)
+        assert small.elapsed_ns == big.elapsed_ns
+
+
+class TestRangeMemoryFiles:
+    def test_needs_range_hardware(self, kernel):
+        with pytest.raises(ConfigurationError):
+            RangeMemory(kernel)
+
+    def test_single_extent_file_one_rte(self, env):
+        kernel, rm = env
+        inode = kernel.pmfs.create("/f", size=64 * MIB)
+        process = kernel.spawn("p")
+        mapping = rm.map_file(process, inode)
+        assert mapping.entry_count == 1
+
+    def test_mapped_file_accessible_without_page_tables(self, env):
+        kernel, rm = env
+        inode = kernel.pmfs.create("/f", size=4 * MIB)
+        process = kernel.spawn("p")
+        mapping = rm.map_file(process, inode)
+        kernel.access_range(process, mapping.vaddr, 4 * MIB)
+        assert kernel.counters.get("page_walk") == 0
+        assert kernel.counters.get("page_fault") == 0
+        assert process.space.page_table.leaf_count() == 0
+
+    def test_translation_correct(self, env):
+        kernel, rm = env
+        inode = kernel.pmfs.create("/f", size=1 * MIB)
+        process = kernel.spawn("p")
+        mapping = rm.map_file(process, inode)
+        paddr = kernel.access(process, mapping.vaddr + 7 * PAGE_SIZE + 3)
+        pfn = kernel.pmfs.backing_for(inode).frame_for(7, False)
+        assert paddr == pfn * PAGE_SIZE + 3
+
+    def test_map_cost_independent_of_file_size(self, env):
+        kernel, rm = env
+        small_inode = kernel.pmfs.create("/small", size=1 * MIB)
+        big_inode = kernel.pmfs.create("/big", size=256 * MIB)
+        p = kernel.spawn("p")
+        with kernel.measure() as small:
+            rm.map_file(p, small_inode)
+        with kernel.measure() as big:
+            rm.map_file(p, big_inode)
+        # Both files are single-extent; cost must match to the nanosecond.
+        assert small.elapsed_ns == big.elapsed_ns
+
+    def test_readonly_range_blocks_writes(self, env):
+        kernel, rm = env
+        inode = kernel.pmfs.create("/ro", size=1 * MIB)
+        process = kernel.spawn("p")
+        mapping = rm.map_file(process, inode, prot=Protection.READ)
+        kernel.access(process, mapping.vaddr)
+        with pytest.raises(ProtectionError):
+            kernel.access(process, mapping.vaddr, write=True)
+
+    def test_empty_file_rejected(self, env):
+        kernel, rm = env
+        inode = kernel.pmfs.create("/empty")
+        with pytest.raises(MappingError):
+            rm.map_file(kernel.spawn("p"), inode)
+
+
+class TestUnmap:
+    def test_unmap_single_operation(self, env):
+        kernel, rm = env
+        inode = kernel.pmfs.create("/f", size=128 * MIB)
+        process = kernel.spawn("p")
+        mapping = rm.map_file(process, inode)
+        kernel.access(process, mapping.vaddr)  # populate the rTLB
+        with kernel.measure() as m:
+            rm.unmap(mapping)
+        assert m.counter_delta.get("rte_remove") == 1
+        assert kernel.rtlb.resident_count() == 0
+        assert process.space.vmas == []
+
+    def test_access_after_unmap_segfaults(self, env):
+        kernel, rm = env
+        inode = kernel.pmfs.create("/f", size=1 * MIB)
+        process = kernel.spawn("p")
+        mapping = rm.map_file(process, inode)
+        kernel.access(process, mapping.vaddr)
+        rm.unmap(mapping)
+        with pytest.raises(ProtectionError):
+            kernel.access(process, mapping.vaddr)
+
+    def test_unmap_spares_other_mappings(self, env):
+        kernel, rm = env
+        a = kernel.pmfs.create("/a", size=1 * MIB)
+        b = kernel.pmfs.create("/b", size=1 * MIB)
+        process = kernel.spawn("p")
+        map_a = rm.map_file(process, a)
+        map_b = rm.map_file(process, b)
+        rm.unmap(map_a)
+        kernel.access(process, map_b.vaddr)  # still fine
+
+
+class TestRawExtents:
+    def test_map_extent(self, env):
+        kernel, rm = env
+        extent = kernel.nvm_allocator.alloc_extent(256)
+        process = kernel.spawn("p")
+        mapping = rm.map_extent(process, extent.pfn * PAGE_SIZE, 256 * PAGE_SIZE)
+        paddr = kernel.access(process, mapping.vaddr + PAGE_SIZE)
+        assert paddr == (extent.pfn + 1) * PAGE_SIZE
+
+    def test_bad_length_rejected(self, env):
+        kernel, rm = env
+        with pytest.raises(MappingError):
+            rm.map_extent(kernel.spawn("p"), 0, 100)
+
+    def test_table_provider_wired_once(self, env):
+        kernel, rm = env
+        process = kernel.spawn("p")
+        table1 = rm.table_for(process.space)
+        table2 = rm.table_for(process.space)
+        assert table1 is table2
+        assert process.space.range_provider is not None

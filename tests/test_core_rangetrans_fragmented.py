@@ -1,0 +1,88 @@
+"""Range translations over fragmented files: one RTE per extent, exactly."""
+
+import pytest
+
+from repro.core.rangetrans import RangeMemory
+from repro.units import GIB, MIB, PAGE_SIZE
+
+
+@pytest.fixture
+def env(range_kernel):
+    return range_kernel, RangeMemory(range_kernel)
+
+
+def make_fragmented_file(kernel, pieces=4, piece_pages=64):
+    """A file whose extents are deliberately discontiguous."""
+    fs = kernel.pmfs
+    saved = fs.extent_align_frames
+    fs.extent_align_frames = 1
+    try:
+        inode = fs.create("/frag")
+        spacers = []
+        for index in range(pieces):
+            fs.truncate(inode, (index + 1) * piece_pages * PAGE_SIZE)
+            # Burn a block so the next extent cannot merge.
+            spacers.append(kernel.nvm_allocator.alloc_extent(1))
+        return inode, fs.extent_count(inode)
+    finally:
+        fs.extent_align_frames = saved
+
+
+class TestFragmentedRanges:
+    def test_rte_count_equals_extent_count(self, env):
+        kernel, rm = env
+        inode, extents = make_fragmented_file(kernel)
+        assert extents > 1  # the setup really fragmented it
+        mapping = rm.map_file(kernel.spawn("p"), inode)
+        assert mapping.entry_count == extents
+
+    def test_every_extent_translates_correctly(self, env):
+        kernel, rm = env
+        inode, _ = make_fragmented_file(kernel, pieces=3, piece_pages=32)
+        process = kernel.spawn("p")
+        mapping = rm.map_file(process, inode)
+        tree = kernel.pmfs._tree_of(inode)
+        for logical in (0, 40, 70, 95):
+            paddr = kernel.access(
+                process, mapping.vaddr + logical * PAGE_SIZE
+            )
+            pfn, _ = tree.lookup(logical)
+            assert paddr == pfn * PAGE_SIZE
+
+    def test_boundary_pages_between_extents(self, env):
+        kernel, rm = env
+        inode, _ = make_fragmented_file(kernel, pieces=2, piece_pages=16)
+        process = kernel.spawn("p")
+        mapping = rm.map_file(process, inode)
+        tree = kernel.pmfs._tree_of(inode)
+        last_of_first = kernel.access(
+            process, mapping.vaddr + 15 * PAGE_SIZE + PAGE_SIZE - 1
+        )
+        first_of_second = kernel.access(
+            process, mapping.vaddr + 16 * PAGE_SIZE
+        )
+        assert last_of_first == tree.lookup(15)[0] * PAGE_SIZE + PAGE_SIZE - 1
+        assert first_of_second == tree.lookup(16)[0] * PAGE_SIZE
+        # The two sides live in different physical extents.
+        assert abs(first_of_second - last_of_first) != 1
+
+    def test_unmap_removes_every_rte(self, env):
+        kernel, rm = env
+        inode, extents = make_fragmented_file(kernel)
+        process = kernel.spawn("p")
+        mapping = rm.map_file(process, inode)
+        kernel.access(process, mapping.vaddr)
+        with kernel.measure() as m:
+            rm.unmap(mapping)
+        assert m.counter_delta.get("rte_remove") == extents
+        assert rm.table_for(process.space).entry_count == 0
+
+    def test_fragmented_still_beats_paging(self, env):
+        kernel, rm = env
+        inode, extents = make_fragmented_file(kernel, pieces=6, piece_pages=128)
+        process = kernel.spawn("p")
+        with kernel.measure() as m:
+            rm.map_file(process, inode)
+        # 6 RTE writes instead of 768 PTE writes.
+        assert m.counter_delta.get("rte_write") == extents
+        assert m.counter_delta.get("pte_write") is None

@@ -1,0 +1,29 @@
+"""Run the library's docstring examples as tests."""
+
+import doctest
+
+import pytest
+
+import repro.fs.extent
+import repro.hw.clock
+import repro.hw.costmodel
+import repro.hw.tlb
+import repro.mem.physical
+import repro.paging.hugepages
+import repro.units
+
+MODULES = [
+    repro.fs.extent,
+    repro.hw.clock,
+    repro.hw.costmodel,
+    repro.hw.tlb,
+    repro.mem.physical,
+    repro.paging.hugepages,
+    repro.units,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"

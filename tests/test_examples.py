@@ -1,0 +1,34 @@
+"""Every example must run cleanly — the docs' code never rots."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must print their findings"
+
+
+def test_expected_example_set():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "fom_database_heap",
+        "pbm_shared_cache",
+        "range_translation_bigdata",
+        "crash_recovery",
+        "userfault_swapper",
+    } <= names

@@ -1,0 +1,112 @@
+"""Extent trees: insert, merge, lookup, runs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FileSystemError
+from repro.fs.extent import Extent, ExtentTree
+
+
+class TestExtent:
+    def test_geometry(self):
+        extent = Extent(logical=4, pfn=100, count=8)
+        assert extent.logical_end == 12
+        assert extent.covers(4) and extent.covers(11)
+        assert not extent.covers(12)
+
+    def test_pfn_of(self):
+        extent = Extent(logical=4, pfn=100, count=8)
+        assert extent.pfn_of(6) == 102
+
+    def test_abuts(self):
+        a = Extent(0, 100, 4)
+        assert a.abuts(Extent(4, 104, 2))
+        assert not a.abuts(Extent(4, 200, 2))  # physically discontiguous
+        assert not a.abuts(Extent(5, 104, 2))  # logical gap
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            Extent(0, 0, 0)
+        with pytest.raises(ValueError):
+            Extent(-1, 0, 1)
+
+
+class TestExtentTree:
+    def test_insert_lookup(self):
+        tree = ExtentTree()
+        tree.insert(Extent(0, 50, 4))
+        tree.insert(Extent(8, 100, 4))
+        assert tree.lookup(1) == (51, 3)
+        assert tree.lookup(8) == (100, 4)
+        assert tree.lookup(4) is None  # hole
+        assert tree.lookup(100) is None
+
+    def test_run_remaining_counts_to_extent_end(self):
+        tree = ExtentTree()
+        tree.insert(Extent(0, 10, 8))
+        pfn, remaining = tree.lookup(5)
+        assert pfn == 15 and remaining == 3
+
+    def test_contiguous_inserts_merge(self):
+        tree = ExtentTree()
+        tree.insert(Extent(0, 100, 4))
+        tree.insert(Extent(4, 104, 4))
+        assert tree.extent_count == 1
+        assert tree.lookup(7) == (107, 1)
+
+    def test_forward_merge(self):
+        tree = ExtentTree()
+        tree.insert(Extent(4, 104, 4))
+        tree.insert(Extent(0, 100, 4))
+        assert tree.extent_count == 1
+
+    def test_bridge_merge_collapses_three(self):
+        tree = ExtentTree()
+        tree.insert(Extent(0, 100, 2))
+        tree.insert(Extent(4, 104, 2))
+        tree.insert(Extent(2, 102, 2))
+        assert tree.extent_count == 1
+        assert tree.block_count == 6
+
+    def test_overlap_rejected(self):
+        tree = ExtentTree()
+        tree.insert(Extent(0, 100, 4))
+        with pytest.raises(FileSystemError):
+            tree.insert(Extent(2, 200, 4))
+        with pytest.raises(FileSystemError):
+            tree.insert(Extent(3, 50, 1))
+
+    def test_runs_cover_request(self):
+        tree = ExtentTree()
+        tree.insert(Extent(0, 100, 4))
+        tree.insert(Extent(4, 300, 4))
+        runs = list(tree.runs(2, 4))
+        assert runs == [(2, 102, 2), (4, 300, 2)]
+
+    def test_runs_raise_on_hole(self):
+        tree = ExtentTree()
+        tree.insert(Extent(0, 100, 2))
+        with pytest.raises(FileSystemError, match="hole"):
+            list(tree.runs(0, 4))
+
+    def test_remove_all(self):
+        tree = ExtentTree()
+        tree.insert(Extent(0, 100, 4))
+        extents = tree.remove_all()
+        assert len(extents) == 1
+        assert tree.extent_count == 0 and tree.block_count == 0
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=40, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_single_blocks_lookup_roundtrip(self, blocks):
+        """Arbitrary single-block inserts: every inserted block resolves to
+        its own frame; uninserted blocks resolve to None."""
+        tree = ExtentTree()
+        for block in blocks:
+            tree.insert(Extent(logical=block, pfn=1000 + 2 * block, count=1))
+        for block in range(64):
+            found = tree.lookup(block)
+            if block in blocks:
+                assert found is not None and found[0] == 1000 + 2 * block
+            else:
+                assert found is None

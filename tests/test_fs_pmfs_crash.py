@@ -1,0 +1,103 @@
+"""PMFS crash consistency: journal undo/redo under injected failures."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import SimulatedCrashError
+from repro.kernel import Kernel, MachineConfig
+from repro.units import GIB, KIB, MIB, PAGE_SIZE
+
+
+@pytest.fixture
+def fs(kernel):
+    return kernel.pmfs
+
+
+class TestFsck:
+    def test_clean_fs_passes(self, fs):
+        fs.create("/a", size=1 * MIB)
+        fs.create("/b", size=64 * KIB)
+        assert fs.fsck() == []
+
+    def test_after_unlink_passes(self, fs):
+        fs.create("/a", size=1 * MIB)
+        fs.unlink("/a")
+        assert fs.fsck() == []
+
+    def test_detects_leaked_block(self, fs):
+        fs.create("/a", size=4 * KIB)
+        # Leak: allocate a block no file owns.
+        fs.allocator.alloc_extent(1)
+        problems = fs.fsck()
+        assert any("owned by no file" in p for p in problems)
+
+
+class TestInjectedCrashes:
+    def test_crash_before_commit_is_undone(self, fs, kernel):
+        free_before = fs.allocator.free_blocks
+        fs.schedule_crash(0)  # first tick: after the first extent alloc
+        with pytest.raises(SimulatedCrashError):
+            fs.create("/doomed", size=1 * MIB)
+        kernel.crash()
+        # The allocation rolled back: no leak, fsck clean.
+        assert fs.allocator.free_blocks == free_before
+        assert fs.fsck() == []
+
+    def test_crash_after_commit_is_redone(self, fs, kernel):
+        fs.create("/pre", size=4 * KIB)  # something in the trees
+        inode = fs.lookup("/pre")
+        fs.schedule_crash(2)  # after alloc tick + commit's first tick
+        with pytest.raises(SimulatedCrashError):
+            fs.truncate(inode, 1 * MIB)
+        kernel.crash()
+        assert fs.fsck() == []
+        # Either fully rolled back or fully applied, never in-between:
+        assert inode.page_count * PAGE_SIZE in (4 * KIB, 4 * KIB)
+        tree_blocks = fs._tree_of(inode).block_count
+        assert tree_blocks in (1, 256)
+
+    def test_crash_during_free_keeps_consistency(self, fs, kernel):
+        fs.create("/gone", size=1 * MIB)
+        fs.schedule_crash(0)
+        with pytest.raises(SimulatedCrashError):
+            fs.unlink("/gone")
+        kernel.crash()
+        assert fs.fsck() == []
+
+    def test_schedule_validation(self, fs):
+        with pytest.raises(ValueError):
+            fs.schedule_crash(-1)
+
+    @given(
+        crash_tick=st.integers(0, 12),
+        sizes=st.lists(st.integers(1, 64), min_size=1, max_size=5),
+    )
+    @settings(
+        max_examples=40, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_any_crash_point_recovers_consistent(self, crash_tick, sizes):
+        """Property: crash at *any* journal tick during a random op mix,
+        and post-recovery fsck is clean with no leaked blocks."""
+        kernel = Kernel(MachineConfig(dram_bytes=128 * MIB, nvm_bytes=256 * MIB))
+        fs = kernel.pmfs
+        for index, pages in enumerate(sizes[:-1]):
+            fs.create(f"/warm{index}", size=pages * PAGE_SIZE)
+        fs.schedule_crash(crash_tick)
+        try:
+            fs.create("/victim", size=sizes[-1] * PAGE_SIZE)
+            inode = fs.lookup("/victim")
+            fs.truncate(inode, (sizes[-1] + 8) * PAGE_SIZE)
+            fs.unlink("/victim")
+            if len(sizes) > 1:
+                fs.unlink("/warm0")
+        except SimulatedCrashError:
+            pass
+        kernel.crash()
+        assert fs.fsck() == []
+        # Bitmap accounting matches the trees exactly.
+        tree_blocks = sum(
+            tree.block_count for tree in fs._trees.values()
+        )
+        used = fs.allocator.total_blocks - fs.allocator.free_blocks
+        assert tree_blocks == used

@@ -1,0 +1,67 @@
+"""tmpfs: page-cache behaviour, per-page costs, volatility."""
+
+import pytest
+
+from repro.units import KIB, PAGE_SIZE
+
+
+@pytest.fixture
+def fs(kernel):
+    return kernel.tmpfs
+
+
+class TestPageCache:
+    def test_create_preallocates_pages(self, fs):
+        inode = fs.create("/f", size=16 * KIB)
+        assert fs.cached_pages(inode) == 4
+
+    def test_per_page_lookup_cost(self, fs, kernel):
+        inode = fs.create("/f", size=64 * KIB)
+        before = kernel.counters.get("pagecache_lookup")
+        backing = fs.backing_for(inode)
+        list(backing.frame_runs(0, 16))
+        assert kernel.counters.get("pagecache_lookup") - before == 16
+
+    def test_frame_runs_are_single_pages(self, fs):
+        inode = fs.create("/f", size=64 * KIB)
+        runs = list(fs.backing_for(inode).frame_runs(0, 16))
+        assert len(runs) == 16
+        assert all(count == 1 for _, _, count in runs)
+
+    def test_hole_fill_allocates_on_demand(self, fs, kernel):
+        inode = fs.create("/f")  # size 0: no pages
+        backing = fs.backing_for(inode)
+        before = kernel.counters.get("pagecache_alloc")
+        backing.frame_for(5, write=True)
+        assert kernel.counters.get("pagecache_alloc") - before == 1
+
+    def test_frames_are_stable(self, fs):
+        inode = fs.create("/f", size=8 * KIB)
+        backing = fs.backing_for(inode)
+        assert backing.frame_for(1, False) == backing.frame_for(1, True)
+
+    def test_shrink_frees_tail_pages(self, fs, kernel):
+        inode = fs.create("/f", size=16 * KIB)
+        free_before = kernel.dram_buddy.free_frames
+        fs.truncate(inode, 4 * KIB)
+        assert kernel.dram_buddy.free_frames == free_before + 3
+        assert fs.cached_pages(inode) == 1
+
+    def test_unlink_frees_all_frames(self, fs, kernel):
+        fs.create("/f", size=16 * KIB)
+        free_before = kernel.dram_buddy.free_frames
+        fs.unlink("/f")
+        assert kernel.dram_buddy.free_frames == free_before + 4
+
+
+class TestVolatility:
+    def test_not_persistent(self, fs):
+        assert not fs.persistent
+
+    def test_crash_loses_everything(self, fs, kernel):
+        fs.create("/precious", size=16 * KIB)
+        free_before = kernel.dram_buddy.free_frames
+        fs.crash()
+        assert not fs.exists("/precious")
+        assert fs.file_count() == 0
+        assert kernel.dram_buddy.free_frames == free_before + 4

@@ -1,0 +1,57 @@
+"""Utilization model: the Agrawal-study fleet shape."""
+
+import pytest
+
+from repro.fs.utilization import UtilizationModel
+from repro.units import GIB
+
+
+class TestMachineLifecycle:
+    def test_utilization_in_unit_interval(self):
+        model = UtilizationModel(seed=1)
+        for epochs in (0, 10, 50, 100):
+            utilization = model.machine_utilization(epochs)
+            assert 0.0 <= utilization <= 1.0
+
+    def test_deterministic_given_seed(self):
+        a = UtilizationModel(seed=7).sample_fleet(50)
+        b = UtilizationModel(seed=7).sample_fleet(50)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = UtilizationModel(seed=1).sample_fleet(50)
+        b = UtilizationModel(seed=2).sample_fleet(50)
+        assert a != b
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            UtilizationModel(replace_threshold=0.0)
+        with pytest.raises(ValueError):
+            UtilizationModel(growth_factor=1.0)
+        with pytest.raises(ValueError):
+            UtilizationModel().sample_fleet(0)
+
+
+class TestFleetStats:
+    def test_paper_band_mean_below_55_percent(self):
+        # §2 / Agrawal: "mean and median file system utilization was below
+        # 50%"; our replacement-lifecycle model must land in that regime.
+        stats = UtilizationModel(seed=2017).fleet_stats(machines=500)
+        assert 0.20 <= stats.mean_utilization <= 0.55
+        assert 0.20 <= stats.median_utilization <= 0.60
+
+    def test_excess_capacity_positive_and_consistent(self):
+        stats = UtilizationModel(seed=3).fleet_stats(
+            machines=100, capacity_bytes=6 * 1024 * GIB
+        )
+        assert stats.excess_capacity_bytes > 0
+        assert (
+            stats.total_used_bytes + stats.excess_capacity_bytes
+            == stats.total_capacity_bytes
+        )
+
+    def test_median_computed_for_even_and_odd(self):
+        even = UtilizationModel(seed=4).fleet_stats(machines=10)
+        odd = UtilizationModel(seed=4).fleet_stats(machines=11)
+        assert 0.0 <= even.median_utilization <= 1.0
+        assert 0.0 <= odd.median_utilization <= 1.0

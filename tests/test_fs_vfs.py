@@ -1,0 +1,165 @@
+"""VFS: paths, directories, handles, read/write semantics."""
+
+import pytest
+
+from repro.errors import (
+    BadFileDescriptorError,
+    FileExistsError_,
+    FileNotFoundError_,
+    FileSystemError,
+)
+from repro.units import KIB, PAGE_SIZE
+
+
+@pytest.fixture
+def fs(kernel):
+    return kernel.tmpfs
+
+
+class TestPaths:
+    def test_create_and_lookup(self, fs):
+        inode = fs.create("/a", size=4 * KIB)
+        assert fs.lookup("/a") is inode
+        assert fs.exists("/a")
+
+    def test_nested_directories(self, fs):
+        fs.mkdir("/d")
+        fs.mkdir("/d/e")
+        inode = fs.create("/d/e/f")
+        assert fs.lookup("/d/e/f") is inode
+
+    def test_missing_path_raises(self, fs):
+        with pytest.raises(FileNotFoundError_):
+            fs.lookup("/nope")
+        with pytest.raises(FileNotFoundError_):
+            fs.create("/no/such/dir")
+
+    def test_duplicate_create_rejected(self, fs):
+        fs.create("/a")
+        with pytest.raises(FileExistsError_):
+            fs.create("/a")
+
+    def test_relative_path_rejected(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.lookup("a")
+
+    def test_path_walk_charges_per_component(self, fs, kernel):
+        fs.mkdir("/x")
+        fs.mkdir("/x/y")
+        fs.create("/x/y/z")
+        shallow_cost = kernel.measure()
+        with shallow_cost:
+            fs.lookup("/x")
+        deep_cost = kernel.measure()
+        with deep_cost:
+            fs.lookup("/x/y/z")
+        assert deep_cost.elapsed_ns > shallow_cost.elapsed_ns
+
+    def test_unlink_removes(self, fs):
+        fs.create("/gone", size=PAGE_SIZE)
+        fs.unlink("/gone")
+        assert not fs.exists("/gone")
+
+    def test_unlink_missing_raises(self, fs):
+        with pytest.raises(FileNotFoundError_):
+            fs.unlink("/absent")
+
+    def test_unlink_nonempty_dir_rejected(self, fs):
+        fs.mkdir("/d")
+        fs.create("/d/f")
+        with pytest.raises(FileSystemError, match="not empty"):
+            fs.unlink("/d")
+
+    def test_iter_files(self, fs):
+        fs.create("/a")
+        fs.mkdir("/d")
+        fs.create("/d/b")
+        paths = sorted(path for path, _ in fs.iter_files())
+        assert paths == ["/a", "/d/b"]
+
+    def test_file_count_and_used_bytes(self, fs):
+        fs.create("/a", size=8 * KIB)
+        fs.create("/b", size=1)
+        assert fs.file_count() == 2
+        assert fs.used_bytes() == 8 * KIB + PAGE_SIZE
+
+
+class TestHandles:
+    def test_open_missing_without_create_raises(self, fs):
+        with pytest.raises(FileNotFoundError_):
+            fs.open("/missing")
+
+    def test_open_create(self, fs):
+        handle = fs.open("/new", create=True, size=4 * KIB)
+        assert handle.inode.size == 4 * KIB
+        assert handle.inode.refcount == 1
+        handle.close()
+        assert handle.inode.refcount == 0
+
+    def test_open_directory_rejected(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(FileSystemError):
+            fs.open("/d")
+
+    def test_closed_handle_rejected(self, fs):
+        handle = fs.open("/f", create=True)
+        handle.close()
+        with pytest.raises(BadFileDescriptorError):
+            handle.read(1)
+
+    def test_context_manager_closes(self, fs):
+        with fs.open("/cm", create=True) as handle:
+            inode = handle.inode
+        assert inode.refcount == 0
+
+
+class TestReadWrite:
+    def test_write_then_read_roundtrip(self, fs):
+        with fs.open("/data", create=True) as handle:
+            handle.write(b"hello world")
+            handle.seek(0)
+            assert handle.read(11) == b"hello world"
+
+    def test_read_past_eof_short(self, fs):
+        with fs.open("/short", create=True) as handle:
+            handle.write(b"abc")
+            handle.seek(0)
+            assert handle.read(100) == b"abc"
+            assert handle.read(1) == b""
+
+    def test_pread_pwrite_do_not_move_offset(self, fs):
+        with fs.open("/pp", create=True) as handle:
+            handle.pwrite(10, b"xy")
+            assert handle.pos == 0
+            assert handle.pread(10, 2) == b"xy"
+
+    def test_sparse_read_returns_zeros(self, fs):
+        with fs.open("/sparse", create=True, size=2 * PAGE_SIZE) as handle:
+            handle.pwrite(PAGE_SIZE, b"z")
+            data = handle.pread(PAGE_SIZE - 2, 4)
+            assert data == b"\x00\x00z\x00"
+
+    def test_write_extends_file_and_storage(self, fs):
+        with fs.open("/grow", create=True) as handle:
+            handle.pwrite(3 * PAGE_SIZE, b"end")
+            assert handle.inode.size == 3 * PAGE_SIZE + 3
+            assert handle.inode.page_count == 4
+
+    def test_cross_page_write(self, fs):
+        with fs.open("/cross", create=True) as handle:
+            payload = bytes(range(256)) * 20  # 5120 bytes, crosses a page
+            handle.pwrite(PAGE_SIZE - 100, payload)
+            assert handle.pread(PAGE_SIZE - 100, len(payload)) == payload
+
+    def test_copy_costs_charged(self, fs, kernel):
+        with fs.open("/cost", create=True, size=64 * KIB) as handle:
+            with kernel.measure() as small:
+                handle.pread(0, 1 * KIB)
+            with kernel.measure() as big:
+                handle.pread(0, 64 * KIB)
+        assert big.elapsed_ns > small.elapsed_ns
+
+    def test_negative_seek_rejected(self, fs):
+        with fs.open("/seek", create=True) as handle:
+            with pytest.raises(FileSystemError):
+                handle.seek(-1)

@@ -1,0 +1,62 @@
+"""VFS extras: makedirs, deep nesting, FOM path plumbing."""
+
+import pytest
+
+from repro.core.fom import FileOnlyMemory
+from repro.errors import FileSystemError
+from repro.units import KIB, MIB
+
+
+class TestMakedirs:
+    def test_creates_chain(self, kernel):
+        fs = kernel.tmpfs
+        fs.makedirs("/a/b/c")
+        assert fs.lookup("/a/b/c").kind.value == "dir"
+        fs.create("/a/b/c/file")
+
+    def test_idempotent(self, kernel):
+        fs = kernel.tmpfs
+        fs.makedirs("/x/y")
+        fs.makedirs("/x/y")  # no error
+        fs.makedirs("/x/y/z")
+
+    def test_file_in_the_way_rejected(self, kernel):
+        fs = kernel.tmpfs
+        fs.create("/blocker")
+        with pytest.raises(FileSystemError):
+            fs.makedirs("/blocker/child")
+
+    def test_deep_nesting_iterates(self, kernel):
+        fs = kernel.pmfs
+        fs.makedirs("/one/two/three")
+        fs.create("/one/two/three/deep", size=4 * KIB)
+        fs.create("/shallow", size=4 * KIB)
+        paths = {path for path, _ in fs.iter_files()}
+        assert paths == {"/one/two/three/deep", "/shallow"}
+
+
+class TestFomPaths:
+    def test_named_region_nested_path_autocreated(self, aligned_kernel):
+        fom = FileOnlyMemory(aligned_kernel)
+        process = aligned_kernel.spawn("p")
+        region = fom.allocate(
+            process, 1 * MIB, name="/svc/db/segment0", persistent=True
+        )
+        assert fom.fs.exists("/svc/db/segment0")
+        fom.release(region)
+        assert fom.fs.exists("/svc/db/segment0")  # persistent survives
+
+    def test_guard_gap_between_regions(self, aligned_kernel):
+        fom = FileOnlyMemory(aligned_kernel)
+        process = aligned_kernel.spawn("p")
+        a = fom.allocate(process, 2 * MIB)
+        b = fom.allocate(process, 2 * MIB)
+        gap = b.vaddr - (a.vaddr + a.length)
+        assert gap >= fom.guard_gap_bytes
+
+    def test_guard_gap_configurable(self, aligned_kernel):
+        fom = FileOnlyMemory(aligned_kernel, guard_gap_bytes=8 * MIB)
+        process = aligned_kernel.spawn("p")
+        a = fom.allocate(process, 2 * MIB)
+        b = fom.allocate(process, 2 * MIB)
+        assert b.vaddr - (a.vaddr + a.length) >= 8 * MIB

@@ -1,0 +1,61 @@
+"""CostModel parameters and derivations."""
+
+import pytest
+
+from repro.hw.costmodel import CostModel, MemoryTechnology
+from repro.units import PAGE_SIZE
+
+
+class TestCostModel:
+    def test_nvm_slower_than_dram(self):
+        costs = CostModel()
+        assert costs.nvm_read_ns > costs.dram_read_ns
+        assert costs.nvm_write_ns > costs.nvm_read_ns
+
+    def test_read_write_dispatch_by_technology(self):
+        costs = CostModel()
+        assert costs.read_ns(MemoryTechnology.DRAM) == costs.dram_read_ns
+        assert costs.read_ns(MemoryTechnology.NVM) == costs.nvm_read_ns
+        assert costs.write_ns(MemoryTechnology.DRAM) == costs.dram_write_ns
+        assert costs.write_ns(MemoryTechnology.NVM) == costs.nvm_write_ns
+
+    def test_zero_page_cost_linear_in_size(self):
+        costs = CostModel()
+        assert costs.zero_page_ns(2 * PAGE_SIZE) == 2 * costs.zero_page_ns(PAGE_SIZE)
+
+    def test_zero_page_cost_counts_lines(self):
+        costs = CostModel()
+        assert costs.zero_page_ns(PAGE_SIZE) == costs.zero_line_ns * (PAGE_SIZE // 64)
+
+    def test_with_overrides_replaces_only_named(self):
+        base = CostModel()
+        derived = base.with_overrides(nvm_read_ns=123)
+        assert derived.nvm_read_ns == 123
+        assert derived.dram_read_ns == base.dram_read_ns
+
+    def test_with_overrides_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown cost parameters"):
+            CostModel().with_overrides(warp_drive_ns=1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CostModel().dram_read_ns = 1  # type: ignore[misc]
+
+    def test_as_dict_roundtrip(self):
+        costs = CostModel()
+        data = costs.as_dict()
+        assert data["dram_read_ns"] == costs.dram_read_ns
+        assert len(data) > 30  # the model is deliberately detailed
+
+    def test_mmap_calibration_anchor(self):
+        # DESIGN.md anchors: demand mmap on tmpfs ~8 us.  The constant
+        # parts must sum near that (syscall + lock + base + vma).
+        costs = CostModel()
+        constant = (
+            costs.syscall_entry_ns
+            + costs.syscall_exit_ns
+            + costs.mmap_lock_ns
+            + costs.mmap_base_ns
+            + costs.vma_insert_ns
+        )
+        assert 6_000 <= constant <= 10_000

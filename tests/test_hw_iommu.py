@@ -1,0 +1,93 @@
+"""IOMMU/DMA pinning: pinned vs implicit (file-only) device access."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.hw.iommu import IOMMU_ENTRY_NS, PIN_PAGE_NS, PRI_FAULT_NS, Iommu
+from repro.mem.frame_meta import PageFlags
+from repro.units import MIB, PAGE_SIZE
+
+
+@pytest.fixture
+def iommu(kernel):
+    return Iommu(kernel.clock, kernel.costs, kernel.counters, kernel.frame_table)
+
+
+class TestPinnedPath:
+    def test_pin_cost_linear_in_pages(self, kernel, iommu):
+        with kernel.measure() as small:
+            region = iommu.map_pinned([(0, 4 * PAGE_SIZE)])
+        iommu.unmap_pinned(region)
+        with kernel.measure() as big:
+            region = iommu.map_pinned([(0, 64 * PAGE_SIZE)])
+        assert big.elapsed_ns > 10 * small.elapsed_ns
+
+    def test_pin_marks_frames_mlocked(self, kernel, iommu):
+        region = iommu.map_pinned([(0, 2 * PAGE_SIZE)])
+        assert kernel.frame_table.peek(0).has_flag(PageFlags.MLOCKED)
+        iommu.unmap_pinned(region)
+        assert not kernel.frame_table.peek(0).has_flag(PageFlags.MLOCKED)
+
+    def test_unpin_linear_too(self, kernel, iommu):
+        region = iommu.map_pinned([(0, 32 * PAGE_SIZE)])
+        with kernel.measure() as m:
+            iommu.unmap_pinned(region)
+        assert m.elapsed_ns >= 32 * (PIN_PAGE_NS + IOMMU_ENTRY_NS)
+
+    def test_unaligned_run_rejected(self, iommu):
+        with pytest.raises(MappingError):
+            iommu.map_pinned([(100, PAGE_SIZE)])
+        with pytest.raises(MappingError):
+            iommu.map_pinned([(0, 100)])
+
+
+class TestImplicitPath:
+    def test_implicit_cost_per_extent(self, kernel, iommu):
+        with kernel.measure() as small:
+            a = iommu.map_implicit([(0, 4 * PAGE_SIZE)])
+        with kernel.measure() as big:
+            b = iommu.map_implicit([(16 * MIB, 16 * MIB)])
+        assert small.elapsed_ns == big.elapsed_ns == IOMMU_ENTRY_NS
+
+    def test_implicit_no_frame_metadata(self, kernel, iommu):
+        with kernel.measure() as m:
+            iommu.map_implicit([(0, 64 * PAGE_SIZE)])
+        assert m.counter_delta.get("frame_meta_touch") is None
+        assert m.counter_delta.get("dma_extent_mapped") == 1
+
+    def test_unmap_implicit_per_extent(self, kernel, iommu):
+        region = iommu.map_implicit([(0, MIB), (2 * MIB, MIB)])
+        with kernel.measure() as m:
+            iommu.unmap_implicit(region)
+        assert m.counter_delta.get("dma_extent_unmapped") == 2
+
+    def test_wrong_unmap_kind_rejected(self, iommu):
+        region = iommu.map_pinned([(0, PAGE_SIZE)])
+        with pytest.raises(MappingError):
+            iommu.unmap_implicit(region)
+
+
+class TestFaultsAndTransfers:
+    def test_pri_fault_penalty(self, kernel, iommu):
+        with kernel.measure() as m:
+            iommu.device_fault()
+        assert m.elapsed_ns == PRI_FAULT_NS
+        assert kernel.counters.get("iommu_pri_fault") == 1
+
+    def test_transfer_bounds_checked(self, iommu):
+        region = iommu.map_implicit([(0, PAGE_SIZE)])
+        iommu.transfer(region, PAGE_SIZE)
+        with pytest.raises(MappingError):
+            iommu.transfer(region, 2 * PAGE_SIZE)
+        with pytest.raises(MappingError):
+            iommu.transfer(region, 0)
+
+    def test_region_accounting(self, iommu):
+        a = iommu.map_implicit([(0, PAGE_SIZE)])
+        b = iommu.map_pinned([(MIB, PAGE_SIZE)])
+        assert iommu.mapped_regions == 2
+        iommu.unmap_implicit(a)
+        iommu.unmap_pinned(b)
+        assert iommu.mapped_regions == 0
+        with pytest.raises(MappingError):
+            iommu.unmap_implicit(a)

@@ -1,0 +1,85 @@
+"""Range TLB: arbitrary-length entries, LRU, shootdown."""
+
+import pytest
+
+from repro.hw.rtlb import RangeEntry, RangeTlb
+from repro.units import GIB, MIB
+
+
+def rentry(base, limit, offset=0, writable=True, asid=0):
+    return RangeEntry(base=base, limit=limit, offset=offset, writable=writable, asid=asid)
+
+
+class TestRangeEntry:
+    def test_covers_boundaries(self):
+        e = rentry(0x1000, 0x2000)
+        assert e.covers(0x1000)
+        assert e.covers(0x2FFF)
+        assert not e.covers(0x3000)
+        assert not e.covers(0xFFF)
+
+    def test_translate_applies_offset(self):
+        e = rentry(0x1000, 0x1000, offset=0x9000)
+        assert e.translate(0x1234) == 0xA234
+
+    def test_negative_offset(self):
+        e = rentry(0x10000, 0x1000, offset=-0x8000)
+        assert e.translate(0x10010) == 0x8010
+
+
+class TestRangeTlb:
+    def test_single_entry_covers_gigabyte(self):
+        # The headline property: one entry, arbitrarily large reach.
+        rtlb = RangeTlb(capacity=4)
+        rtlb.insert(rentry(0, 1 * GIB))
+        assert rtlb.lookup(512 * MIB) is not None
+        assert rtlb.resident_count() == 1
+
+    def test_miss_outside(self):
+        rtlb = RangeTlb()
+        rtlb.insert(rentry(0, MIB))
+        assert rtlb.lookup(2 * MIB) is None
+
+    def test_asid_isolation(self):
+        rtlb = RangeTlb()
+        rtlb.insert(rentry(0, MIB, asid=1))
+        assert rtlb.lookup(0, asid=2) is None
+
+    def test_lru_eviction_at_capacity(self):
+        rtlb = RangeTlb(capacity=2)
+        a, b, c = rentry(0, MIB), rentry(2 * MIB, MIB), rentry(4 * MIB, MIB)
+        rtlb.insert(a)
+        rtlb.insert(b)
+        rtlb.lookup(0)  # refresh a
+        evicted = rtlb.insert(c)
+        assert evicted == b
+        assert rtlb.lookup(0) is not None
+
+    def test_invalidate_overlap_shootdown(self):
+        rtlb = RangeTlb()
+        rtlb.insert(rentry(0, MIB))
+        rtlb.insert(rentry(MIB, MIB))
+        # Unmapping [0.5 MiB, 1.5 MiB) must shoot down both.
+        assert rtlb.invalidate_overlap(MIB // 2, MIB) == 2
+        assert rtlb.resident_count() == 0
+
+    def test_invalidate_overlap_ignores_disjoint(self):
+        rtlb = RangeTlb()
+        rtlb.insert(rentry(0, MIB))
+        assert rtlb.invalidate_overlap(2 * MIB, MIB) == 0
+        assert rtlb.resident_count() == 1
+
+    def test_flush_asid_and_all(self):
+        rtlb = RangeTlb()
+        rtlb.insert(rentry(0, MIB, asid=1))
+        rtlb.insert(rentry(0, MIB, asid=2))
+        assert rtlb.flush_asid(1) == 1
+        assert rtlb.flush_all() == 1
+
+    def test_zero_limit_rejected(self):
+        with pytest.raises(ValueError):
+            RangeTlb().insert(rentry(0, 0))
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RangeTlb(capacity=0)

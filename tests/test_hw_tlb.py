@@ -1,0 +1,132 @@
+"""Page TLB: multi-size arrays, LRU sets, ASIDs, invalidation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.tlb import Tlb, TlbEntry
+from repro.units import HUGE_PAGE_1G, HUGE_PAGE_2M, PAGE_SIZE
+
+
+def entry(vpn, pfn=1, size=PAGE_SIZE, writable=True, asid=0):
+    return TlbEntry(vpn=vpn, pfn=pfn, page_size=size, writable=writable, asid=asid)
+
+
+class TestLookupInsert:
+    def test_miss_on_empty(self):
+        assert Tlb().lookup(0x1000) is None
+
+    def test_hit_after_insert(self):
+        tlb = Tlb()
+        tlb.insert(entry(vpn=3, pfn=7))
+        hit = tlb.lookup(3 * PAGE_SIZE + 123)
+        assert hit is not None and hit.pfn == 7
+
+    def test_entry_addresses(self):
+        e = entry(vpn=3, pfn=7)
+        assert e.vaddr == 3 * PAGE_SIZE
+        assert e.paddr == 7 * PAGE_SIZE
+
+    def test_huge_page_hit_anywhere_in_page(self):
+        tlb = Tlb()
+        tlb.insert(entry(vpn=1, pfn=2, size=HUGE_PAGE_2M))
+        assert tlb.lookup(HUGE_PAGE_2M + 12345).pfn == 2
+
+    def test_gigabyte_page(self):
+        tlb = Tlb()
+        tlb.insert(entry(vpn=0, pfn=0, size=HUGE_PAGE_1G))
+        assert tlb.lookup(HUGE_PAGE_1G - 1) is not None
+
+    def test_unsupported_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            Tlb().insert(entry(vpn=0, size=8192))
+
+    def test_asid_isolation(self):
+        tlb = Tlb()
+        tlb.insert(entry(vpn=5, pfn=9, asid=1))
+        assert tlb.lookup(5 * PAGE_SIZE, asid=2) is None
+        assert tlb.lookup(5 * PAGE_SIZE, asid=1).pfn == 9
+
+
+class TestReplacement:
+    def test_set_overflow_evicts_lru(self):
+        tlb = Tlb(geometry={PAGE_SIZE: (1, 2)})  # one set, two ways
+        tlb.insert(entry(vpn=0, pfn=0))
+        tlb.insert(entry(vpn=1, pfn=1))
+        evicted = tlb.insert(entry(vpn=2, pfn=2))
+        assert evicted is not None and evicted.vpn == 0
+        assert tlb.lookup(0) is None
+        assert tlb.lookup(PAGE_SIZE) is not None
+
+    def test_lookup_refreshes_lru(self):
+        tlb = Tlb(geometry={PAGE_SIZE: (1, 2)})
+        tlb.insert(entry(vpn=0, pfn=0))
+        tlb.insert(entry(vpn=1, pfn=1))
+        tlb.lookup(0)  # make vpn=0 most recent
+        evicted = tlb.insert(entry(vpn=2, pfn=2))
+        assert evicted.vpn == 1
+
+    def test_capacity(self):
+        tlb = Tlb()
+        assert tlb.capacity(PAGE_SIZE) == 128 * 12
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Tlb(geometry={PAGE_SIZE: (0, 4)})
+
+
+class TestInvalidation:
+    def test_invalidate_single(self):
+        tlb = Tlb()
+        tlb.insert(entry(vpn=4))
+        assert tlb.invalidate(4 * PAGE_SIZE) == 1
+        assert tlb.lookup(4 * PAGE_SIZE) is None
+
+    def test_invalidate_miss_returns_zero(self):
+        assert Tlb().invalidate(0) == 0
+
+    def test_invalidate_range_overlap_semantics(self):
+        tlb = Tlb()
+        tlb.insert(entry(vpn=0, pfn=1, size=HUGE_PAGE_2M))
+        # Range covering any byte of the huge page must drop it.
+        assert tlb.invalidate_range(PAGE_SIZE, PAGE_SIZE) == 1
+
+    def test_invalidate_range_spares_outside(self):
+        tlb = Tlb()
+        tlb.insert(entry(vpn=0))
+        tlb.insert(entry(vpn=10))
+        dropped = tlb.invalidate_range(0, 5 * PAGE_SIZE)
+        assert dropped == 1
+        assert tlb.lookup(10 * PAGE_SIZE) is not None
+
+    def test_flush_asid_only(self):
+        tlb = Tlb()
+        tlb.insert(entry(vpn=1, asid=1))
+        tlb.insert(entry(vpn=1, asid=2))
+        assert tlb.flush_asid(1) == 1
+        assert tlb.lookup(PAGE_SIZE, asid=2) is not None
+
+    def test_flush_all(self):
+        tlb = Tlb()
+        tlb.insert(entry(vpn=1))
+        tlb.insert(entry(vpn=2, size=HUGE_PAGE_2M, pfn=3))
+        assert tlb.flush_all() == 2
+        assert tlb.resident_count() == 0
+
+
+class TestResidency:
+    def test_resident_count_by_size(self):
+        tlb = Tlb()
+        tlb.insert(entry(vpn=1))
+        tlb.insert(entry(vpn=2))
+        tlb.insert(entry(vpn=0, size=HUGE_PAGE_2M))
+        assert tlb.resident_count(PAGE_SIZE) == 2
+        assert tlb.resident_count(HUGE_PAGE_2M) == 1
+        assert tlb.resident_count() == 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=60))
+    def test_lookup_always_finds_most_recent_insert(self, vpns):
+        tlb = Tlb()
+        for vpn in vpns:
+            tlb.insert(entry(vpn=vpn, pfn=vpn + 1))
+            hit = tlb.lookup(vpn * PAGE_SIZE)
+            assert hit is not None and hit.pfn == vpn + 1

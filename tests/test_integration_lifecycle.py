@@ -1,0 +1,113 @@
+"""A day in the life: multi-process, pressure, crash, recovery.
+
+One long scenario exercising most of the system together, asserting the
+invariants that matter at each stage.  If subsystems disagree about
+ownership or accounting, this is where it shows.
+"""
+
+import pytest
+
+from repro.analysis.report import meminfo
+from repro.core.fom import (
+    FileOnlyMemory,
+    FileReclaimer,
+    FomHeap,
+    MapStrategy,
+    PersistenceManager,
+    launch_fom_process,
+)
+from repro.core.pbm import PbmManager
+from repro.kernel import Kernel, MachineConfig
+from repro.runtime import LogStructuredStore, ObjectHeap
+from repro.units import GIB, KIB, MIB, PAGE_SIZE
+
+
+def test_full_lifecycle():
+    kernel = Kernel(
+        MachineConfig(
+            dram_bytes=1 * GIB,
+            nvm_bytes=8 * GIB,
+            pmfs_extent_align_frames=512,
+            cpus=4,
+        )
+    )
+    fom = FileOnlyMemory(kernel)
+    persistence = PersistenceManager(fom, crypto_erase=True)
+    reclaimer = FileReclaimer(fom)
+    nvm_free_at_boot = kernel.nvm_allocator.free_blocks
+
+    # --- stage 1: services come up -----------------------------------
+    db = launch_fom_process(
+        fom, "db", code_bytes=2 * MIB, heap_bytes=64 * MIB,
+        stack_bytes=2 * MIB, code_path="/bin/db",
+    )
+    web = launch_fom_process(
+        fom, "web", code_bytes=2 * MIB, heap_bytes=16 * MIB,
+        stack_bytes=2 * MIB, code_path="/bin/web",
+    )
+    assert meminfo(kernel)["processes"] == 2
+
+    # --- stage 2: the db builds state ---------------------------------
+    table = fom.allocate(
+        db.process, 32 * MIB, name="/state/table", persistent=True
+    )
+    persistence.mark_persistent(table)
+    heap = FomHeap(fom, db.process)
+    records = [heap.malloc(128) for _ in range(500)]
+    for addr in records[:50]:
+        kernel.access(db.process, addr, write=True)
+    log = LogStructuredStore(fom, db.process, segment_bytes=2 * MIB)
+    for key in range(200):
+        log.put(key, bytes([key % 251]) * 500)
+    assert log.get(42) == bytes([42]) * 500
+
+    # --- stage 3: workers share a dataset via PBM ----------------------
+    pbm = PbmManager(kernel)
+    kernel.pmfs.makedirs("/models")
+    dataset = kernel.pmfs.create("/models/weights", size=16 * MIB)
+    maps = [pbm.map_file(kernel.spawn(f"w{i}"), dataset) for i in range(3)]
+    assert len({m.vaddr for m in maps}) == 1
+
+    # --- stage 4: memory pressure hits caches --------------------------
+    for index in range(4):
+        cache = fom.allocate(
+            db.process, 8 * MIB, name=f"/cache/{index}", discardable=True
+        )
+        reclaimer.register(cache)
+        kernel.clock.advance(1000)
+    freed, deleted = reclaimer.reclaim_bytes(16 * MIB)
+    assert freed >= 16 * MIB and deleted == 2
+    assert kernel.pmfs.fsck() == []
+
+    # --- stage 5: power failure ----------------------------------------
+    with kernel.pmfs.open("/state/table") as handle:
+        handle.pwrite(0, b"checkpoint-7")
+    kernel.crash()
+    report = persistence.recover()
+    assert "/state/table" in report.survivors
+    assert "/bin/db" in report.survivors  # program text persists
+    assert not any(path.startswith("/cache") for path in report.survivors)
+    assert kernel.pmfs.fsck() == []
+
+    # --- stage 6: restart and verify -----------------------------------
+    db2 = launch_fom_process(
+        fom, "db", code_bytes=2 * MIB, heap_bytes=64 * MIB,
+        stack_bytes=2 * MIB, code_path="/bin/db",
+    )
+    reopened = fom.open_region(db2.process, "/state/table")
+    kernel.access(db2.process, reopened.vaddr)
+    with kernel.pmfs.open("/state/table") as handle:
+        assert handle.pread(0, 12) == b"checkpoint-7"
+
+    # --- stage 7: clean shutdown returns all transient storage ----------
+    db2.exit()
+    # Only the named persistent files remain allocated on NVM.
+    survivors_blocks = sum(
+        tree.block_count for tree in kernel.pmfs._trees.values()
+    )
+    used = kernel.nvm_allocator.total_blocks - kernel.nvm_allocator.free_blocks
+    assert used == survivors_blocks
+    assert kernel.pmfs.fsck() == []
+    # Every surviving file is one of the persistent ones.
+    for path, inode in kernel.pmfs.iter_files():
+        assert inode.persistent, f"unexpected survivor {path}"

@@ -1,0 +1,189 @@
+"""Kernel facade: assembly, processes, syscalls, crash."""
+
+import pytest
+
+from repro.errors import (
+    BadFileDescriptorError,
+    ConfigurationError,
+    MappingError,
+    ProcessError,
+)
+from repro.kernel import Kernel, MachineConfig
+from repro.units import GIB, KIB, MIB, PAGE_SIZE
+from repro.vm.vma import MapFlags, Protection
+
+
+class TestAssembly:
+    def test_standard_machine(self):
+        kernel = Kernel.standard(dram_bytes=256 * MIB, nvm_bytes=1 * GIB)
+        assert kernel.pmfs is not None
+        assert kernel.rtlb is None
+
+    def test_no_nvm_machine(self):
+        kernel = Kernel(MachineConfig(dram_bytes=256 * MIB, nvm_bytes=0))
+        assert kernel.pmfs is None
+
+    def test_range_hardware(self):
+        kernel = Kernel(
+            MachineConfig(dram_bytes=128 * MIB, nvm_bytes=0, range_hardware=True)
+        )
+        assert kernel.rtlb is not None
+
+    def test_too_little_dram_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Kernel(MachineConfig(dram_bytes=1 * MIB))
+
+    def test_zeropool_prefilled(self):
+        kernel = Kernel(
+            MachineConfig(dram_bytes=128 * MIB, nvm_bytes=0, zeropool_frames=64)
+        )
+        assert kernel.zeropool.available == 64
+
+    def test_physical_layout(self, kernel):
+        assert kernel.nvm_region.start == kernel.dram_region.end
+
+
+class TestProcesses:
+    def test_spawn_unique_ids(self, kernel):
+        a, b = kernel.spawn("a"), kernel.spawn("b")
+        assert a.pid != b.pid
+        assert a.space.asid != b.space.asid
+
+    def test_fd_lifecycle(self, kernel):
+        process = kernel.spawn("p")
+        sys = kernel.syscalls(process)
+        fd = sys.open(kernel.tmpfs, "/f", create=True, size=4 * KIB)
+        assert process.open_fd_count == 1
+        sys.close(fd)
+        assert process.open_fd_count == 0
+        with pytest.raises(BadFileDescriptorError):
+            sys.read(fd, 1)
+
+    def test_exit_tears_down_everything(self, kernel):
+        process = kernel.spawn("p")
+        sys = kernel.syscalls(process)
+        sys.open(kernel.tmpfs, "/f", create=True, size=4 * KIB)
+        va = sys.mmap(64 * KIB, flags=MapFlags.PRIVATE | MapFlags.POPULATE)
+        process.exit()
+        assert not process.alive
+        assert process.space.vmas == []
+        assert process.open_fd_count == 0
+
+    def test_double_exit_rejected(self, kernel):
+        process = kernel.spawn("p")
+        process.exit()
+        with pytest.raises(ProcessError):
+            process.exit()
+
+    def test_context_switch_charged_between_processes(self, kernel):
+        a, b = kernel.spawn("a"), kernel.spawn("b")
+        sa, sb = kernel.syscalls(a), kernel.syscalls(b)
+        va_a = sa.mmap(PAGE_SIZE)
+        va_b = sb.mmap(PAGE_SIZE)
+        kernel.access(a, va_a)
+        before = kernel.counters.get("cr3_switch")
+        kernel.access(b, va_b)
+        assert kernel.counters.get("cr3_switch") == before + 1
+        kernel.access(b, va_b)  # same process: no switch
+        assert kernel.counters.get("cr3_switch") == before + 1
+
+
+class TestSyscallCosts:
+    def test_every_syscall_pays_the_boundary(self, kernel):
+        process = kernel.spawn("p")
+        sys = kernel.syscalls(process)
+        boundary = kernel.costs.syscall_entry_ns + kernel.costs.syscall_exit_ns
+        with kernel.measure() as m:
+            fd = sys.open(kernel.tmpfs, "/f", create=True)
+        assert m.elapsed_ns >= boundary
+        with kernel.measure() as m:
+            sys.close(fd)
+        assert m.elapsed_ns >= boundary
+
+    def test_read_write_data_roundtrip(self, kernel):
+        process = kernel.spawn("p")
+        sys = kernel.syscalls(process)
+        fd = sys.open(kernel.pmfs, "/rw", create=True)
+        assert sys.write(fd, b"persist me") == 10
+        assert sys.pread(fd, 0, 10) == b"persist me"
+
+    def test_mmap_unaligned_offset_rejected(self, kernel):
+        process = kernel.spawn("p")
+        sys = kernel.syscalls(process)
+        fd = sys.open(kernel.tmpfs, "/f", create=True, size=8 * KIB)
+        with pytest.raises(MappingError):
+            sys.mmap(4 * KIB, fd=fd, offset=100)
+
+    def test_mmap_offset_maps_later_pages(self, kernel):
+        process = kernel.spawn("p")
+        sys = kernel.syscalls(process)
+        fd = sys.open(kernel.tmpfs, "/f", create=True, size=8 * KIB)
+        va = sys.mmap(4 * KIB, fd=fd, offset=4 * KIB, flags=MapFlags.SHARED)
+        paddr = kernel.access(process, va)
+        inode = process.fd(fd).inode
+        assert paddr // PAGE_SIZE == kernel.tmpfs._pages[inode.ino][1]
+
+    def test_dax_mmap_costs_more_than_tmpfs(self, kernel):
+        process = kernel.spawn("p")
+        sys = kernel.syscalls(process)
+        fd_t = sys.open(kernel.tmpfs, "/t", create=True, size=64 * KIB)
+        fd_p = sys.open(kernel.pmfs, "/p", create=True, size=64 * KIB)
+        with kernel.measure() as tmpfs_map:
+            sys.mmap(64 * KIB, fd=fd_t)
+        with kernel.measure() as dax_map:
+            sys.mmap(64 * KIB, fd=fd_p)
+        assert (
+            dax_map.elapsed_ns - tmpfs_map.elapsed_ns == kernel.costs.dax_setup_ns
+        )
+
+    def test_unlink_syscall(self, kernel):
+        process = kernel.spawn("p")
+        sys = kernel.syscalls(process)
+        sys.open(kernel.tmpfs, "/gone", create=True)
+        sys.unlink(kernel.tmpfs, "/gone")
+        assert not kernel.tmpfs.exists("/gone")
+
+
+class TestCrash:
+    def test_crash_kills_processes_and_tmpfs(self, kernel):
+        process = kernel.spawn("p")
+        sys = kernel.syscalls(process)
+        sys.open(kernel.tmpfs, "/v", create=True, size=4 * KIB)
+        kernel.pmfs.create("/p", size=4 * KIB)
+        kernel.crash()
+        assert not process.alive
+        assert kernel.processes == {}
+        assert not kernel.tmpfs.exists("/v")
+        assert kernel.pmfs.exists("/p")
+
+    def test_crash_flushes_hardware_state(self, kernel):
+        process = kernel.spawn("p")
+        sys = kernel.syscalls(process)
+        va = sys.mmap(PAGE_SIZE)
+        kernel.access(process, va)
+        kernel.crash()
+        assert kernel.tlb.resident_count() == 0
+
+    def test_measure_helper(self, kernel):
+        with kernel.measure() as m:
+            kernel.clock.advance(42)
+            kernel.counters.bump("custom")
+        assert m.elapsed_ns == 42
+        assert m.counter_delta == {"custom": 1}
+
+    def test_warm_file_makes_reads_llc_hits(self, kernel):
+        process = kernel.spawn("p")
+        sys = kernel.syscalls(process)
+        from repro.vm.vma import MapFlags
+
+        fd = sys.open(kernel.tmpfs, "/warm", create=True, size=4096)
+        inode = process.fd(fd).inode
+        kernel.warm_file(inode)
+        va = sys.mmap(4096, fd=fd, flags=MapFlags.SHARED | MapFlags.POPULATE)
+        before = kernel.counters.get("cache_llc_hit")
+        kernel.access(process, va)
+        assert kernel.counters.get("cache_llc_hit") > before
+
+    def test_warm_empty_file_noop(self, kernel):
+        inode = kernel.tmpfs.create("/empty")
+        kernel.warm_file(inode)  # must not raise

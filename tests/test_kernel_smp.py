@@ -1,0 +1,75 @@
+"""SMP TLB shootdowns: invalidation broadcasts cost per remote core."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernel import Kernel, MachineConfig
+from repro.units import GIB, KIB, MIB, PAGE_SIZE
+
+
+def make_kernel(cpus):
+    return Kernel(
+        MachineConfig(dram_bytes=256 * MIB, nvm_bytes=1 * GIB, cpus=cpus)
+    )
+
+
+class TestShootdowns:
+    def test_single_cpu_no_ipis(self):
+        kernel = make_kernel(1)
+        process = kernel.spawn("p")
+        sys = kernel.syscalls(process)
+        va = sys.mmap(16 * KIB)
+        kernel.access(process, va)
+        sys.munmap(va, 16 * KIB)
+        assert kernel.counters.get("tlb_shootdown_ipi") == 0
+
+    def test_remote_cpus_pay_per_invalidation(self):
+        kernel = make_kernel(4)
+        process = kernel.spawn("p")
+        sys = kernel.syscalls(process)
+        va = sys.mmap(16 * KIB)
+        kernel.access(process, va)
+        sys.munmap(va, 16 * KIB)
+        # One batched broadcast to 3 remote cores.
+        assert kernel.counters.get("tlb_shootdown_ipi") == 3
+
+    def test_munmap_dearer_on_bigger_machines(self):
+        costs = {}
+        for cpus in (1, 16):
+            kernel = make_kernel(cpus)
+            process = kernel.spawn("p")
+            sys = kernel.syscalls(process)
+            va = sys.mmap(16 * KIB)
+            kernel.access(process, va)
+            with kernel.measure() as m:
+                sys.munmap(va, 16 * KIB)
+            costs[cpus] = m.elapsed_ns
+        assert costs[16] > costs[1] + 10 * kernel.costs.tlb_shootdown_ipi_ns
+
+    def test_per_page_eviction_storms_vs_batched_unmap(self):
+        # Evicting N pages one at a time broadcasts N IPIs; munmapping
+        # the region broadcasts once — the batching argument for
+        # whole-file operations.
+        kernel = make_kernel(8)
+        process = kernel.spawn("p", track_lru=True)
+        sys = kernel.syscalls(process)
+        va = sys.mmap(32 * KIB)
+        kernel.access_range(process, va, 32 * KIB)
+        before = kernel.counters.get("tlb_shootdown_ipi")
+        for page in range(8):
+            process.space.evict_page(va + page * PAGE_SIZE)
+        per_page = kernel.counters.get("tlb_shootdown_ipi") - before
+        assert per_page == 8 * 7
+
+        kernel2 = make_kernel(8)
+        process2 = kernel2.spawn("p")
+        sys2 = kernel2.syscalls(process2)
+        va2 = sys2.mmap(32 * KIB)
+        kernel2.access_range(process2, va2, 32 * KIB)
+        before = kernel2.counters.get("tlb_shootdown_ipi")
+        sys2.munmap(va2, 32 * KIB)
+        assert kernel2.counters.get("tlb_shootdown_ipi") - before == 7
+
+    def test_bad_cpu_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_kernel(0)

@@ -1,0 +1,97 @@
+"""Syscall-layer edge cases not covered by the happy-path suites."""
+
+import pytest
+
+from repro.errors import (
+    BadFileDescriptorError,
+    FileNotFoundError_,
+    MappingError,
+)
+from repro.units import KIB, PAGE_SIZE
+from repro.vm.vma import MapFlags, Protection
+
+
+@pytest.fixture
+def env(kernel):
+    process = kernel.spawn("edge")
+    return kernel, process, kernel.syscalls(process)
+
+
+class TestDescriptors:
+    def test_double_close_rejected(self, env):
+        kernel, process, sys = env
+        fd = sys.open(kernel.tmpfs, "/f", create=True)
+        sys.close(fd)
+        with pytest.raises(BadFileDescriptorError):
+            sys.close(fd)
+
+    def test_open_missing_propagates(self, env):
+        kernel, _, sys = env
+        with pytest.raises(FileNotFoundError_):
+            sys.open(kernel.tmpfs, "/missing")
+
+    def test_fds_are_monotonic_and_unique(self, env):
+        kernel, process, sys = env
+        fds = [
+            sys.open(kernel.tmpfs, f"/m{i}", create=True) for i in range(5)
+        ]
+        assert len(set(fds)) == 5
+        assert fds == sorted(fds)
+
+    def test_read_write_advance_offset_together(self, env):
+        kernel, _, sys = env
+        fd = sys.open(kernel.pmfs, "/rw", create=True)
+        sys.write(fd, b"abc")
+        sys.write(fd, b"def")
+        assert sys.pread(fd, 0, 6) == b"abcdef"
+        # read picks up after the writes' shared offset
+        assert sys.read(fd, 3) == b""
+
+
+class TestMmapEdge:
+    def test_explicit_address_honored(self, env):
+        kernel, process, sys = env
+        addr = 0x7E00_0000_0000
+        got = sys.mmap(8 * KIB, addr=addr)
+        assert got == addr
+        kernel.access(process, addr)
+
+    def test_overlapping_explicit_address_rejected(self, env):
+        kernel, _, sys = env
+        addr = 0x7E00_0000_0000
+        sys.mmap(8 * KIB, addr=addr)
+        with pytest.raises(MappingError):
+            sys.mmap(8 * KIB, addr=addr + PAGE_SIZE)
+
+    def test_mmap_names_show_in_vmas(self, env):
+        kernel, process, sys = env
+        sys.mmap(PAGE_SIZE, name="arena")
+        assert any(vma.name == "arena" for vma in process.space.vmas)
+
+    def test_file_mmap_bumps_inode_refcount(self, env):
+        kernel, process, sys = env
+        fd = sys.open(kernel.tmpfs, "/f", create=True, size=4 * KIB)
+        inode = process.fd(fd).inode
+        before = inode.refcount
+        sys.mmap(4 * KIB, fd=fd, flags=MapFlags.SHARED)
+        assert inode.refcount == before + 1
+
+    def test_mprotect_via_syscall(self, env):
+        kernel, process, sys = env
+        va = sys.mmap(PAGE_SIZE)
+        sys.mprotect(va, PAGE_SIZE, Protection.READ)
+        assert process.space.vmas[0].prot == Protection.READ
+
+    def test_unlink_missing_propagates(self, env):
+        kernel, _, sys = env
+        with pytest.raises(FileNotFoundError_):
+            sys.unlink(kernel.tmpfs, "/ghost")
+
+    def test_syscall_counters(self, env):
+        kernel, _, sys = env
+        sys.mmap(PAGE_SIZE)
+        fd = sys.open(kernel.tmpfs, "/c", create=True)
+        sys.close(fd)
+        assert kernel.counters.get("sys_mmap") == 1
+        assert kernel.counters.get("sys_open") == 1
+        assert kernel.counters.get("sys_close") == 1

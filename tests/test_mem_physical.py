@@ -1,0 +1,86 @@
+"""Physical memory regions and address lookup."""
+
+import pytest
+
+from repro.errors import ConfigurationError, InvalidAddressError
+from repro.hw.costmodel import MemoryTechnology
+from repro.mem.physical import MemoryRegion, PhysicalMemory
+from repro.units import GIB, MIB, PAGE_SIZE
+
+
+class TestMemoryRegion:
+    def test_geometry(self):
+        region = MemoryRegion(start=MIB, size=2 * MIB, tech=MemoryTechnology.DRAM)
+        assert region.end == 3 * MIB
+        assert region.first_pfn == MIB // PAGE_SIZE
+        assert region.frame_count == 2 * MIB // PAGE_SIZE
+
+    def test_contains_boundaries(self):
+        region = MemoryRegion(start=0, size=MIB, tech=MemoryTechnology.DRAM)
+        assert region.contains(0)
+        assert region.contains(MIB - 1)
+        assert not region.contains(MIB)
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryRegion(start=100, size=MIB, tech=MemoryTechnology.DRAM)
+        with pytest.raises(ConfigurationError):
+            MemoryRegion(start=0, size=100, tech=MemoryTechnology.DRAM)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryRegion(start=0, size=0, tech=MemoryTechnology.DRAM)
+
+
+class TestPhysicalMemory:
+    def test_regions_pack_consecutively(self):
+        pm = PhysicalMemory()
+        first = pm.add_region(MIB, MemoryTechnology.DRAM)
+        second = pm.add_region(2 * MIB, MemoryTechnology.NVM)
+        assert second.start == first.end
+
+    def test_explicit_start(self):
+        pm = PhysicalMemory()
+        region = pm.add_region(MIB, MemoryTechnology.DRAM, start=4 * MIB)
+        assert region.start == 4 * MIB
+
+    def test_overlap_rejected(self):
+        pm = PhysicalMemory()
+        pm.add_region(2 * MIB, MemoryTechnology.DRAM, start=0)
+        with pytest.raises(ConfigurationError):
+            pm.add_region(2 * MIB, MemoryTechnology.NVM, start=MIB)
+
+    def test_region_of_and_tech_of(self):
+        pm = PhysicalMemory()
+        dram = pm.add_region(MIB, MemoryTechnology.DRAM)
+        nvm = pm.add_region(MIB, MemoryTechnology.NVM)
+        assert pm.region_of(0) is dram
+        assert pm.region_of(MIB) is nvm
+        assert pm.tech_of(0) is MemoryTechnology.DRAM
+        assert pm.tech_of(MIB + 4096) is MemoryTechnology.NVM
+
+    def test_region_of_hole_raises(self):
+        pm = PhysicalMemory()
+        pm.add_region(MIB, MemoryTechnology.DRAM, start=0)
+        with pytest.raises(InvalidAddressError):
+            pm.region_of(4 * MIB)
+
+    def test_tech_of_hole_defaults_dram(self):
+        pm = PhysicalMemory()
+        pm.add_region(MIB, MemoryTechnology.DRAM, start=0)
+        assert pm.tech_of(100 * MIB) is MemoryTechnology.DRAM
+
+    def test_totals_by_technology(self):
+        pm = PhysicalMemory()
+        pm.add_region(MIB, MemoryTechnology.DRAM)
+        pm.add_region(3 * MIB, MemoryTechnology.NVM)
+        assert pm.total_size() == 4 * MIB
+        assert pm.total_size(MemoryTechnology.NVM) == 3 * MIB
+        assert pm.total_frames(MemoryTechnology.DRAM) == MIB // PAGE_SIZE
+
+    def test_out_of_order_insert_keeps_sorted(self):
+        pm = PhysicalMemory()
+        pm.add_region(MIB, MemoryTechnology.NVM, start=8 * MIB)
+        pm.add_region(MIB, MemoryTechnology.DRAM, start=0)
+        assert [region.start for region in pm.regions] == [0, 8 * MIB]
+        assert pm.tech_of(8 * MIB) is MemoryTechnology.NVM

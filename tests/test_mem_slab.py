@@ -1,0 +1,105 @@
+"""Slab allocator: carving, reuse, reaping."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.hw.costmodel import MemoryTechnology
+from repro.mem.buddy import BuddyAllocator
+from repro.mem.physical import MemoryRegion
+from repro.mem.slab import SlabCache
+from repro.units import MIB, PAGE_SIZE
+
+
+def make_cache(object_size=256, slab_order=0, region_size=MIB):
+    region = MemoryRegion(start=0, size=region_size, tech=MemoryTechnology.DRAM)
+    buddy = BuddyAllocator(region)
+    return SlabCache("t", object_size, buddy, slab_order=slab_order), buddy
+
+
+class TestAllocation:
+    def test_alloc_returns_distinct_addresses(self):
+        cache, _ = make_cache()
+        addrs = {cache.alloc() for _ in range(32)}
+        assert len(addrs) == 32
+
+    def test_addresses_object_aligned_within_slab(self):
+        cache, _ = make_cache(object_size=256)
+        addr = cache.alloc()
+        assert (addr % PAGE_SIZE) % 256 == 0
+
+    def test_one_slab_serves_many_objects(self):
+        cache, buddy = make_cache(object_size=64)
+        before = buddy.free_frames
+        for _ in range(PAGE_SIZE // 64):
+            cache.alloc()
+        assert before - buddy.free_frames == 1  # one backing frame
+
+    def test_grows_when_full(self):
+        cache, buddy = make_cache(object_size=PAGE_SIZE)
+        cache.alloc()
+        cache.alloc()
+        assert cache.slab_count == 2
+
+    def test_object_bigger_than_slab_rejected(self):
+        with pytest.raises(ValueError):
+            make_cache(object_size=2 * PAGE_SIZE, slab_order=0)
+
+    def test_larger_slab_order(self):
+        cache, _ = make_cache(object_size=PAGE_SIZE, slab_order=2)
+        for _ in range(4):
+            cache.alloc()
+        assert cache.slab_count == 1
+
+    def test_bad_object_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_cache(object_size=0)
+
+
+class TestFreeAndReap:
+    def test_free_reuses_slot(self):
+        cache, _ = make_cache()
+        addr = cache.alloc()
+        keep = cache.alloc()  # keep the slab non-empty so it isn't reaped
+        cache.free(addr)
+        assert cache.alloc() == addr
+        assert keep != addr
+
+    def test_free_unknown_rejected(self):
+        cache, _ = make_cache()
+        with pytest.raises(ValueError):
+            cache.free(0xDEAD)
+
+    def test_empty_slab_returned_to_buddy(self):
+        cache, buddy = make_cache(object_size=2048)
+        before = buddy.free_frames
+        first = cache.alloc()
+        second = cache.alloc()
+        cache.free(first)
+        cache.free(second)
+        assert cache.slab_count == 0
+        assert buddy.free_frames == before
+
+    def test_full_to_partial_transition(self):
+        cache, _ = make_cache(object_size=2048)  # 2 slots per slab
+        a = cache.alloc()
+        b = cache.alloc()  # slab now full
+        cache.free(a)  # back to partial
+        c = cache.alloc()
+        assert c == a
+        assert cache.slab_count == 1
+
+    def test_stats(self):
+        cache, _ = make_cache(object_size=1024)
+        cache.alloc()
+        stats = cache.stats()
+        assert stats["live_objects"] == 1
+        assert stats["slots_per_slab"] == 4
+        assert stats["wasted_slots"] == 3
+
+    def test_oom_propagates_with_cache_name(self):
+        region = MemoryRegion(start=0, size=PAGE_SIZE, tech=MemoryTechnology.DRAM)
+        buddy = BuddyAllocator(region, max_order=0)
+        cache = SlabCache("tiny", PAGE_SIZE, buddy)
+        cache.alloc()
+        with pytest.raises(OutOfMemoryError, match="tiny"):
+            cache.alloc()

@@ -1,0 +1,98 @@
+"""Huge-page tiling: alignment rules and PTE economy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.paging.hugepages import (
+    SUPPORTED_PAGE_SIZES,
+    choose_page_runs,
+    largest_page_for,
+    page_count_for_tiling,
+)
+from repro.units import GIB, HUGE_PAGE_1G, HUGE_PAGE_2M, KIB, MIB, PAGE_SIZE
+
+
+class TestLargestPageFor:
+    def test_aligned_2m(self):
+        assert largest_page_for(0, 0, 2 * MIB) == HUGE_PAGE_2M
+
+    def test_aligned_1g(self):
+        assert largest_page_for(0, 0, GIB) == HUGE_PAGE_1G
+
+    def test_misaligned_virtual_forces_small(self):
+        assert largest_page_for(PAGE_SIZE, 0, 2 * MIB) == PAGE_SIZE
+
+    def test_misaligned_physical_forces_small(self):
+        # Both sides must be aligned — the paper's "alignment restrictions".
+        assert largest_page_for(0, PAGE_SIZE, 2 * MIB) == PAGE_SIZE
+
+    def test_insufficient_remaining_forces_small(self):
+        assert largest_page_for(0, 0, 2 * MIB - PAGE_SIZE) == PAGE_SIZE
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            largest_page_for(0, 0, PAGE_SIZE - 1)
+
+    def test_restricted_allowed_set(self):
+        assert largest_page_for(0, 0, GIB, allowed=(PAGE_SIZE,)) == PAGE_SIZE
+
+
+class TestChoosePageRuns:
+    def test_aligned_4m_uses_two_2m(self):
+        runs = list(choose_page_runs(0, 0, 4 * MIB))
+        assert [size for _, _, size in runs] == [HUGE_PAGE_2M, HUGE_PAGE_2M]
+
+    def test_head_tail_fragments(self):
+        # Region starting 4 KiB off alignment: small pages lead until a
+        # 2 MiB boundary, then huge, then small tail.
+        start = HUGE_PAGE_2M - PAGE_SIZE
+        runs = list(choose_page_runs(start, start, 2 * MIB + 2 * PAGE_SIZE))
+        sizes = [size for _, _, size in runs]
+        assert sizes[0] == PAGE_SIZE
+        assert HUGE_PAGE_2M in sizes
+        assert sizes[-1] == PAGE_SIZE
+
+    def test_virtual_physical_skew_prevents_huge(self):
+        # VA aligned but PA off by one page: no huge pages possible.
+        runs = list(choose_page_runs(0, PAGE_SIZE, 4 * MIB))
+        assert all(size == PAGE_SIZE for _, _, size in runs)
+
+    def test_addresses_advance_in_lockstep(self):
+        runs = list(choose_page_runs(0, 8 * MIB, 4 * MIB))
+        for va, pa, _ in runs:
+            assert pa - va == 8 * MIB
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            list(choose_page_runs(0, 0, 100))
+        with pytest.raises(ValueError):
+            list(choose_page_runs(0, 0, 0))
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ValueError):
+            list(choose_page_runs(1, 0, PAGE_SIZE))
+
+
+class TestPteEconomy:
+    def test_paper_claim_512x_reduction(self):
+        # 2 MiB aligned region: 512x fewer PTEs than 4 KiB paging.
+        small = page_count_for_tiling(0, 0, 2 * MIB, allowed=(PAGE_SIZE,))
+        huge = page_count_for_tiling(0, 0, 2 * MIB)
+        assert small == 512 and huge == 1
+
+    def test_gigabyte_region_single_pte(self):
+        assert page_count_for_tiling(0, 0, GIB) == 1
+
+    @given(st.integers(1, 2048))
+    @settings(max_examples=40, deadline=None)
+    def test_tiling_covers_exactly(self, npages):
+        """Any aligned tiling covers the region exactly once."""
+        length = npages * PAGE_SIZE
+        covered = 0
+        prev_end = 0
+        for va, pa, size in choose_page_runs(0, 0, length):
+            assert va == prev_end
+            assert va % size == 0 and pa % size == 0
+            covered += size
+            prev_end = va + size
+        assert covered == length

@@ -1,0 +1,105 @@
+"""Page walker: per-level references, virtualized 2-D walks."""
+
+import pytest
+
+from repro.hw.cache import CacheModel
+from repro.hw.clock import EventCounters, SimClock
+from repro.hw.costmodel import CostModel
+from repro.paging.pagetable import PageTable
+from repro.paging.walker import PageWalker
+from repro.units import HUGE_PAGE_2M, PAGE_SIZE
+
+
+def make_walker(levels=4, virtualized=False):
+    clock = SimClock()
+    counters = EventCounters()
+    costs = CostModel()
+    cache = CacheModel(clock, costs, counters)
+    walker = PageWalker(cache, clock, costs, counters, virtualized=virtualized)
+    table = PageTable(levels=levels)
+    return walker, table, clock, counters
+
+
+class TestWalks:
+    def test_successful_walk_returns_entry(self):
+        walker, table, _, _ = make_walker()
+        table.map(0x4000, 7)
+        entry = walker.walk(table, 0x4000, asid=3)
+        assert entry.pfn == 7 and entry.asid == 3
+
+    def test_walk_references_one_per_level(self):
+        walker, table, _, counters = make_walker(levels=4)
+        table.map(0, 1)
+        walker.walk(table, 0)
+        assert counters.get("walk_ref") == 4
+
+    def test_five_level_walk_costs_more(self):
+        walker4, table4, clock4, _ = make_walker(levels=4)
+        walker5, table5, clock5, _ = make_walker(levels=5)
+        table4.map(0, 1)
+        table5.map(0, 1)
+        walker4.walk(table4, 0)
+        walker5.walk(table5, 0)
+        assert clock5.now > clock4.now
+
+    def test_huge_page_walk_is_shorter(self):
+        walker, table, _, counters = make_walker()
+        table.map(0, 1, page_size=HUGE_PAGE_2M)
+        walker.walk(table, 123)
+        assert counters.get("walk_ref") == 3  # stops at the PMD leaf
+
+    def test_failed_walk_still_pays(self):
+        walker, table, clock, counters = make_walker()
+        assert walker.walk(table, 0x123456) is None
+        assert counters.get("walk_ref") >= 1
+        assert clock.now > 0
+
+    def test_partial_tree_failed_walk(self):
+        walker, table, _, counters = make_walker()
+        table.map(0, 1)  # builds the subtree for low addresses
+        counters.reset()
+        assert walker.walk(table, 17 * PAGE_SIZE) is None
+        assert counters.get("walk_ref") == 4  # full descent, empty leaf slot
+
+    def test_warm_walk_cheaper_than_cold(self):
+        walker, table, clock, _ = make_walker()
+        table.map(0, 1)
+        start = clock.now
+        walker.walk(table, 0)
+        cold = clock.now - start
+        start = clock.now
+        walker.walk(table, 0)
+        warm = clock.now - start
+        assert warm < cold  # page-table nodes now cached
+
+    def test_entry_vpn_in_page_units(self):
+        walker, table, _, _ = make_walker()
+        table.map(HUGE_PAGE_2M, 4, page_size=HUGE_PAGE_2M)
+        entry = walker.walk(table, HUGE_PAGE_2M + 100)
+        assert entry.vpn == 1 and entry.page_size == HUGE_PAGE_2M
+
+
+class TestVirtualized:
+    def test_reference_formula(self):
+        walker, _, _, _ = make_walker(virtualized=True)
+        assert walker.references_per_walk(4) == 24
+        flat, _, _, _ = make_walker(virtualized=False)
+        assert flat.references_per_walk(4) == 4
+
+    def test_five_level_nested_is_35(self):
+        # §2: 5-level paging "requires up to 35 memory references in
+        # virtualized systems".
+        walker, _, _, _ = make_walker(levels=5, virtualized=True)
+        assert walker.references_per_walk(5) == 35
+
+    def test_nested_walk_charges_extra_refs(self):
+        flat_walker, flat_table, flat_clock, _ = make_walker()
+        virt_walker, virt_table, virt_clock, virt_counters = make_walker(
+            virtualized=True
+        )
+        flat_table.map(0, 1)
+        virt_table.map(0, 1)
+        flat_walker.walk(flat_table, 0)
+        virt_walker.walk(virt_table, 0)
+        assert virt_clock.now > flat_clock.now
+        assert virt_counters.get("nested_walk_ref") == 4 * 4 + 4

@@ -1,0 +1,214 @@
+"""The paper's claims, quoted and executed.
+
+An index from sentences in *Towards O(1) Memory* to behaviour of this
+implementation.  Each test quotes the claim it checks; together they are
+the compliance sheet for the reproduction.  (Figure-level quantitative
+claims live in tests/test_integration_figures.py and the benches.)
+"""
+
+import pytest
+
+from repro.core.fom import (
+    FileOnlyMemory,
+    FileReclaimer,
+    MapStrategy,
+    PersistenceManager,
+    launch_fom_process,
+)
+from repro.core.rangetrans import RangeMemory
+from repro.fs.utilization import UtilizationModel
+from repro.hw.iommu import Iommu
+from repro.kernel import Kernel, MachineConfig
+from repro.mem.frame_meta import PageFlags
+from repro.paging.walker import PageWalker
+from repro.units import GIB, KIB, MIB, PAGE_SIZE
+
+
+@pytest.fixture
+def machine():
+    return Kernel(
+        MachineConfig(
+            dram_bytes=512 * MIB, nvm_bytes=2 * GIB,
+            range_hardware=True, pmfs_extent_align_frames=512,
+        )
+    )
+
+
+class TestSection2Motivation:
+    def test_linux_page_structure_has_25_flags(self):
+        """'the Linux PAGE structure has 25 separate flags to track
+        memory status'"""
+        assert PageFlags.flag_count() == 25
+
+    def test_5_level_virtualized_needs_35_references(self, machine):
+        """'5-level address translation ... requires up to 35 memory
+        references in virtualized systems'"""
+        walker = PageWalker(
+            machine.cache, machine.clock, machine.costs, machine.counters,
+            virtualized=True,
+        )
+        assert walker.references_per_walk(5) == 35
+
+    def test_mean_and_median_utilization_below_50(self):
+        """'the mean and median file system utilization was below 50%'"""
+        stats = UtilizationModel(seed=2017).fleet_stats(machines=400)
+        assert stats.mean_utilization < 0.50
+        assert stats.median_utilization < 0.50
+
+
+class TestSection31FileOnlyMemory:
+    def test_permission_is_whole_file_not_per_block(self, machine):
+        """'permission is granted for the whole file and not individual
+        blocks'"""
+        inode = machine.pmfs.create("/f", size=2 * MIB)
+        assert isinstance(inode.mode, int)  # one mode word per file
+        assert not hasattr(inode, "block_permissions")
+
+    def test_unused_blocks_are_one_bit_each(self, machine):
+        """'unused blocks are represented by a single bit in a bitmap'"""
+        bitmap = machine.nvm_allocator._bitmap
+        assert bitmap.size == machine.nvm_region.frame_count
+
+    def test_thread_stack_is_one_extent_file(self, machine):
+        """'Creating a thread stack becomes allocating a file with a
+        single extent containing a region of memory'"""
+        fom = FileOnlyMemory(machine)
+        fp = launch_fom_process(
+            fom, "t", code_bytes=1 * MIB, heap_bytes=1 * MIB,
+            stack_bytes=1 * MIB,
+        )
+        stack = fp.create_thread_stack(512 * KIB)
+        assert machine.pmfs.extent_count(stack.inode) == 1
+
+    def test_memory_reclaimed_in_units_of_files(self, machine):
+        """'memory is only reclaimed in the unit of a file'"""
+        fom = FileOnlyMemory(machine)
+        process = machine.spawn("p")
+        region = fom.allocate(process, 4 * MIB)
+        with machine.measure() as m:
+            fom.release(region)
+        assert m.counter_delta.get("reclaim_scanned") is None
+        assert m.counter_delta.get("extent_free") == 1
+
+    def test_no_dirty_tracking_for_file_memory(self, machine):
+        """'there is no need to track the clean/dirty/referenced status
+        of most memory'"""
+        fom = FileOnlyMemory(machine)
+        process = machine.spawn("p")
+        region = fom.allocate(process, 2 * MIB)
+        with machine.measure() as m:
+            machine.access_range(process, region.vaddr, 2 * MIB, write=True)
+        assert m.counter_delta.get("frame_meta_touch") is None
+
+    def test_discardable_files_reclaim_like_transcendent_memory(self, machine):
+        """'the OS can reclaim the memory by deleting non-critical
+        files'"""
+        fom = FileOnlyMemory(machine)
+        reclaimer = FileReclaimer(fom)
+        process = machine.spawn("p")
+        region = fom.allocate(process, 4 * MIB, name="/c", discardable=True)
+        reclaimer.register(region)
+        freed, deleted = reclaimer.reclaim_bytes(1 * MIB)
+        assert deleted == 1 and freed >= 4 * MIB
+
+    def test_volatile_or_persistent_marked_at_any_time(self, machine):
+        """'files that can be marked at any time as volatile or
+        persistent'"""
+        fom = FileOnlyMemory(machine)
+        pm = PersistenceManager(fom)
+        region = fom.allocate(machine.spawn("p"), 1 * MIB, name="/m")
+        pm.mark_persistent(region)
+        pm.mark_volatile(region)
+        pm.mark_persistent(region)
+        assert region.inode.persistent
+
+    def test_mapping_becomes_a_single_pointer_write(self, machine):
+        """'mapping becomes changing a single pointer in a page table to
+        refer to existing page tables'"""
+        fom = FileOnlyMemory(machine)
+        inode = machine.pmfs.create("/pm", size=2 * MIB)
+        fom.ptcache.premap(inode)
+        process = machine.spawn("p")
+        with machine.measure() as m:
+            fom.ptcache.attach(process.space, inode)
+        assert m.counter_delta.get("pte_write") == 1
+
+    def test_data_implicitly_pinned_for_devices(self, machine):
+        """'data is implicitly pinned in memory, as pages are never
+        reclaimed or relocated until the file is explicitly unmapped'"""
+        fom = FileOnlyMemory(machine)
+        process = machine.spawn("p")
+        region = fom.allocate(process, 4 * MIB)
+        iommu = Iommu(machine.clock, machine.costs, machine.counters)
+        backing = region.inode.fs.backing_for(region.inode)
+        runs = [
+            (pfn * PAGE_SIZE, run * PAGE_SIZE)
+            for _, pfn, run in backing.frame_runs(0, 1024)
+        ]
+        with machine.measure() as m:
+            iommu.map_implicit(runs)
+        assert m.counter_delta.get("dma_page_pinned") is None
+        assert m.counter_delta.get("dma_extent_mapped") == 1
+
+    def test_applications_can_swap_themselves(self, machine):
+        """'applications that need swapping could implement it themselves
+        using techniques such as userfaultfd'"""
+        from repro.vm.userfault import UserFaultRegion
+
+        process = machine.spawn("p")
+        region = UserFaultRegion(
+            machine, process, 4 * PAGE_SIZE, handler=lambda page: b"mine"
+        )
+        machine.access(process, region.vaddr)
+        assert region.delivered == 1
+        assert machine.swap is None  # the kernel did no swapping
+
+
+class TestSection42Pbm:
+    def test_pbm_addresses_common_to_all_processes(self, machine):
+        """'those addresses would be guaranteed to be common to all
+        processes'"""
+        from repro.core.pbm import PbmManager
+
+        pbm = PbmManager(machine)
+        inode = machine.pmfs.create("/shared", size=2 * MIB)
+        vaddrs = {
+            pbm.map_file(machine.spawn(f"p{i}"), inode).vaddr
+            for i in range(3)
+        }
+        assert len(vaddrs) == 1
+
+    def test_two_page_table_sets_for_permissions(self, machine):
+        """'It may be necessary to maintain two sets of page tables to
+        allow different permissions (read vs read/write)'"""
+        from repro.core.pbm import PbmManager
+        from repro.vm.vma import Protection
+
+        pbm = PbmManager(machine)
+        inode = machine.pmfs.create("/dual", size=2 * MIB)
+        pbm.map_file(machine.spawn("rw"), inode, prot=Protection.rw())
+        pbm.map_file(machine.spawn("ro"), inode, prot=Protection.READ)
+        assert pbm.subtrees.cached_extents == 2
+
+
+class TestSection43RangeTranslations:
+    def test_one_range_entry_per_extent(self, machine):
+        """'memory managed as extents in a file can be efficiently mapped
+        by assigning one virtual memory range to each extent'"""
+        rm = RangeMemory(machine)
+        inode = machine.pmfs.create("/r", size=64 * MIB)
+        mapping = rm.map_file(machine.spawn("p"), inode)
+        assert mapping.entry_count == machine.pmfs.extent_count(inode) == 1
+
+    def test_unmap_is_single_operation_plus_shootdown(self, machine):
+        """'unmapping a file can be a single operation to update the
+        range table and shoot down the entry in the TLB'"""
+        rm = RangeMemory(machine)
+        inode = machine.pmfs.create("/u", size=64 * MIB)
+        process = machine.spawn("p")
+        mapping = rm.map_file(process, inode)
+        machine.access(process, mapping.vaddr)
+        with machine.measure() as m:
+            rm.unmap(mapping)
+        assert m.counter_delta.get("rte_remove") == 1
+        assert machine.rtlb.resident_count() == 0

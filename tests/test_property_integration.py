@@ -1,0 +1,154 @@
+"""Property-based integration: random workloads vs simple models.
+
+Heavy hypothesis tests driving the whole stack (syscalls, faults, file
+systems) with random operation sequences, checking global invariants a
+correct kernel must keep:
+
+* frame conservation: free + used frames is constant;
+* translation coherence: every resident PTE points at the frame its
+  backing says it should;
+* file-system/dict equivalence for data read back.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.kernel import Kernel, MachineConfig
+from repro.units import GIB, KIB, MIB, PAGE_SIZE
+from repro.vm.vma import MapFlags, Protection
+
+
+def small_kernel():
+    return Kernel(MachineConfig(dram_bytes=128 * MIB, nvm_bytes=256 * MIB))
+
+
+class TestAddressSpaceProperties:
+    @given(st.data())
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_mmap_touch_munmap_conserves_frames(self, data):
+        """Any mmap/touch/munmap interleaving returns every data frame."""
+        kernel = small_kernel()
+        process = kernel.spawn("p")
+        sys = kernel.syscalls(process)
+        baseline_free = kernel.dram_buddy.free_frames
+        live = []  # (va, pages)
+        node_frames = 0
+        for _ in range(data.draw(st.integers(1, 25))):
+            action = data.draw(st.sampled_from(["map", "touch", "unmap"]))
+            if action == "map" or not live:
+                pages = data.draw(st.integers(1, 16))
+                flags = MapFlags.PRIVATE
+                if data.draw(st.booleans()):
+                    flags |= MapFlags.POPULATE
+                before_nodes = kernel.counters.get("pt_node_alloc")
+                va = sys.mmap(pages * PAGE_SIZE, flags=flags)
+                node_frames += (
+                    kernel.counters.get("pt_node_alloc") - before_nodes
+                )
+                live.append((va, pages))
+            elif action == "touch":
+                va, pages = data.draw(st.sampled_from(live))
+                page = data.draw(st.integers(0, pages - 1))
+                before_nodes = kernel.counters.get("pt_node_alloc")
+                kernel.access(process, va + page * PAGE_SIZE, write=True)
+                node_frames += (
+                    kernel.counters.get("pt_node_alloc") - before_nodes
+                )
+            else:
+                index = data.draw(st.integers(0, len(live) - 1))
+                va, pages = live.pop(index)
+                sys.munmap(va, pages * PAGE_SIZE)
+        for va, pages in live:
+            sys.munmap(va, pages * PAGE_SIZE)
+        # All data frames returned; only page-table node frames remain out.
+        assert (
+            kernel.dram_buddy.free_frames == baseline_free - node_frames
+        )
+
+    @given(st.data())
+    @settings(
+        max_examples=20, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_translation_coherence(self, data):
+        """Every resident translation agrees with the file backing."""
+        kernel = small_kernel()
+        process = kernel.spawn("p")
+        sys = kernel.syscalls(process)
+        size = data.draw(st.integers(1, 32)) * PAGE_SIZE
+        fd = sys.open(kernel.tmpfs, "/f", create=True, size=size)
+        va = sys.mmap(size, fd=fd, flags=MapFlags.SHARED)
+        inode = process.fd(fd).inode
+        touched = data.draw(
+            st.lists(
+                st.integers(0, size // PAGE_SIZE - 1),
+                min_size=1, max_size=20,
+            )
+        )
+        for page in touched:
+            kernel.access(process, va + page * PAGE_SIZE, write=True)
+        cache = kernel.tmpfs._pages[inode.ino]
+        for page in set(touched):
+            pte = process.space.page_table.lookup(va + page * PAGE_SIZE)
+            assert pte is not None
+            assert pte.pfn == cache[page]
+
+
+class TestFileSystemProperties:
+    @given(st.data())
+    @settings(
+        max_examples=20, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_pmfs_matches_dict_model(self, data):
+        """Random create/write/read/unlink matches a dict model."""
+        kernel = small_kernel()
+        fs = kernel.pmfs
+        model = {}
+        for step in range(data.draw(st.integers(1, 30))):
+            action = data.draw(
+                st.sampled_from(["create", "write", "read", "unlink"])
+            )
+            if action == "create":
+                name = f"/f{data.draw(st.integers(0, 9))}"
+                if name not in model:
+                    fs.create(name)
+                    model[name] = {}
+            elif action == "write" and model:
+                name = data.draw(st.sampled_from(sorted(model)))
+                offset = data.draw(st.integers(0, 3 * PAGE_SIZE))
+                payload = data.draw(st.binary(min_size=1, max_size=200))
+                with fs.open(name) as handle:
+                    handle.pwrite(offset, payload)
+                model[name][offset] = payload
+            elif action == "read" and model:
+                name = data.draw(st.sampled_from(sorted(model)))
+                for offset, payload in model[name].items():
+                    later = {
+                        o: p for o, p in model[name].items()
+                        if o > offset and o < offset + len(payload)
+                    }
+                    if later:
+                        continue  # overlapped by a later write
+                    with fs.open(name) as handle:
+                        assert handle.pread(offset, len(payload)) == payload
+            elif action == "unlink" and model:
+                name = data.draw(st.sampled_from(sorted(model)))
+                fs.unlink(name)
+                del model[name]
+        assert fs.file_count() == len(model)
+
+    @given(st.lists(st.integers(1, 64), min_size=1, max_size=20))
+    @settings(max_examples=20, deadline=None)
+    def test_pmfs_space_conservation(self, sizes_pages):
+        """Creating and unlinking any set of files returns every block."""
+        kernel = small_kernel()
+        free_before = kernel.nvm_allocator.free_blocks
+        for index, pages in enumerate(sizes_pages):
+            kernel.pmfs.create(f"/s{index}", size=pages * PAGE_SIZE)
+        for index in range(len(sizes_pages)):
+            kernel.pmfs.unlink(f"/s{index}")
+        assert kernel.nvm_allocator.free_blocks == free_before

@@ -1,0 +1,72 @@
+"""Runtime-layer extras: cross-checks between objheap, log, and the OS."""
+
+import pytest
+
+from repro.core.fom import FileOnlyMemory
+from repro.runtime import LogStructuredStore, ObjectHeap
+from repro.units import KIB, MIB, PAGE_SIZE
+
+
+@pytest.fixture
+def fom_env(aligned_kernel):
+    fom = FileOnlyMemory(aligned_kernel)
+    return aligned_kernel, fom, aligned_kernel.spawn("rt")
+
+
+class TestObjHeapAccess:
+    def test_objects_are_real_memory(self, fom_env):
+        kernel, fom, process = fom_env
+        heap = ObjectHeap(fom, process)
+        ref = heap.new(256)
+        # The address is mapped and writable through the CPU.
+        paddr = kernel.access(process, ref.addr, write=True)
+        assert paddr > 0
+
+    def test_objects_in_one_region_share_extent(self, fom_env):
+        kernel, fom, process = fom_env
+        heap = ObjectHeap(fom, process)
+        first = heap.new(64)
+        second = heap.new(64)
+        pa1 = kernel.access(process, first.addr)
+        pa2 = kernel.access(process, second.addr)
+        assert abs(pa2 - pa1) < 2 * MIB  # same extent
+
+    def test_region_death_revokes_access(self, fom_env):
+        from repro.errors import ProtectionError
+
+        kernel, fom, process = fom_env
+        heap = ObjectHeap(fom, process)
+        region = heap.create_region()
+        ref = heap.new(64, region=region)
+        kernel.access(process, ref.addr, write=True)
+        heap.free_region(region)
+        with pytest.raises(ProtectionError):
+            kernel.access(process, ref.addr)
+
+
+class TestLogAndHeapCoexist:
+    def test_shared_fom_no_interference(self, fom_env):
+        kernel, fom, process = fom_env
+        heap = ObjectHeap(fom, process)
+        log = LogStructuredStore(fom, process, segment_bytes=2 * MIB)
+        refs = [heap.new(128) for _ in range(50)]
+        for key in range(50):
+            log.put(key, b"v" * 100)
+        heap.destroy()
+        # Heap teardown must not have touched the log's segments.
+        for key in range(50):
+            assert log.get(key) == b"v" * 100
+        log.destroy()
+        assert kernel.pmfs.fsck() == []
+
+    def test_all_storage_returns_after_both_destroy(self, fom_env):
+        kernel, fom, process = fom_env
+        free_before = kernel.nvm_allocator.free_blocks
+        heap = ObjectHeap(fom, process)
+        log = LogStructuredStore(fom, process, segment_bytes=2 * MIB)
+        for index in range(20):
+            heap.new(4 * KIB)
+            log.put(index, b"x" * 1000)
+        heap.destroy()
+        log.destroy()
+        assert kernel.nvm_allocator.free_blocks == free_before

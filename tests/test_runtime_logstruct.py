@@ -1,0 +1,173 @@
+"""Log-structured store: appends, overwrites, cleaning, O(1) segment death."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fom import FileOnlyMemory
+from repro.errors import MappingError
+from repro.kernel import Kernel, MachineConfig
+from repro.runtime import LogStructuredStore
+from repro.units import GIB, KIB, MIB
+
+
+from repro.core.o1.policy import ExtentPolicy
+from repro.units import PAGE_SIZE
+
+
+def exact_fom(kernel):
+    """FOM whose policy does not round sizes up (exact segment sizing)."""
+    policy = ExtentPolicy(
+        min_extent_bytes=PAGE_SIZE, align_to_page_structures=False
+    )
+    return FileOnlyMemory(kernel, policy=policy)
+
+
+@pytest.fixture
+def store(aligned_kernel):
+    fom = exact_fom(aligned_kernel)
+    process = aligned_kernel.spawn("log")
+    return (
+        LogStructuredStore(fom, process, segment_bytes=256 * KIB),
+        aligned_kernel,
+    )
+
+
+class TestPutGet:
+    def test_roundtrip(self, store):
+        log, _ = store
+        log.put(1, b"hello")
+        log.put(2, b"world")
+        assert log.get(1) == b"hello"
+        assert log.get(2) == b"world"
+        assert len(log) == 2
+
+    def test_overwrite_returns_latest(self, store):
+        log, _ = store
+        log.put(1, b"v1")
+        log.put(1, b"v2-longer")
+        assert log.get(1) == b"v2-longer"
+        assert len(log) == 1
+
+    def test_missing_key_raises(self, store):
+        log, _ = store
+        with pytest.raises(KeyError):
+            log.get(404)
+
+    def test_delete(self, store):
+        log, _ = store
+        log.put(1, b"x")
+        log.delete(1)
+        assert 1 not in log
+        with pytest.raises(KeyError):
+            log.delete(1)
+
+    def test_empty_value_rejected(self, store):
+        log, _ = store
+        with pytest.raises(MappingError):
+            log.put(1, b"")
+
+    def test_oversized_value_rejected(self, store):
+        log, _ = store
+        with pytest.raises(MappingError):
+            log.put(1, b"z" * (300 * KIB))
+
+    def test_appends_fill_segments(self, store):
+        log, _ = store
+        for key in range(100):
+            log.put(key, b"x" * 4000)
+        assert log.stats()["segments"] >= 2
+
+
+class TestCleaning:
+    def fill_and_kill(self, log, records=120, value_bytes=4000):
+        for key in range(records):
+            log.put(key, bytes([key % 251]) * value_bytes)
+        for key in range(0, records, 2):
+            log.delete(key)
+
+    def test_clean_reclaims_segments(self, store):
+        log, _ = store
+        self.fill_and_kill(log)
+        capacity_before = log.stats()["capacity_bytes"]
+        freed = log.clean(max_segments=8)
+        assert freed > 0
+        # Freed segments' files are gone; the survivors' live data moved
+        # into (at most one) new head segment, so net capacity shrinks
+        # or stays while dead space drops.
+        assert log.stats()["capacity_bytes"] <= capacity_before
+
+    def test_clean_preserves_live_data(self, store):
+        log, _ = store
+        self.fill_and_kill(log)
+        survivors = {key: log.get(key) for key in range(1, 120, 2)}
+        log.clean(max_segments=8)
+        for key, value in survivors.items():
+            assert log.get(key) == value
+
+    def test_clean_reduces_dead_bytes(self, store):
+        log, _ = store
+        self.fill_and_kill(log)
+        before = log.stats()["dead_bytes"]
+        log.clean(max_segments=8)
+        assert log.stats()["dead_bytes"] < before
+
+    def test_segment_reclamation_is_file_deletion(self, store):
+        log, kernel = store
+        self.fill_and_kill(log)
+        with kernel.measure() as m:
+            freed = log.clean(max_segments=8)
+        # Every freed segment cost one fom release (unlink), and no
+        # reclaim scanning happened anywhere.
+        assert m.counter_delta.get("fom_release") == freed
+        assert m.counter_delta.get("reclaim_scanned") is None
+
+    def test_cleaning_accounting(self, store):
+        log, _ = store
+        self.fill_and_kill(log)
+        log.clean(max_segments=8)
+        stats = log.stats()
+        assert stats["segments_cleaned"] > 0
+        assert stats["bytes_copied_cleaning"] > 0
+
+    def test_bad_clean_threshold_rejected(self, aligned_kernel):
+        fom = FileOnlyMemory(aligned_kernel)
+        process = aligned_kernel.spawn("p")
+        with pytest.raises(ValueError):
+            LogStructuredStore(fom, process, clean_below=1.5)
+
+
+class TestDestroyAndProperties:
+    def test_destroy_releases_segments(self, store):
+        log, kernel = store
+        for key in range(50):
+            log.put(key, b"x" * 4000)
+        free_before = kernel.nvm_allocator.free_blocks
+        log.destroy()
+        assert kernel.nvm_allocator.free_blocks >= free_before
+        assert log.stats()["segments"] == 0
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 20), st.binary(min_size=1, max_size=600)),
+        min_size=1, max_size=60,
+    ))
+    @settings(max_examples=15, deadline=None)
+    def test_log_matches_dict_semantics(self, operations):
+        """Property: after arbitrary puts, the log agrees with a dict."""
+        kernel = Kernel(
+            MachineConfig(
+                dram_bytes=256 * MIB, nvm_bytes=2 * GIB,
+                pmfs_extent_align_frames=512,
+            )
+        )
+        fom = exact_fom(kernel)
+        log = LogStructuredStore(
+            fom, kernel.spawn("p"), segment_bytes=64 * KIB
+        )
+        model = {}
+        for key, value in operations:
+            log.put(key, value)
+            model[key] = value
+        log.clean(max_segments=16)
+        for key, value in model.items():
+            assert log.get(key) == value
+        assert len(log) == len(model)

@@ -1,0 +1,131 @@
+"""Region-based object heap: bump allocation, whole-region death."""
+
+import pytest
+
+from repro.core.fom import FileOnlyMemory
+from repro.errors import MappingError, OutOfMemoryError
+from repro.runtime import ObjectHeap
+from repro.units import KIB, MIB
+
+
+@pytest.fixture
+def heap(aligned_kernel):
+    fom = FileOnlyMemory(aligned_kernel)
+    process = aligned_kernel.spawn("rt")
+    return ObjectHeap(fom, process), aligned_kernel
+
+
+class TestAllocation:
+    def test_distinct_addresses(self, heap):
+        objheap, _ = heap
+        refs = [objheap.new(100) for _ in range(50)]
+        assert len({ref.addr for ref in refs}) == 50
+
+    def test_objects_fill_one_region(self, heap):
+        objheap, _ = heap
+        for _ in range(100):
+            objheap.new(64)
+        assert objheap.live_regions == 1
+
+    def test_region_overflow_opens_new(self, heap):
+        objheap, _ = heap
+        objheap.new(512 * KIB)
+        objheap.new(1900 * KIB)  # cannot fit behind the first object
+        assert objheap.live_regions == 2
+
+    def test_new_is_o1_no_faults(self, heap):
+        objheap, kernel = heap
+        objheap.new(16)  # open the region outside the measured block
+        with kernel.measure() as m:
+            for _ in range(500):
+                objheap.new(64)
+        assert m.counter_delta.get("page_fault") is None
+        assert m.counter_delta.get("pte_write") is None
+
+    def test_explicit_region_placement(self, heap):
+        objheap, _ = heap
+        region = objheap.create_region()
+        ref = objheap.new(128, region=region)
+        assert ref.region_id == region.region_id
+        assert objheap.region_of(ref) is region
+
+    def test_explicit_full_region_raises(self, heap):
+        objheap, _ = heap
+        region = objheap.create_region()
+        objheap.new(1 * MIB, region=region)
+        with pytest.raises(OutOfMemoryError):
+            objheap.new(1536 * KIB, region=region)
+
+    def test_oversized_object_rejected(self, heap):
+        objheap, _ = heap
+        with pytest.raises(MappingError):
+            objheap.new(4 * MIB)
+        with pytest.raises(MappingError):
+            objheap.new(0)
+
+
+class TestRegionDeath:
+    def test_free_region_is_one_release(self, heap):
+        objheap, kernel = heap
+        region = objheap.create_region()
+        for _ in range(1000):
+            objheap.new(64, region=region)
+        with kernel.measure() as m:
+            died = objheap.free_region(region)
+        assert died == 1000
+        assert m.counter_delta.get("fom_release") == 1
+        # One file unlink — no per-object work.
+        assert m.counter_delta.get("extent_free") == 1
+
+    def test_free_region_cost_independent_of_objects(self, heap):
+        objheap, kernel = heap
+        sparse = objheap.create_region()
+        objheap.new(64, region=sparse)
+        dense = objheap.create_region()
+        for _ in range(2000):
+            objheap.new(64, region=dense)
+        with kernel.measure() as m_sparse:
+            objheap.free_region(sparse)
+        with kernel.measure() as m_dense:
+            objheap.free_region(dense)
+        assert m_sparse.elapsed_ns == m_dense.elapsed_ns
+
+    def test_double_free_rejected(self, heap):
+        objheap, _ = heap
+        region = objheap.create_region()
+        objheap.free_region(region)
+        with pytest.raises(MappingError):
+            objheap.free_region(region)
+
+    def test_region_of_dead_region_raises(self, heap):
+        objheap, _ = heap
+        region = objheap.create_region()
+        ref = objheap.new(64, region=region)
+        objheap.free_region(region)
+        with pytest.raises(MappingError):
+            objheap.region_of(ref)
+
+    def test_current_region_replaced_after_free(self, heap):
+        objheap, _ = heap
+        ref = objheap.new(64)
+        objheap.free_region(objheap.region_of(ref))
+        again = objheap.new(64)  # must open a fresh region
+        assert again.region_id != ref.region_id
+
+    def test_destroy_frees_all(self, heap):
+        objheap, kernel = heap
+        for _ in range(3):
+            region = objheap.create_region()
+            objheap.new(64, region=region)
+        objheap.destroy()
+        assert objheap.live_regions == 0
+
+    def test_stats(self, heap):
+        objheap, _ = heap
+        objheap.new(100)
+        objheap.new(200)
+        stats = objheap.stats()
+        assert stats["allocated_objects"] == 2
+        assert stats["live_objects"] == 2
+        assert stats["used_bytes"] > 300
+        assert stats["capacity_bytes"] == 2 * MIB

@@ -1,0 +1,101 @@
+"""Unit helpers: sizes, alignment, formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import (
+    GIB,
+    KIB,
+    MIB,
+    PAGE_SIZE,
+    align_down,
+    align_up,
+    fmt_bytes,
+    fmt_ns,
+    is_aligned,
+    pages_for,
+)
+
+
+class TestPagesFor:
+    def test_zero_bytes_needs_zero_pages(self):
+        assert pages_for(0) == 0
+
+    def test_one_byte_needs_one_page(self):
+        assert pages_for(1) == 1
+
+    def test_exact_page_boundary(self):
+        assert pages_for(PAGE_SIZE) == 1
+        assert pages_for(2 * PAGE_SIZE) == 2
+
+    def test_one_past_boundary_rounds_up(self):
+        assert pages_for(PAGE_SIZE + 1) == 2
+
+    def test_huge_page_units(self):
+        assert pages_for(3 * MIB, page_size=2 * MIB) == 2
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            pages_for(-1)
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            pages_for(100, page_size=0)
+
+    @given(st.integers(min_value=0, max_value=1 << 50))
+    def test_covers_exactly(self, size):
+        pages = pages_for(size)
+        assert pages * PAGE_SIZE >= size
+        assert (pages - 1) * PAGE_SIZE < size or pages == 0
+
+
+class TestAlignment:
+    def test_align_down_basics(self):
+        assert align_down(4097, 4096) == 4096
+        assert align_down(4096, 4096) == 4096
+        assert align_down(4095, 4096) == 0
+
+    def test_align_up_basics(self):
+        assert align_up(4097, 4096) == 8192
+        assert align_up(4096, 4096) == 4096
+        assert align_up(1, 4096) == 4096
+
+    def test_is_aligned(self):
+        assert is_aligned(2 * MIB, 2 * MIB)
+        assert not is_aligned(2 * MIB + 4096, 2 * MIB)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            align_up(10, 3)
+        with pytest.raises(ValueError):
+            align_down(10, 0)
+        with pytest.raises(ValueError):
+            is_aligned(10, 6)
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 50),
+        st.integers(min_value=0, max_value=30),
+    )
+    def test_align_up_down_bracket_value(self, value, shift):
+        alignment = 1 << shift
+        down, up = align_down(value, alignment), align_up(value, alignment)
+        assert down <= value <= up
+        assert down % alignment == 0 and up % alignment == 0
+        assert up - down in (0, alignment)
+
+
+class TestFormatting:
+    def test_fmt_bytes_scales(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(2 * KIB) == "2.0 KiB"
+        assert fmt_bytes(3 * MIB) == "3.0 MiB"
+        assert fmt_bytes(GIB) == "1.0 GiB"
+
+    def test_fmt_bytes_negative(self):
+        assert fmt_bytes(-2 * KIB) == "-2.0 KiB"
+
+    def test_fmt_ns_scales(self):
+        assert fmt_ns(5) == "5 ns"
+        assert fmt_ns(2500) == "2.50 us"
+        assert fmt_ns(3_000_000) == "3.000 ms"
+        assert fmt_ns(2_000_000_000) == "2.000 s"

@@ -1,0 +1,90 @@
+"""Huge-page populate paths through the vm layer."""
+
+import pytest
+
+from repro.kernel import Kernel, MachineConfig
+from repro.units import GIB, HUGE_PAGE_2M, MIB, PAGE_SIZE
+from repro.vm.vma import MapFlags, Protection
+
+
+@pytest.fixture
+def machine():
+    kernel = Kernel(
+        MachineConfig(
+            dram_bytes=512 * MIB, nvm_bytes=2 * GIB,
+            pmfs_extent_align_frames=512,
+        )
+    )
+    process = kernel.spawn("p")
+    return kernel, process, kernel.syscalls(process)
+
+
+def huge_map(kernel, process, sys, size=4 * MIB):
+    fd = sys.open(kernel.pmfs, "/huge", create=True, size=size)
+    va = process.space.pick_address(size, alignment=HUGE_PAGE_2M)
+    sys.mmap(
+        size, fd=fd,
+        flags=MapFlags.SHARED | MapFlags.POPULATE | MapFlags.HUGEPAGE,
+        addr=va,
+    )
+    return va
+
+
+class TestHugePopulate:
+    def test_huge_ptes_installed(self, machine):
+        kernel, process, sys = machine
+        va = huge_map(kernel, process, sys)
+        pte = process.space.page_table.lookup(va)
+        assert pte.page_size == HUGE_PAGE_2M
+        assert process.space.page_table.leaf_count() == 2
+
+    def test_access_through_huge_mapping(self, machine):
+        kernel, process, sys = machine
+        va = huge_map(kernel, process, sys)
+        paddr = kernel.access(process, va + 3 * MIB + 123)
+        inode = kernel.pmfs.lookup("/huge")
+        base_pfn = kernel.pmfs._tree_of(inode).extents()[0].pfn
+        assert paddr == base_pfn * PAGE_SIZE + 3 * MIB + 123
+
+    def test_one_tlb_entry_covers_2mib(self, machine):
+        kernel, process, sys = machine
+        va = huge_map(kernel, process, sys)
+        kernel.access(process, va)
+        before = kernel.counters.get("tlb_miss")
+        kernel.access_range(process, va, HUGE_PAGE_2M)  # 512 page touches
+        assert kernel.counters.get("tlb_miss") == before
+        assert kernel.tlb.resident_count(HUGE_PAGE_2M) >= 1
+
+    def test_resident_pages_counts_4k_units(self, machine):
+        kernel, process, sys = machine
+        huge_map(kernel, process, sys, size=4 * MIB)
+        assert process.space.resident_pages() == 1024
+
+    def test_munmap_huge_mapping(self, machine):
+        from repro.errors import ProtectionError
+
+        kernel, process, sys = machine
+        va = huge_map(kernel, process, sys)
+        kernel.access(process, va)
+        sys.munmap(va, 4 * MIB)
+        assert process.space.resident_pages() == 0
+        with pytest.raises(ProtectionError):
+            kernel.access(process, va)
+
+    def test_unaligned_file_degrades_to_small_pages(self, machine):
+        kernel, process, sys = machine
+        kernel.nvm_allocator.alloc_extent(3)  # skew physical alignment
+        saved = kernel.pmfs.extent_align_frames
+        kernel.pmfs.extent_align_frames = 1
+        try:
+            fd = sys.open(kernel.pmfs, "/skewed", create=True, size=2 * MIB)
+        finally:
+            kernel.pmfs.extent_align_frames = saved
+        va = process.space.pick_address(2 * MIB, alignment=HUGE_PAGE_2M)
+        sys.mmap(
+            2 * MIB, fd=fd,
+            flags=MapFlags.SHARED | MapFlags.POPULATE | MapFlags.HUGEPAGE,
+            addr=va,
+        )
+        pte = process.space.page_table.lookup(va)
+        assert pte.page_size == PAGE_SIZE  # graceful degradation

@@ -1,0 +1,141 @@
+"""userfaultfd-style regions: upcalls, resolution, self-managed eviction."""
+
+import pytest
+
+from repro.errors import MappingError, ProtectionError
+from repro.units import KIB, PAGE_SIZE
+from repro.vm.userfault import UPCALL_NS, UserFaultRegion
+
+
+@pytest.fixture
+def env(kernel):
+    process = kernel.spawn("app")
+    return kernel, process
+
+
+class TestFaultDelivery:
+    def test_fault_upcalls_to_handler(self, env):
+        kernel, process = env
+        seen = []
+        region = UserFaultRegion(
+            kernel, process, 16 * PAGE_SIZE,
+            handler=lambda page: seen.append(page) or b"data",
+        )
+        kernel.access(process, region.vaddr + 3 * PAGE_SIZE)
+        assert seen == [3]
+        assert region.delivered == 1
+        assert kernel.counters.get("userfault_upcall") == 1
+
+    def test_upcall_cost_charged(self, env):
+        kernel, process = env
+        region = UserFaultRegion(
+            kernel, process, PAGE_SIZE, handler=lambda page: None
+        )
+        with kernel.measure() as m:
+            kernel.access(process, region.vaddr)
+        assert m.elapsed_ns >= UPCALL_NS
+
+    def test_resolved_page_needs_no_second_upcall(self, env):
+        kernel, process = env
+        region = UserFaultRegion(
+            kernel, process, PAGE_SIZE, handler=lambda page: b"x"
+        )
+        kernel.access(process, region.vaddr)
+        kernel.access(process, region.vaddr + 64)
+        assert region.delivered == 1
+
+    def test_zeropage_resolution(self, env):
+        kernel, process = env
+        region = UserFaultRegion(
+            kernel, process, PAGE_SIZE, handler=lambda page: None
+        )
+        kernel.access(process, region.vaddr)
+        assert kernel.counters.get("userfault_zeropage") == 1
+
+    def test_copy_resolution_counted(self, env):
+        kernel, process = env
+        region = UserFaultRegion(
+            kernel, process, PAGE_SIZE, handler=lambda page: b"payload"
+        )
+        kernel.access(process, region.vaddr)
+        assert kernel.counters.get("userfault_copy") == 1
+
+    def test_oversized_resolution_rejected(self, env):
+        kernel, process = env
+        region = UserFaultRegion(
+            kernel, process, PAGE_SIZE,
+            handler=lambda page: b"z" * (PAGE_SIZE + 1),
+        )
+        with pytest.raises(MappingError):
+            kernel.access(process, region.vaddr)
+
+    def test_double_resolve_rejected(self, env):
+        kernel, process = env
+        region = UserFaultRegion(
+            kernel, process, PAGE_SIZE, handler=lambda page: b"x"
+        )
+        kernel.access(process, region.vaddr)
+        with pytest.raises(MappingError):
+            region.resolve(0, b"again")
+
+
+class TestSelfManagedSwapping:
+    def test_evict_then_refault(self, env):
+        kernel, process = env
+        store = {}
+
+        def handler(page):
+            return store.get(page, b"\x00")
+
+        region = UserFaultRegion(kernel, process, 8 * PAGE_SIZE, handler=handler)
+        kernel.access(process, region.vaddr, write=True)
+        store[0] = b"swapped-out-contents"
+        assert region.evict(0)
+        assert region.resident_pages() == 0
+        kernel.access(process, region.vaddr)  # refault -> handler
+        assert region.delivered == 2
+
+    def test_evict_nonresident_false(self, env):
+        kernel, process = env
+        region = UserFaultRegion(
+            kernel, process, PAGE_SIZE, handler=lambda page: None
+        )
+        assert not region.evict(0)
+
+    def test_eviction_frees_frames(self, env):
+        kernel, process = env
+        region = UserFaultRegion(
+            kernel, process, 4 * PAGE_SIZE, handler=lambda page: None
+        )
+        kernel.access_range(process, region.vaddr, 4 * PAGE_SIZE)
+        free_before = kernel.dram_buddy.free_frames
+        for page in range(4):
+            region.evict(page)
+        assert kernel.dram_buddy.free_frames == free_before + 4
+
+
+class TestLifecycle:
+    def test_populate_rejected(self, env):
+        kernel, process = env
+        region = UserFaultRegion(
+            kernel, process, 4 * PAGE_SIZE, handler=lambda page: None
+        )
+        with pytest.raises(MappingError):
+            process.space.populate(region.vaddr, 4 * PAGE_SIZE)
+
+    def test_close_releases_everything(self, env):
+        kernel, process = env
+        region = UserFaultRegion(
+            kernel, process, 4 * PAGE_SIZE, handler=lambda page: b"x"
+        )
+        kernel.access_range(process, region.vaddr, 4 * PAGE_SIZE)
+        free_before = kernel.dram_buddy.free_frames
+        region.close()
+        assert kernel.dram_buddy.free_frames == free_before + 4
+        with pytest.raises(ProtectionError):
+            kernel.access(process, region.vaddr)
+
+    def test_bad_length_rejected(self, env):
+        kernel, process = env
+        with pytest.raises(MappingError):
+            UserFaultRegion(kernel, process, 100, handler=lambda page: None)

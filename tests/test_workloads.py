@@ -1,0 +1,117 @@
+"""Workload generators: determinism and distribution shape."""
+
+import pytest
+
+from repro.units import KIB, MIB, PAGE_SIZE
+from repro.workloads import (
+    AllocTrace,
+    TraceOp,
+    hot_cold_pages,
+    random_pages,
+    sequential_pages,
+    sparse_pages,
+    strided_offsets,
+)
+
+
+class TestPatterns:
+    def test_sequential_one_per_page(self):
+        addrs = sequential_pages(0x1000, 16 * KIB)
+        assert len(addrs) == 4
+        assert addrs == [0x1000, 0x2000, 0x3000, 0x4000]
+
+    def test_sequential_bad_length(self):
+        with pytest.raises(ValueError):
+            sequential_pages(0, 0)
+
+    def test_random_pages_deterministic(self):
+        a = random_pages(0, MIB, 100, seed=5)
+        b = random_pages(0, MIB, 100, seed=5)
+        assert a == b
+        assert random_pages(0, MIB, 100, seed=6) != a
+
+    def test_random_pages_in_bounds(self):
+        for addr in random_pages(0x10000, MIB, 500, seed=1):
+            assert 0x10000 <= addr < 0x10000 + MIB
+            assert addr % PAGE_SIZE == 0
+
+    def test_random_pages_too_small_region(self):
+        with pytest.raises(ValueError):
+            random_pages(0, 100, 10)
+
+    def test_sparse_fraction(self):
+        addrs = sparse_pages(0, MIB, fraction=0.25, seed=2)
+        assert len(addrs) == 64  # 256 pages * 0.25
+        assert len(set(addrs)) == len(addrs)  # each once
+        assert addrs == sorted(addrs)
+
+    def test_sparse_bad_fraction(self):
+        with pytest.raises(ValueError):
+            sparse_pages(0, MIB, fraction=0.0)
+        with pytest.raises(ValueError):
+            sparse_pages(0, MIB, fraction=1.5)
+
+    def test_hot_cold_skew(self):
+        addrs = hot_cold_pages(
+            0, MIB, 2000, hot_fraction=0.1, hot_probability=0.9, seed=3
+        )
+        hot_limit = int((MIB // PAGE_SIZE) * 0.1) * PAGE_SIZE
+        hot_hits = sum(1 for addr in addrs if addr < hot_limit)
+        assert 0.8 <= hot_hits / len(addrs) <= 1.0
+
+    def test_hot_cold_validation(self):
+        with pytest.raises(ValueError):
+            hot_cold_pages(0, MIB, 10, hot_fraction=1.0)
+        with pytest.raises(ValueError):
+            hot_cold_pages(0, MIB, 10, hot_probability=2.0)
+
+    def test_strided(self):
+        assert strided_offsets(0, 256, 64) == [0, 64, 128, 192]
+        with pytest.raises(ValueError):
+            strided_offsets(0, 256, 0)
+
+
+class TestAllocTraces:
+    def test_deterministic(self):
+        a = AllocTrace(seed=9).generate(200)
+        b = AllocTrace(seed=9).generate(200)
+        assert a == b
+
+    def test_free_always_names_live_malloc(self):
+        trace = AllocTrace(seed=4).generate(500, live_target=50)
+        live = set()
+        for event in trace:
+            if event.op is TraceOp.MALLOC:
+                assert event.size > 0
+                live.add(event.tag)
+            else:
+                assert event.tag in live
+                live.remove(event.tag)
+
+    def test_live_bounded(self):
+        trace = AllocTrace(seed=4).generate(1000, live_target=32)
+        live = 0
+        peak = 0
+        for event in trace:
+            live += 1 if event.op is TraceOp.MALLOC else -1
+            peak = max(peak, live)
+        assert peak <= 64  # 2 * live_target
+
+    def test_size_mixture(self):
+        trace = AllocTrace(seed=8).generate(3000, live_target=500)
+        sizes = [e.size for e in trace if e.op is TraceOp.MALLOC]
+        small = sum(1 for size in sizes if size <= 512)
+        large = sum(1 for size in sizes if size > 16 * KIB)
+        assert small > len(sizes) * 0.6  # mostly small
+        assert 0 < large < len(sizes) * 0.1  # rare large
+
+    def test_total_allocated_helper(self):
+        trace = AllocTrace(seed=1).generate(100)
+        total = AllocTrace.total_allocated(trace)
+        assert total == sum(e.size for e in trace if e.op is TraceOp.MALLOC)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            AllocTrace().generate(0)
+        with pytest.raises(ValueError):
+            AllocTrace(large_fraction=0.9, medium_fraction=0.3)
