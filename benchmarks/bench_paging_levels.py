@@ -41,7 +41,7 @@ def miss_heavy_cost(levels: int, virtualized: bool):
     with kernel.measure() as m:
         for addr in addrs:
             kernel.access(process, addr)
-    walks = m.counter_delta.get("page_walk", 0)
+    walks = m.counter_delta.get("walk_start", 0)
     refs = m.counter_delta.get("walk_ref", 0) + m.counter_delta.get(
         "nested_walk_ref", 0
     )

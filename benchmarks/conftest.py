@@ -5,7 +5,9 @@ Every bench:
 * rebuilds the paper experiment on the simulator and prints the same
   rows/series the paper's figure plots (simulated microseconds);
 * writes that table to ``benchmarks/results/<name>.txt`` so
-  EXPERIMENTS.md can quote real output;
+  EXPERIMENTS.md can quote real output, plus a machine-readable
+  ``<name>.json`` sibling (parsed rows) so the perf trajectory can be
+  tracked across PRs;
 * asserts the figure's qualitative shape (so ``pytest benchmarks/`` is
   itself a regression gate);
 * wraps the experiment in pytest-benchmark (wall-clock of the harness).
@@ -15,20 +17,32 @@ Run with ``pytest benchmarks/ --benchmark-only``.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
+
+from repro.analysis.tables import parse_table
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture
 def record_result():
-    """Write a named result table under benchmarks/results/."""
+    """Write a named result table under benchmarks/results/.
+
+    Emits both ``<name>.txt`` (the human table) and ``<name>.json``
+    (``{"name": ..., "rows": [...]}`` with the same cells parsed back
+    into numbers) so tooling can diff results across PRs.
+    """
 
     def _record(name: str, text: str) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        document = {"name": name, "rows": parse_table(text)}
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(document, indent=1) + "\n"
+        )
         print(f"\n=== {name} ===\n{text}")
 
     return _record

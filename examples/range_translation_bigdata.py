@@ -36,7 +36,7 @@ def classic_machine() -> None:
     print(f"  mmap            {fmt_ns(map_m.elapsed_ns)}")
     print(f"  sparse scan     {fmt_ns(scan_m.elapsed_ns)} "
           f"({scan_m.counter_delta.get('fault_minor', 0)} faults, "
-          f"{scan_m.counter_delta.get('page_walk', 0)} walks)")
+          f"{scan_m.counter_delta.get('walk_start', 0)} walks)")
 
 
 def range_machine() -> None:
@@ -59,7 +59,7 @@ def range_machine() -> None:
     print(f"  map (1 RTE)     {fmt_ns(map_m.elapsed_ns)}")
     print(f"  sparse scan     {fmt_ns(scan_m.elapsed_ns)} "
           f"({scan_m.counter_delta.get('rtlb_hit', 0)} range-TLB hits, "
-          f"{scan_m.counter_delta.get('page_walk', 0)} walks)")
+          f"{scan_m.counter_delta.get('walk_start', 0)} walks)")
     print(f"  unmap           {fmt_ns(unmap_m.elapsed_ns)} "
           f"(one table write + shootdown)")
 

@@ -8,10 +8,11 @@ whole-system accounting.
 
 from __future__ import annotations
 
-from typing import Dict, List, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.analysis.tables import format_table
-from repro.units import KIB, PAGE_SIZE, fmt_bytes
+from repro.obs.export import attribution_rows
+from repro.units import KIB, PAGE_SIZE, fmt_bytes, fmt_ns
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kernel.kernel import Kernel
@@ -67,6 +68,53 @@ def meminfo(kernel: "Kernel") -> Dict[str, int]:
     if kernel.swap is not None:
         info["swap_used_bytes"] = kernel.swap.used_slots * PAGE_SIZE
     return info
+
+
+def attribution_report(
+    attribution: Dict[Tuple[int, str], int],
+    total_ns: int,
+    process_names: Optional[Dict[int, str]] = None,
+) -> str:
+    """Top-down cost attribution: simulated ns per (subsystem, process).
+
+    ``attribution`` is a ``Kernel.measure(trace=True)`` result's
+    :attr:`attribution` (or a tracer's live table); ``total_ns`` the
+    measured elapsed time the shares are computed against.
+    """
+    rows: List[List[object]] = []
+    for subsystem, process, ns in attribution_rows(attribution, process_names):
+        share = f"{100.0 * ns / total_ns:.1f}%" if total_ns else "-"
+        rows.append([subsystem, process, fmt_ns(ns), share])
+    attributed = sum(attribution.values())
+    rows.append(["total", "(all)", fmt_ns(attributed), ""])
+    return format_table(["subsystem", "process", "self time", "share"], rows)
+
+
+def histogram_report(registry) -> str:
+    """Latency-histogram summary table (p50/p95/p99 in simulated ns).
+
+    ``registry`` is a :class:`repro.obs.metrics.MetricsRegistry`; one row
+    per histogram, i.e. per traced span name.
+    """
+    rows: List[List[object]] = []
+    for hist in registry.iter_histograms():
+        rows.append(
+            [
+                hist.name,
+                hist.count,
+                fmt_ns(hist.p50),
+                fmt_ns(hist.p95),
+                fmt_ns(hist.p99),
+                fmt_ns(hist.max),
+            ]
+        )
+    return format_table(["span", "count", "p50", "p95", "p99", "max"], rows)
+
+
+def counters_report(counters) -> str:
+    """All event counters as a two-column table, sorted by name."""
+    rows = [[name, value] for name, value in counters]
+    return format_table(["counter", "count"], rows)
 
 
 def format_meminfo(kernel: "Kernel") -> str:

@@ -6,7 +6,8 @@ with the paper's figures; EXPERIMENTS.md is assembled from the same rows.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import re
+from typing import Dict, List, Sequence
 
 from repro.analysis.experiments import Series
 
@@ -59,6 +60,41 @@ def format_series_table(
             row.append(f"{series.ys[index] / y_unit_divisor:.2f}")
         rows.append(row)
     return format_table(headers, rows)
+
+
+def parse_table(text: str) -> List[Dict[str, object]]:
+    """Parse :func:`format_table` output back into records.
+
+    Returns one dict per data row, keyed by header, with cells cast to
+    int or float where they parse as numbers.  Used by the benchmark
+    harness to emit machine-readable JSON alongside the text tables.
+
+    >>> parse_table(format_table(["x", "y (us)"], [[1, "2.50"]]))
+    [{'x': 1, 'y (us)': 2.5}]
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if len(lines) < 2:
+        return []
+    headers = re.split(r"\s{2,}", lines[0].strip())
+    records: List[Dict[str, object]] = []
+    for line in lines[2:]:  # skip the header rule
+        cells = re.split(r"\s{2,}", line.strip())
+        if len(cells) != len(headers):
+            continue
+        record: Dict[str, object] = {}
+        for header, cell in zip(headers, cells):
+            record[header] = _parse_cell(cell)
+        records.append(record)
+    return records
+
+
+def _parse_cell(cell: str) -> object:
+    for cast in (int, float):
+        try:
+            return cast(cell)
+        except ValueError:
+            continue
+    return cell
 
 
 def format_ratio(numerator: float, denominator: float) -> str:

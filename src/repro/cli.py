@@ -3,6 +3,9 @@
 Installed as ``repro-o1`` (see pyproject.toml)::
 
     repro-o1 demo        # the quickstart comparison, one command
+    repro-o1 demo --trace out.json   # ... with a Chrome-trace recording
+    repro-o1 trace       # record a trace + cost-attribution report
+    repro-o1 stats       # counters and latency histograms for a workload
     repro-o1 meminfo     # a fresh machine's memory accounting
     repro-o1 figures     # how to regenerate the paper's figures
 """
@@ -13,36 +16,99 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis.report import format_meminfo, smaps
+from repro.analysis.report import (
+    attribution_report,
+    counters_report,
+    format_meminfo,
+    histogram_report,
+    smaps,
+)
 from repro.core.fom import FileOnlyMemory
 from repro.kernel import Kernel, MachineConfig
+from repro.obs.export import export_tracer
 from repro.units import GIB, MIB, fmt_ns
 
 
-def _cmd_demo(args: argparse.Namespace) -> int:
-    kernel = Kernel(
+def _demo_kernel() -> Kernel:
+    return Kernel(
         MachineConfig(
             dram_bytes=1 * GIB, nvm_bytes=4 * GIB,
             pmfs_extent_align_frames=512,
         )
     )
-    size = args.mib * MIB
+
+
+def _run_demo_workload(kernel: Kernel, mib: int, trace: bool = False):
+    """The quickstart comparison; returns (demand, o1, app) measurements.
+
+    With ``trace=True`` both measured phases record into the kernel's
+    tracer under root spans, so attribution and Chrome-trace export work.
+    """
+    size = mib * MIB
     baseline = kernel.spawn("baseline")
     sys_calls = kernel.syscalls(baseline)
     va = sys_calls.mmap(size)
-    with kernel.measure() as demand:
+    with kernel.measure(trace=trace) as demand:
         kernel.access_range(baseline, va, size)
     fom = FileOnlyMemory(kernel)
     app = kernel.spawn("fom")
-    with kernel.measure() as o1:
+    with kernel.measure(trace=trace) as o1:
         region = fom.allocate(app, size)
         kernel.access_range(app, region.vaddr, size)
+    return demand, o1, app
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    kernel = _demo_kernel()
+    trace_path = getattr(args, "trace", None)
+    demand, o1, app = _run_demo_workload(
+        kernel, args.mib, trace=trace_path is not None
+    )
     print(f"touch {args.mib} MiB, demand paging:    {fmt_ns(demand.elapsed_ns)} "
           f"({demand.counter_delta.get('fault_minor', 0)} faults)")
     print(f"touch {args.mib} MiB, file-only memory: {fmt_ns(o1.elapsed_ns)} "
           f"({o1.counter_delta.get('pte_write', 0)} PTE writes, 0 faults)")
     print()
     print(smaps(app))
+    if trace_path is not None:
+        count = export_tracer(trace_path, kernel.tracer)
+        print()
+        print(f"wrote {count} trace events to {trace_path} "
+              "(open in chrome://tracing or https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    kernel = _demo_kernel()
+    demand, o1, _app = _run_demo_workload(kernel, args.mib, trace=True)
+    count = export_tracer(args.out, kernel.tracer)
+    total = demand.elapsed_ns + o1.elapsed_ns
+    print(f"wrote {count} trace events to {args.out} "
+          "(open in chrome://tracing or https://ui.perfetto.dev)")
+    print()
+    print("cost attribution, demand-paging phase:")
+    print(attribution_report(
+        demand.attribution, demand.elapsed_ns, kernel.tracer.process_names
+    ))
+    print()
+    print("cost attribution, file-only-memory phase:")
+    print(attribution_report(
+        o1.attribution, o1.elapsed_ns, kernel.tracer.process_names
+    ))
+    print()
+    print(f"measured total: {fmt_ns(total)} "
+          f"(ring dropped {kernel.tracer.dropped_events} events)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    kernel = _demo_kernel()
+    _run_demo_workload(kernel, args.mib, trace=True)
+    print("latency histograms (simulated time per traced span):")
+    print(histogram_report(kernel.counters))
+    print()
+    print("event counters:")
+    print(counters_report(kernel.counters))
     return 0
 
 
@@ -59,8 +125,9 @@ def _cmd_figures(_args: argparse.Namespace) -> int:
     print()
     print("    pytest benchmarks/ --benchmark-only")
     print()
-    print("Tables land in benchmarks/results/*.txt; EXPERIMENTS.md maps")
-    print("each one to its figure and the paper's claims.")
+    print("Tables land in benchmarks/results/*.txt (plus machine-readable")
+    print(".json siblings); EXPERIMENTS.md maps each one to its figure and")
+    print("the paper's claims.")
     return 0
 
 
@@ -73,7 +140,24 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     demo = sub.add_parser("demo", help="demand paging vs file-only memory")
     demo.add_argument("--mib", type=int, default=16, help="region size in MiB")
+    demo.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="also record a Chrome-trace JSON of both measured phases",
+    )
     demo.set_defaults(func=_cmd_demo)
+    trace = sub.add_parser(
+        "trace", help="record a trace and print cost attribution"
+    )
+    trace.add_argument("--mib", type=int, default=16, help="region size in MiB")
+    trace.add_argument(
+        "-o", "--out", default="trace.json", help="Chrome-trace JSON path"
+    )
+    trace.set_defaults(func=_cmd_trace)
+    stats = sub.add_parser(
+        "stats", help="counters and latency histograms for the demo workload"
+    )
+    stats.add_argument("--mib", type=int, default=16, help="region size in MiB")
+    stats.set_defaults(func=_cmd_stats)
     meminfo = sub.add_parser("meminfo", help="fresh machine accounting")
     meminfo.add_argument("--dram-gib", type=int, default=4)
     meminfo.add_argument("--nvm-gib", type=int, default=16)

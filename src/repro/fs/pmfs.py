@@ -71,6 +71,16 @@ class BlockAllocator:
         """
         if nblocks <= 0:
             raise ValueError(f"nblocks must be positive, got {nblocks}")
+        tracer = self._counters.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.begin("extent_alloc", "fs", args={"nblocks": nblocks})
+            try:
+                return self._alloc_extent(nblocks, align_frames)
+            finally:
+                tracer.end()
+        return self._alloc_extent(nblocks, align_frames)
+
+    def _alloc_extent(self, nblocks: int, align_frames: int) -> Extent:
         self._clock.advance(self._costs.extent_alloc_ns + self._costs.bitmap_run_ns)
         self._counters.bump("extent_alloc")
         start = self._find_aligned_run(nblocks, align_frames)
@@ -270,6 +280,13 @@ class Pmfs(FileSystem):
         self._tick()
         self._clock.advance(self._costs.journal_record_ns // 2)
         self._counters.bump("journal_commit")
+        tracer = self._counters.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant(
+                "journal_commit",
+                "fs",
+                args={"op": record.op, "ino": record.ino},
+            )
         record.committed = True
         self._tick()
 
@@ -278,7 +295,12 @@ class Pmfs(FileSystem):
         self._counters.bump("extent_lookup")
 
     def _tree_of(self, inode: Inode) -> ExtentTree:
-        return self._trees.setdefault(inode.ino, ExtentTree())
+        tree = self._trees.get(inode.ino)
+        if tree is None:
+            tree = self._trees[inode.ino] = ExtentTree(
+                tracer=self._counters.tracer
+            )
+        return tree
 
     # ------------------------------------------------------------------
     # FileSystem storage interface
@@ -292,6 +314,20 @@ class Pmfs(FileSystem):
         commit is undone (bitmap frees); after commit it is redone (tree
         inserts) — see :meth:`crash`.
         """
+        tracer = self._counters.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.begin(
+                "fs_alloc_blocks",
+                "fs",
+                args={"ino": inode.ino, "nblocks": nblocks},
+            )
+            try:
+                return self._allocate_blocks(inode, nblocks)
+            finally:
+                tracer.end()
+        return self._allocate_blocks(inode, nblocks)
+
+    def _allocate_blocks(self, inode: Inode, nblocks: int) -> None:
         tree = self._tree_of(inode)
         logical = tree.block_count
         record = self._journal_begin("alloc", inode.ino)
@@ -312,7 +348,11 @@ class Pmfs(FileSystem):
         self._apply_alloc(record)
 
     def _apply_alloc(self, record: "JournalRecord") -> None:
-        tree = self._trees.setdefault(record.ino, ExtentTree())
+        tree = self._trees.get(record.ino)
+        if tree is None:
+            tree = self._trees[record.ino] = ExtentTree(
+                tracer=self._counters.tracer
+            )
         for extent in record.extents:
             if tree.lookup(extent.logical) is None:
                 tree.insert(extent)
@@ -361,11 +401,19 @@ class Pmfs(FileSystem):
         tree = self._trees.get(inode.ino)
         if tree is None:
             return
-        record = self._journal_begin("free", inode.ino)
-        record.extents = tree.extents()
-        self._journal_commit(record)
-        self._apply_free(record)
-        inode.payload.clear()
+        tracer = self._counters.tracer
+        traced = tracer is not None and tracer.enabled
+        if traced:
+            tracer.begin("fs_free_blocks", "fs", args={"ino": inode.ino})
+        try:
+            record = self._journal_begin("free", inode.ino)
+            record.extents = tree.extents()
+            self._journal_commit(record)
+            self._apply_free(record)
+            inode.payload.clear()
+        finally:
+            if traced:
+                tracer.end()
 
     def _apply_free(self, record: "JournalRecord") -> None:
         tree = self._trees.pop(record.ino, None)
@@ -411,6 +459,12 @@ class Pmfs(FileSystem):
         idempotently).  After recovery, :func:`fsck` holds.
         """
         self._crash_countdown = None
+        tracer = self._counters.tracer
+        traced = tracer is not None and tracer.enabled
+        if traced:
+            tracer.begin(
+                "journal_replay", "fs", args={"records": len(self.journal)}
+            )
         for record in self.journal:
             self._clock.advance(self._costs.journal_record_ns // 2)
             self._counters.bump("journal_replay")
@@ -432,6 +486,8 @@ class Pmfs(FileSystem):
             elif record.op == "free":
                 self._apply_free(record)
         self.journal.clear()
+        if traced:
+            tracer.end()
 
     def fsck(self) -> List[str]:
         """Consistency check: every allocated block belongs to exactly

@@ -52,9 +52,20 @@ class EventCounters:
     ``pte_write`` as they run; tests and benchmarks assert on them to verify
     that the *mechanism* (not just the cost) matches the paper's narrative —
     e.g. that MAP_POPULATE eliminates all minor faults.
+
+    Counter names follow the ``subsystem_verb_object`` convention; the
+    canonical list lives in :mod:`repro.obs.names`.
+    :class:`repro.obs.metrics.MetricsRegistry` extends this class with
+    latency histograms — new code should prefer it.
     """
 
     __slots__ = ("_counts",)
+
+    #: Optional :class:`repro.obs.trace.Tracer` back-reference.  Components
+    #: that hold counters reach the machine's tracer through it (``None``
+    #: means no tracing); :class:`~repro.obs.metrics.MetricsRegistry`
+    #: instances override it per machine.
+    tracer = None
 
     def __init__(self) -> None:
         self._counts: Counter = Counter()
@@ -72,11 +83,16 @@ class EventCounters:
         return dict(self._counts)
 
     def delta_since(self, snapshot: Dict[str, int]) -> Dict[str, int]:
-        """Counters that changed since ``snapshot``, as name -> increase."""
+        """Counters that changed since ``snapshot``, as name -> increase.
+
+        Deltas are clamped at zero: a :meth:`reset` between snapshot and
+        read would otherwise report negative "increases" for counters
+        that were already non-zero at snapshot time.
+        """
         out = {}
         for name, value in self._counts.items():
             change = value - snapshot.get(name, 0)
-            if change:
+            if change > 0:
                 out[name] = change
         return out
 

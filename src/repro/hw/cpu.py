@@ -109,20 +109,34 @@ class Cpu:
         """
         if vaddr < 0:
             raise ProtectionError(f"negative virtual address {vaddr:#x}")
-        for _ in range(self._MAX_FAULT_RETRIES):
-            paddr = self._translate(space, vaddr, write)
-            if paddr is not None:
-                self._cache.reference(paddr, write=write)
-                return paddr
-            # No translation (or a permission upgrade needed): fault to OS.
-            self._clock.advance(self._costs.fault_trap_ns)
-            self._counters.bump("page_fault")
-            space.handle_fault(vaddr, write)
-            self._clock.advance(self._costs.fault_return_ns)
-        raise ProtectionError(
-            f"fault handler failed to map {vaddr:#x} after "
-            f"{self._MAX_FAULT_RETRIES} retries"
-        )
+        tracer = self._counters.tracer
+        traced = tracer is not None and tracer.enabled
+        if traced:
+            tracer.begin("access", "cpu")
+        try:
+            for _ in range(self._MAX_FAULT_RETRIES):
+                paddr = self._translate(space, vaddr, write)
+                if paddr is not None:
+                    self._cache.reference(paddr, write=write)
+                    return paddr
+                # No translation (or a permission upgrade needed): fault to OS.
+                if traced:
+                    tracer.begin("fault", "fault", args={"vaddr": hex(vaddr)})
+                try:
+                    self._clock.advance(self._costs.fault_trap_ns)
+                    self._counters.bump("fault_trap")
+                    space.handle_fault(vaddr, write)
+                    self._clock.advance(self._costs.fault_return_ns)
+                finally:
+                    if traced:
+                        tracer.end()
+            raise ProtectionError(
+                f"fault handler failed to map {vaddr:#x} after "
+                f"{self._MAX_FAULT_RETRIES} retries"
+            )
+        finally:
+            if traced:
+                tracer.end()
 
     def access_range(
         self,

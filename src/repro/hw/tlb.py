@@ -64,6 +64,12 @@ class Tlb:
     42
     """
 
+    #: Optional :class:`repro.obs.trace.Tracer`; when set and enabled,
+    #: structural events (insert evictions, invalidations, flushes) are
+    #: recorded as instant trace events.  Hit/miss accounting stays in
+    #: the CPU front-end, which owns the costs.
+    tracer = None
+
     def __init__(self, geometry: Optional[Dict[int, Tuple[int, int]]] = None) -> None:
         self._geometry = dict(geometry or DEFAULT_GEOMETRY)
         for size, (sets, ways) in self._geometry.items():
@@ -114,6 +120,12 @@ class Tlb:
         entry_set.move_to_end(key)
         if len(entry_set) > ways:
             _, evicted = entry_set.popitem(last=False)
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.instant(
+                    "tlb_evict",
+                    "cpu",
+                    args={"vaddr": hex(evicted.vaddr), "page_size": evicted.page_size},
+                )
             return evicted
         return None
 
@@ -129,6 +141,7 @@ class Tlb:
             entry_set = sets.get(vpn % nsets)
             if entry_set and entry_set.pop((asid, vpn), None) is not None:
                 dropped += 1
+        self._trace_invalidate("tlb_invalidate", dropped, vaddr=vaddr)
         return dropped
 
     def invalidate_range(self, vaddr: int, length: int, asid: int = 0) -> int:
@@ -147,6 +160,7 @@ class Tlb:
                 for key in stale:
                     del entry_set[key]
                     dropped += 1
+        self._trace_invalidate("tlb_invalidate_range", dropped, vaddr=vaddr)
         return dropped
 
     def flush_asid(self, asid: int) -> int:
@@ -165,7 +179,18 @@ class Tlb:
         dropped = self.resident_count()
         for sets in self._arrays.values():
             sets.clear()
+        self._trace_invalidate("tlb_flush_all", dropped)
         return dropped
+
+    def _trace_invalidate(
+        self, name: str, dropped: int, vaddr: Optional[int] = None
+    ) -> None:
+        if self.tracer is None or not self.tracer.enabled:
+            return
+        args: Dict[str, object] = {"dropped": dropped}
+        if vaddr is not None:
+            args["vaddr"] = hex(vaddr)
+        self.tracer.instant(name, "cpu", args=args)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -29,7 +29,7 @@ from repro.errors import ConfigurationError
 from repro.fs.pmfs import BlockAllocator, Pmfs
 from repro.fs.tmpfs import Tmpfs
 from repro.hw.cache import CacheModel
-from repro.hw.clock import EventCounters, SimClock
+from repro.hw.clock import SimClock
 from repro.hw.costmodel import CostModel, MemoryTechnology
 from repro.hw.cpu import Cpu
 from repro.hw.rtlb import RangeTlb
@@ -40,6 +40,8 @@ from repro.mem.buddy import BuddyAllocator
 from repro.mem.frame_meta import FrameTable
 from repro.mem.physical import PhysicalMemory
 from repro.mem.zeropool import ZeroPool
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.paging.pagetable import PageTable
 from repro.paging.walker import PageWalker
 from repro.units import GIB, MIB, PAGE_SIZE
@@ -83,7 +85,13 @@ class Kernel:
     def __init__(self, config: Optional[MachineConfig] = None, costs: Optional[CostModel] = None) -> None:
         self.config = config or MachineConfig()
         self.clock = SimClock()
-        self.counters = EventCounters()
+        #: Counters + latency histograms; an EventCounters superset, so
+        #: every component keeps its ``bump()`` interface.
+        self.counters = MetricsRegistry()
+        #: Trace recorder (disabled until ``measure(trace=True)`` or an
+        #: explicit ``kernel.tracer.enable()``).
+        self.tracer = Tracer(self.clock, metrics=self.counters)
+        self.counters.tracer = self.tracer
         self.costs = costs or CostModel()
 
         cfg = self.config
@@ -106,6 +114,7 @@ class Kernel:
             self.clock, self.costs, self.counters, tech_of=self.physmem.tech_of
         )
         self.tlb = Tlb()
+        self.tlb.tracer = self.tracer
         self.rtlb = RangeTlb(cfg.range_tlb_entries) if cfg.range_hardware else None
         self.cpu = Cpu(
             self.clock, self.costs, self.counters, self.cache, self.tlb, self.rtlb
@@ -206,6 +215,7 @@ class Kernel:
             space.lru = self.lru
         process = Process(pid=next(self._pids), name=name, space=space)
         self.processes[process.pid] = process
+        self.tracer.process_names[process.pid] = name
         return process
 
     def syscalls(self, process: Process) -> Syscalls:
@@ -224,7 +234,11 @@ class Kernel:
         if not parent.alive:
             raise ConfigurationError(f"cannot fork dead pid {parent.pid}")
         child = self.spawn(f"{parent.name}-child")
-        self.counters.bump("fork")
+        self.counters.bump("fork_call")
+        tracer = self.tracer
+        traced = tracer.enabled
+        if traced:
+            tracer.begin("fork", "kernel", pid=parent.pid)
         from repro.vm.vma import Protection, Vma
 
         for vma in parent.space.vmas:
@@ -276,6 +290,8 @@ class Kernel:
             dup = handle.inode.fs.open_inode(handle.inode)
             dup.pos = handle.pos
             child.install_fd(dup)
+        if traced:
+            tracer.end(args={"child_pid": child.pid})
         return child
 
     @staticmethod
@@ -296,6 +312,8 @@ class Kernel:
     def access(self, process: Process, vaddr: int, write: bool = False) -> int:
         """One user-mode memory access; returns the physical address."""
         self._ensure_current(process)
+        if self.tracer.enabled:
+            self.tracer.current_pid = process.pid
         return self.cpu.access(process.space, vaddr, write=write)
 
     def access_range(
@@ -312,7 +330,22 @@ class Kernel:
         "access one byte of each page".
         """
         self._ensure_current(process)
-        self.cpu.access_range(process.space, vaddr, size, write=write, stride=stride)
+        tracer = self.tracer
+        if not tracer.enabled:
+            self.cpu.access_range(
+                process.space, vaddr, size, write=write, stride=stride
+            )
+            return
+        tracer.current_pid = process.pid
+        tracer.begin(
+            "access_range", "cpu", args={"vaddr": hex(vaddr), "size": size}
+        )
+        try:
+            self.cpu.access_range(
+                process.space, vaddr, size, write=write, stride=stride
+            )
+        finally:
+            tracer.end()
 
     def warm_file(self, inode) -> None:
         """Install a file's data lines in the LLC, as if just written.
@@ -352,12 +385,19 @@ class Kernel:
         if self.rtlb is not None:
             self.rtlb.flush_all()
         self.counters.bump("machine_crash")
+        self.tracer.instant("machine_crash", "kernel", pid=0)
 
     # ------------------------------------------------------------------
     # Measurement helper
     # ------------------------------------------------------------------
-    def measure(self):
+    def measure(self, trace: bool = False):
         """Context manager measuring simulated ns and counter deltas.
+
+        With ``trace=True`` the machine's tracer records the region under
+        a root ``measure`` span, and the result additionally carries the
+        trace events, the per-(pid, subsystem) cost :attr:`attribution
+        <_Measurement.attribution>` (whose values sum to ``elapsed_ns``
+        exactly), and a :meth:`~_Measurement.write_trace` helper.
 
         >>> kernel = Kernel.standard()
         >>> with kernel.measure() as m:
@@ -365,20 +405,37 @@ class Kernel:
         >>> m.elapsed_ns
         10
         """
-        return _Measurement(self)
+        return _Measurement(self, trace=trace)
 
 
 class _Measurement:
     """Result object for :meth:`Kernel.measure`."""
 
-    def __init__(self, kernel: Kernel) -> None:
+    def __init__(self, kernel: Kernel, trace: bool = False) -> None:
         self._kernel = kernel
+        self.trace = trace
         self.elapsed_ns = 0
         self.counter_delta: Dict[str, int] = {}
+        #: (pid, subsystem) -> simulated ns of span self time in the
+        #: measured region (trace=True only); sums to ``elapsed_ns``.
+        self.attribution: Dict = {}
+        #: Trace events recorded in the region (trace=True only; the
+        #: oldest may be missing if the tracer ring overflowed).
+        self.events: List = []
         self._start_ns = 0
         self._snapshot: Dict[str, int] = {}
+        self._was_enabled = False
+        self._attr_snapshot: Dict = {}
+        self._events_before = 0
 
     def __enter__(self) -> "_Measurement":
+        if self.trace:
+            tracer = self._kernel.tracer
+            self._was_enabled = tracer.enabled
+            tracer.enable()
+            self._attr_snapshot = dict(tracer.attribution)
+            self._events_before = tracer.total_events
+            tracer.begin("measure", "kernel", pid=0)
         self._start_ns = self._kernel.clock.now
         self._snapshot = self._kernel.counters.snapshot()
         return self
@@ -386,3 +443,25 @@ class _Measurement:
     def __exit__(self, *exc_info: object) -> None:
         self.elapsed_ns = self._kernel.clock.now - self._start_ns
         self.counter_delta = self._kernel.counters.delta_since(self._snapshot)
+        if self.trace:
+            tracer = self._kernel.tracer
+            tracer.end()
+            self.attribution = tracer.attribution_since(self._attr_snapshot)
+            self.events = tracer.events_since(self._events_before)
+            if not self._was_enabled:
+                tracer.disable()
+
+    def subsystem_totals(self) -> Dict[str, int]:
+        """Attributed self time per subsystem (trace=True only)."""
+        totals: Dict[str, int] = {}
+        for (_pid, subsystem), ns in self.attribution.items():
+            totals[subsystem] = totals.get(subsystem, 0) + ns
+        return totals
+
+    def write_trace(self, path: str) -> int:
+        """Write the region's events as Chrome-trace JSON; returns count."""
+        from repro.obs.export import write_chrome_trace
+
+        return write_chrome_trace(
+            path, self.events, self._kernel.tracer.process_names
+        )

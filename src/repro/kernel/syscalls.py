@@ -40,9 +40,15 @@ class Syscalls:
     def _enter(self, name: str) -> None:
         self._kernel.clock.advance(self._kernel.costs.syscall_entry_ns)
         self._kernel.counters.bump(f"sys_{name}")
+        tracer = self._kernel.tracer
+        if tracer.enabled:
+            tracer.current_pid = self._process.pid
+            tracer.begin(f"sys_{name}", "kernel", pid=self._process.pid)
 
     def _exit(self) -> None:
         self._kernel.clock.advance(self._kernel.costs.syscall_exit_ns)
+        if self._kernel.tracer.enabled:
+            self._kernel.tracer.end()
 
     # ------------------------------------------------------------------
     # Files

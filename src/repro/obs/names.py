@@ -1,0 +1,221 @@
+"""Canonical event-counter names and the naming convention they follow.
+
+Every :meth:`~repro.obs.metrics.MetricsRegistry.bump` site in the
+simulator uses a name from :data:`CANONICAL_COUNTERS`.  The convention is
+``subsystem_verb_object``: the first token is a subsystem prefix from
+:data:`COUNTER_PREFIXES`, the rest name the event (verb and optional
+object), e.g. ``fault_minor``, ``tlb_hit``, ``journal_commit``,
+``buddy_split``.  A test (``tests/test_obs_names.py``) scans the source
+tree and rejects any ``bump()`` literal not in the canonical list, so the
+list below is the single place a new counter is declared.
+
+Trace spans carry a coarser *subsystem* tag from :data:`SUBSYSTEMS`; the
+cost-attribution report groups simulated nanoseconds by it.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+#: Subsystem tags for trace spans and cost attribution (coarse: one per
+#: architectural layer, not one per module).
+SUBSYSTEMS: FrozenSet[str] = frozenset(
+    {
+        "cpu",  # access front-end: TLB probes, cache references
+        "paging",  # hardware page-table walks
+        "fault",  # trap, OS fault handling, COW copies
+        "vm",  # mmap/munmap/populate, VMA bookkeeping
+        "fs",  # file systems: extents, journal, page cache
+        "mem",  # physical allocators: buddy, slab, zeropool
+        "reclaim",  # page-reclaim scanning and eviction
+        "kernel",  # syscall dispatch, fork, crash, measurement root
+        "runtime",  # user-level runtimes (object heap, log structure)
+    }
+)
+
+#: Counter-name prefixes in use; the first ``_``-separated token of every
+#: canonical counter is one of these.
+COUNTER_PREFIXES: FrozenSet[str] = frozenset(
+    {
+        "anon",
+        "buddy",
+        "cache",
+        "cow",
+        "cr3",
+        "crypto",
+        "dma",
+        "extent",
+        "fault",
+        "file",
+        "fom",
+        "fork",
+        "frame",
+        "inode",
+        "iommu",
+        "journal",
+        "machine",
+        "mmap",
+        "munmap",
+        "nested",
+        "pagecache",
+        "pbm",
+        "populate",
+        "premap",
+        "pt",
+        "pte",
+        "range",
+        "reclaim",
+        "recovery",
+        "rte",
+        "rtlb",
+        "slab",
+        "swap",
+        "sys",
+        "tlb",
+        "userfault",
+        "vm",
+        "vma",
+        "walk",
+        "zero",
+        "zeropool",
+    }
+)
+
+#: Every counter the simulator may bump.  Grouped by subsystem prefix;
+#: keep sorted within each group.
+CANONICAL_COUNTERS: FrozenSet[str] = frozenset(
+    {
+        # cpu / tlb front-end
+        "cr3_switch",
+        "rtlb_hit",
+        "rtlb_miss",
+        "tlb_hit",
+        "tlb_miss",
+        "tlb_shootdown_ipi",
+        # cache hierarchy
+        "cache_l1_hit",
+        "cache_llc_hit",
+        "cache_miss",
+        # page walks
+        "nested_walk_ref",
+        "walk_ref",
+        "walk_start",
+        # faults
+        "fault_cow",
+        "fault_major",
+        "fault_minor",
+        "fault_trap",
+        "cow_copy",
+        # vm layer
+        "anon_page_alloc",
+        "mmap_call",
+        "munmap_call",
+        "populate_pages",
+        "vm_page_evict",
+        "vma_insert",
+        "vma_merge",
+        "vma_remove",
+        # page tables
+        "pt_node_alloc",
+        "pte_write",
+        # physical allocators
+        "buddy_alloc",
+        "buddy_free",
+        "buddy_merge",
+        "buddy_split",
+        "frame_meta_touch",
+        "slab_alloc",
+        "slab_free",
+        "zeropool_hit",
+        "zeropool_miss",
+        "zeropool_refill_frames",
+        "zero_eager_pages",
+        # file systems
+        "extent_alloc",
+        "extent_free",
+        "extent_lookup",
+        "file_copy_bytes",
+        "inode_create",
+        "inode_unlink",
+        "journal_commit",
+        "journal_record",
+        "journal_replay",
+        "pagecache_alloc",
+        "pagecache_free",
+        "pagecache_lookup",
+        # reclaim & swap
+        "reclaim_evicted",
+        "reclaim_scanned",
+        "swap_in",
+        "swap_out",
+        # kernel events
+        "fork_call",
+        "machine_crash",
+        # syscall dispatch (sys_<name> per entry point)
+        "sys_close",
+        "sys_fork",
+        "sys_mmap",
+        "sys_mprotect",
+        "sys_munmap",
+        "sys_open",
+        "sys_pread",
+        "sys_pwrite",
+        "sys_read",
+        "sys_unlink",
+        "sys_write",
+        # core.o1 / fom / pbm / rangetrans
+        "fom_allocate",
+        "fom_grow",
+        "fom_grow_relocated",
+        "fom_mark_persistent",
+        "fom_mark_volatile",
+        "fom_open",
+        "fom_recover",
+        "fom_release",
+        "pbm_private_pages",
+        "pbm_shared_link",
+        "pbm_subtree_build",
+        "pbm_subtree_hit",
+        "pbm_unmap",
+        "premap_attach",
+        "premap_build",
+        "premap_cache_hit",
+        "premap_crash_dropped",
+        "premap_detach",
+        "premap_persist",
+        "range_table_lookup",
+        "range_unmap",
+        "rte_remove",
+        "rte_write",
+        "recovery_zero_pages",
+        # device extensions
+        "crypto_key_create",
+        "crypto_key_destroy",
+        "dma_extent_mapped",
+        "dma_extent_unmapped",
+        "dma_page_pinned",
+        "dma_page_unpinned",
+        "dma_transfer",
+        "iommu_pri_fault",
+        # userfaultfd extension
+        "userfault_copy",
+        "userfault_evict",
+        "userfault_upcall",
+        "userfault_zeropage",
+    }
+)
+
+
+def is_canonical(name: str) -> bool:
+    """True if ``name`` is a declared counter name."""
+    return name in CANONICAL_COUNTERS
+
+
+def check_convention(name: str) -> bool:
+    """True if ``name`` follows ``subsystem_verb_object`` shape.
+
+    The first token must be a known prefix and the name must have at
+    least two tokens (a bare subsystem is not an event).
+    """
+    tokens = name.split("_")
+    return len(tokens) >= 2 and tokens[0] in COUNTER_PREFIXES

@@ -1,0 +1,264 @@
+"""Typed trace events over the simulated clock, with cost attribution.
+
+:class:`Tracer` records ``span_begin`` / ``span_end`` / ``instant``
+events into a **bounded ring buffer**.  Timestamps are
+:class:`~repro.hw.clock.SimClock` nanoseconds — never wall time — so
+traces are exactly reproducible run to run and legal inside the
+deterministic simulator.
+
+Beyond the event stream, the tracer maintains a live **attribution
+table**: when a span ends, its *self time* (elapsed minus time covered
+by nested spans) is charged to the ``(pid, subsystem)`` pair that opened
+it.  Because self times are disjoint by construction, summing the table
+over a window that was covered by one root span reproduces the window's
+elapsed nanoseconds exactly — the invariant
+``Kernel.measure(trace=True)`` exposes and tests assert.
+
+The tracer is *disabled* by default; every instrumentation hook in the
+hot paths guards on :attr:`Tracer.enabled` (one attribute check), so an
+untraced run pays nothing measurable.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.hw.clock import SimClock
+
+#: Default ring capacity: enough for ~16k spans before the oldest drop.
+DEFAULT_RING_CAPACITY = 65536
+
+
+class EventKind(enum.Enum):
+    """The three typed trace-event kinds."""
+
+    SPAN_BEGIN = "span_begin"
+    SPAN_END = "span_end"
+    INSTANT = "instant"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record, stamped with simulated nanoseconds."""
+
+    kind: EventKind
+    name: str
+    ts_ns: int
+    pid: int
+    subsystem: str
+    args: Optional[Dict[str, object]] = None
+
+
+@dataclass
+class _OpenSpan:
+    """Bookkeeping for a span on the tracer's stack."""
+
+    name: str
+    subsystem: str
+    pid: int
+    start_ns: int
+    child_ns: int = 0
+    args: Optional[Dict[str, object]] = None
+
+
+class _SpanContext:
+    """Context manager closing one tracer span (or nothing, if disabled)."""
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: Optional["Tracer"]) -> None:
+        self._tracer = tracer
+
+    def __enter__(self) -> "_SpanContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._tracer is not None:
+            self._tracer.end()
+
+
+_NULL_SPAN = _SpanContext(None)
+
+
+class Tracer:
+    """Bounded-ring trace recorder and (pid, subsystem) cost attributor."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        capacity: int = DEFAULT_RING_CAPACITY,
+        metrics: Optional[object] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"ring capacity must be positive, got {capacity}")
+        self._clock = clock
+        self._ring: Deque[TraceEvent] = deque(maxlen=capacity)
+        #: Registry receiving one latency sample per finished span
+        #: (``observe(span_name, elapsed_ns)``); optional.
+        self._metrics = metrics
+        self.enabled = False
+        #: Pid stamped on spans/instants that don't pass one explicitly;
+        #: kernel entry points set it on context switch.
+        self.current_pid = 0
+        self._stack: List[_OpenSpan] = []
+        #: Simulated ns attributed per (pid, subsystem): span self times.
+        self.attribution: Dict[Tuple[int, str], int] = {}
+        #: Events recorded over the tracer's lifetime (including dropped).
+        self.total_events = 0
+        #: Events lost to ring overflow.
+        self.dropped_events = 0
+        #: pid -> human name, exported as Chrome process_name metadata.
+        self.process_names: Dict[int, str] = {0: "kernel"}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def enable(self) -> None:
+        """Start recording events (idempotent)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording; open spans stay on the stack until ended."""
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop all buffered events and attribution (keeps enablement)."""
+        self._ring.clear()
+        self._stack.clear()
+        self.attribution.clear()
+        self.total_events = 0
+        self.dropped_events = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum events the ring retains."""
+        return self._ring.maxlen or 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _append(self, event: TraceEvent) -> None:
+        if len(self._ring) == self._ring.maxlen:
+            self.dropped_events += 1
+        self._ring.append(event)
+        self.total_events += 1
+
+    def begin(
+        self,
+        name: str,
+        subsystem: str,
+        pid: Optional[int] = None,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Open a span; every ``begin`` must be matched by one ``end``."""
+        if not self.enabled:
+            return
+        if pid is None:
+            pid = self.current_pid
+        now = self._clock.now
+        self._stack.append(_OpenSpan(name, subsystem, pid, now, 0, args))
+        self._append(
+            TraceEvent(EventKind.SPAN_BEGIN, name, now, pid, subsystem, args)
+        )
+
+    def end(self, args: Optional[Dict[str, object]] = None) -> None:
+        """Close the innermost open span, attributing its self time."""
+        if not self._stack:
+            return
+        span = self._stack.pop()
+        now = self._clock.now
+        elapsed = now - span.start_ns
+        self_ns = elapsed - span.child_ns
+        key = (span.pid, span.subsystem)
+        self.attribution[key] = self.attribution.get(key, 0) + self_ns
+        if self._stack:
+            self._stack[-1].child_ns += elapsed
+        if self._metrics is not None:
+            self._metrics.observe(span.name, elapsed)
+        self._append(
+            TraceEvent(
+                EventKind.SPAN_END, span.name, now, span.pid, span.subsystem, args
+            )
+        )
+
+    def span(
+        self,
+        name: str,
+        subsystem: str,
+        pid: Optional[int] = None,
+        args: Optional[Dict[str, object]] = None,
+    ) -> _SpanContext:
+        """``with tracer.span("page_walk", "paging"): ...`` convenience."""
+        if not self.enabled:
+            return _NULL_SPAN
+        self.begin(name, subsystem, pid=pid, args=args)
+        return _SpanContext(self)
+
+    def instant(
+        self,
+        name: str,
+        subsystem: str,
+        pid: Optional[int] = None,
+        args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Record a zero-duration marker event."""
+        if not self.enabled:
+            return
+        if pid is None:
+            pid = self.current_pid
+        self._append(
+            TraceEvent(
+                EventKind.INSTANT, name, self._clock.now, pid, subsystem, args
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def events(self) -> List[TraceEvent]:
+        """All buffered events, oldest first."""
+        return list(self._ring)
+
+    def events_since(self, total_before: int) -> List[TraceEvent]:
+        """Events recorded after ``total_events`` read ``total_before``.
+
+        Clipped to what the ring still holds (oldest may have dropped).
+        """
+        fresh = self.total_events - total_before
+        if fresh <= 0:
+            return []
+        buffered = list(self._ring)
+        return buffered[-fresh:] if fresh < len(buffered) else buffered
+
+    def attribution_since(
+        self, snapshot: Dict[Tuple[int, str], int]
+    ) -> Dict[Tuple[int, str], int]:
+        """Attribution growth since a ``dict(tracer.attribution)`` copy."""
+        out: Dict[Tuple[int, str], int] = {}
+        for key, value in self.attribution.items():
+            change = value - snapshot.get(key, 0)
+            if change:
+                out[key] = change
+        return out
+
+    def subsystem_totals(self) -> Dict[str, int]:
+        """Attributed self time per subsystem, summed over pids."""
+        totals: Dict[str, int] = {}
+        for (_pid, subsystem), ns in self.attribution.items():
+            totals[subsystem] = totals.get(subsystem, 0) + ns
+        return totals
+
+    @property
+    def open_spans(self) -> int:
+        """Spans begun but not yet ended."""
+        return len(self._stack)
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return (
+            f"Tracer({state}, events={len(self._ring)}/{self.capacity}, "
+            f"dropped={self.dropped_events}, open={self.open_spans})"
+        )

@@ -67,7 +67,17 @@ class PageWalker:
         nested references when virtualized), whether or not the walk
         succeeds — hardware pays for failed walks too.
         """
-        self._counters.bump("page_walk")
+        tracer = self._counters.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.begin("page_walk", "paging")
+            try:
+                return self._walk(table, vaddr, asid)
+            finally:
+                tracer.end()
+        return self._walk(table, vaddr, asid)
+
+    def _walk(self, table: PageTable, vaddr: int, asid: int) -> Optional[TlbEntry]:
+        self._counters.bump("walk_start")
         nodes = table.path_nodes(vaddr)
         host_levels = self._nested_levels or table.levels
         pte: Optional[Pte] = None

@@ -195,6 +195,18 @@ class AddressSpace:
         metadata touch, and one PTE write per 4 KiB page (or fewer with
         huge pages when the VMA allows them and alignment cooperates).
         """
+        tracer = self._counters.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.begin(
+                "populate", "vm", args={"addr": hex(addr), "length": length}
+            )
+            try:
+                return self._populate(addr, length)
+            finally:
+                tracer.end()
+        return self._populate(addr, length)
+
+    def _populate(self, addr: int, length: int) -> int:
         vma = self.find_vma(addr)
         if vma is None or addr + length > vma.end:
             raise MappingError(
@@ -255,6 +267,18 @@ class AddressSpace:
         Only whole-VMA and prefix/suffix unmaps are supported (enough for
         every path in the paper); a mid-VMA hole raises.
         """
+        tracer = self._counters.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.begin(
+                "munmap", "vm", args={"addr": hex(addr), "length": length}
+            )
+            try:
+                return self._munmap(addr, length)
+            finally:
+                tracer.end()
+        return self._munmap(addr, length)
+
+    def _munmap(self, addr: int, length: int) -> int:
         length = align_up(length, PAGE_SIZE)
         end = addr + length
         self._clock.advance(self._costs.mmap_lock_ns)
@@ -366,6 +390,16 @@ class AddressSpace:
     # ------------------------------------------------------------------
     def handle_fault(self, vaddr: int, write: bool) -> None:
         """Resolve a page fault at ``vaddr`` or raise ProtectionError."""
+        tracer = self._counters.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.begin("fault_handle", "fault")
+            try:
+                return self._handle_fault(vaddr, write)
+            finally:
+                tracer.end()
+        return self._handle_fault(vaddr, write)
+
+    def _handle_fault(self, vaddr: int, write: bool) -> None:
         self._clock.advance(self._costs.vma_find_ns)
         vma = self.find_vma(vaddr)
         if vma is None:
@@ -468,7 +502,7 @@ class AddressSpace:
             swap_out = getattr(vma.backing, "swap_out", None)
             if swap_out is not None:
                 swap_out(vma.backing_page(page_va))
-        self._counters.bump("page_evicted")
+        self._counters.bump("vm_page_evict")
         return True
 
     # ------------------------------------------------------------------

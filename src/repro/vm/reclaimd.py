@@ -91,6 +91,17 @@ class ClockReclaimer:
 
     def reclaim(self, nr_pages: int) -> int:
         """Try to evict ``nr_pages``; returns pages actually reclaimed."""
+        tracer = self._counters.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.begin("reclaim", "reclaim", args={"requested": nr_pages})
+            try:
+                reclaimed = self._reclaim(nr_pages)
+            finally:
+                tracer.end()
+            return reclaimed
+        return self._reclaim(nr_pages)
+
+    def _reclaim(self, nr_pages: int) -> int:
         reclaimed = 0
         # Bound total scanning at a few passes over everything, as kswapd
         # priorities do, so pressure with all-hot pages terminates.
@@ -152,6 +163,17 @@ class TwoQueueReclaimer:
 
     def reclaim(self, nr_pages: int) -> int:
         """Try to evict ``nr_pages``; returns pages actually reclaimed."""
+        tracer = self._counters.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.begin("reclaim", "reclaim", args={"requested": nr_pages})
+            try:
+                reclaimed = self._reclaim(nr_pages)
+            finally:
+                tracer.end()
+            return reclaimed
+        return self._reclaim(nr_pages)
+
+    def _reclaim(self, nr_pages: int) -> int:
         reclaimed = 0
         scan_budget = 4 * max(1, self._lru.resident_count)
         max_protected = int(self._protected_fraction * self._lru.resident_count)

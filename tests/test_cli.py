@@ -1,5 +1,7 @@
 """CLI entry point."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -12,6 +14,32 @@ class TestCli:
         assert "demand paging" in out
         assert "file-only memory" in out
         assert "0 faults" in out
+
+    def test_demo_trace_writes_chrome_json(self, capsys, tmp_path):
+        path = tmp_path / "demo.json"
+        assert main(["demo", "--mib", "2", "--trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace events to {path}" in out
+        document = json.loads(path.read_text())
+        phases = {record["ph"] for record in document["traceEvents"]}
+        assert {"B", "E", "M"} <= phases
+
+    def test_trace_prints_attribution(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--mib", "2", "-o", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "cost attribution, demand-paging phase:" in out
+        assert "cost attribution, file-only-memory phase:" in out
+        assert "fault" in out
+        assert "total" in out
+        assert path.exists()
+
+    def test_stats_prints_histograms_and_counters(self, capsys):
+        assert main(["stats", "--mib", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "latency histograms" in out
+        assert "p50" in out and "p99" in out
+        assert "fault_minor" in out
 
     def test_meminfo_runs(self, capsys):
         assert main(["meminfo", "--dram-gib", "1", "--nvm-gib", "2"]) == 0

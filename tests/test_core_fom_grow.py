@@ -47,7 +47,7 @@ class TestGrow:
         region = fom.allocate(process, 2 * MIB)
         fom.grow_region(region, 6 * MIB)
         kernel.access_range(process, region.vaddr, 6 * MIB)
-        assert kernel.counters.get("page_fault") == 0
+        assert kernel.counters.get("fault_trap") == 0
 
     def test_file_grew_too(self, env):
         kernel, fom = env

@@ -50,7 +50,7 @@ class TestSmallObjects:
         addrs = [heap.malloc(256) for _ in range(64)]
         for addr in addrs:
             kernel.access(heap._process, addr, write=True)
-        assert kernel.counters.get("page_fault") == 0
+        assert kernel.counters.get("fault_trap") == 0
 
     def test_double_free_detected(self, env):
         _, heap, _ = env

@@ -46,7 +46,7 @@ class TestAllocate:
         process = kernel.spawn("p")
         region = fom.allocate(process, 4 * MIB)
         kernel.access_range(process, region.vaddr, 4 * MIB)
-        assert kernel.counters.get("page_fault") == 0
+        assert kernel.counters.get("fault_trap") == 0
 
     def test_extent_strategy_uses_huge_pages(self, env):
         kernel, fom = env
@@ -67,7 +67,7 @@ class TestAllocate:
         process = kernel.spawn("p")
         region = fom.allocate(process, 2 * MIB, strategy=MapStrategy.PREMAP)
         kernel.access_range(process, region.vaddr, 2 * MIB)
-        assert kernel.counters.get("page_fault") == 0
+        assert kernel.counters.get("fault_trap") == 0
         assert region.attachment is not None
 
     def test_range_strategy_needs_hardware(self, env):
@@ -82,7 +82,7 @@ class TestAllocate:
         region = fom.allocate(process, 64 * MIB, strategy=MapStrategy.RANGE)
         assert region.range_mapping is not None
         kernel.access(process, region.vaddr + 63 * MIB)
-        assert kernel.counters.get("page_fault") == 0
+        assert kernel.counters.get("fault_trap") == 0
 
     def test_readonly_region(self, env):
         kernel, fom = env
@@ -196,4 +196,4 @@ class TestTmpfsBackend:
         process = kernel.spawn("p")
         region = fom.allocate(process, 256 * KIB)
         kernel.access_range(process, region.vaddr, 256 * KIB)
-        assert kernel.counters.get("page_fault") == 0
+        assert kernel.counters.get("fault_trap") == 0

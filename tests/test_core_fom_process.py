@@ -33,7 +33,7 @@ class TestLaunch:
         kernel.access(fp.process, fp.heap.vaddr, write=True)
         kernel.access(fp.process, fp.stack.vaddr, write=True)
         kernel.access(fp.process, fp.code.vaddr)
-        assert kernel.counters.get("page_fault") == 0
+        assert kernel.counters.get("fault_trap") == 0
 
     def test_code_segment_not_writable(self, env):
         kernel, fom = env

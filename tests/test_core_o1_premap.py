@@ -76,7 +76,7 @@ class TestAttach:
         process = kernel.spawn("p")
         attachment = cache.attach(process.space, inode)
         kernel.access_range(process, attachment.vaddr, 2 * MIB)
-        assert kernel.counters.get("page_fault") == 0
+        assert kernel.counters.get("fault_trap") == 0
 
     def test_two_processes_share_one_build(self, env):
         kernel, cache = env

@@ -95,7 +95,7 @@ class TestSharedSubtrees:
         process = kernel.spawn("p")
         mapping = pbm.map_file(process, inode)
         kernel.access_range(process, mapping.vaddr, 2 * MIB)
-        assert kernel.counters.get("page_fault") == 0
+        assert kernel.counters.get("fault_trap") == 0
 
     def test_permission_variants_use_distinct_subtrees(self, env):
         kernel, pbm = env

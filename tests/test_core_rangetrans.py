@@ -72,8 +72,8 @@ class TestRangeMemoryFiles:
         process = kernel.spawn("p")
         mapping = rm.map_file(process, inode)
         kernel.access_range(process, mapping.vaddr, 4 * MIB)
-        assert kernel.counters.get("page_walk") == 0
-        assert kernel.counters.get("page_fault") == 0
+        assert kernel.counters.get("walk_start") == 0
+        assert kernel.counters.get("fault_trap") == 0
         assert process.space.page_table.leaf_count() == 0
 
     def test_translation_correct(self, env):

@@ -4,20 +4,24 @@ import doctest
 
 import pytest
 
+import repro.analysis.tables
 import repro.fs.extent
 import repro.hw.clock
 import repro.hw.costmodel
 import repro.hw.tlb
 import repro.mem.physical
+import repro.obs.metrics
 import repro.paging.hugepages
 import repro.units
 
 MODULES = [
+    repro.analysis.tables,
     repro.fs.extent,
     repro.hw.clock,
     repro.hw.costmodel,
     repro.hw.tlb,
     repro.mem.physical,
+    repro.obs.metrics,
     repro.paging.hugepages,
     repro.units,
 ]

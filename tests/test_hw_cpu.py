@@ -90,7 +90,7 @@ class TestBasicAccess:
         space.fault_action = install
         paddr = cpu.access(space, 3 * PAGE_SIZE)
         assert paddr == 7 * PAGE_SIZE
-        assert counters.get("page_fault") == 1
+        assert counters.get("fault_trap") == 1
         assert space.fault_log == [(3 * PAGE_SIZE, False)]
 
     def test_segfault_propagates(self):
@@ -117,7 +117,7 @@ class TestWritePermissions:
 
         space.fault_action = upgrade
         cpu.access(space, PAGE_SIZE, write=True)
-        assert counters.get("page_fault") == 1
+        assert counters.get("fault_trap") == 1
 
     def test_stale_tlb_entry_invalidated_on_cow(self):
         cpu, _, _ = make_cpu()

@@ -179,7 +179,7 @@ class TestFigure9Range:
         process = kernel.spawn("p")
         mapping = rm.map_file(process, inode)
         kernel.access_range(process, mapping.vaddr, 128 * MIB, stride=1 * MIB)
-        assert kernel.counters.get("page_walk") == 0
+        assert kernel.counters.get("walk_start") == 0
 
     def test_range_beats_paging_for_sparse_large(self):
         # Paging side.

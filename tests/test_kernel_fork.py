@@ -36,9 +36,9 @@ class TestAddressSpaceCloning:
 
     def test_no_faults_on_child_read(self, forked):
         kernel, parent, child, va = forked
-        before = kernel.counters.get("page_fault")
+        before = kernel.counters.get("fault_trap")
         kernel.access_range(child, va, 16 * KIB)
-        assert kernel.counters.get("page_fault") == before
+        assert kernel.counters.get("fault_trap") == before
 
     def test_fork_cost_linear_in_resident_pages(self, kernel):
         parent = kernel.spawn("p")

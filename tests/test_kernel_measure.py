@@ -1,0 +1,118 @@
+"""Kernel.measure semantics: nesting, tracing state, crash boundaries."""
+
+from repro.kernel import Kernel, MachineConfig
+from repro.obs.trace import EventKind
+from repro.units import GIB, KIB, MIB
+
+
+def fresh_kernel():
+    return Kernel(MachineConfig(dram_bytes=512 * MIB, nvm_bytes=2 * GIB))
+
+
+def touch(kernel, name="w", size=64 * KIB):
+    process = kernel.spawn(name)
+    sys_calls = kernel.syscalls(process)
+    va = sys_calls.mmap(size)
+    kernel.access_range(process, va, size)
+    return process
+
+
+class TestNestedMeasure:
+    def test_nested_plain_measures_both_report(self):
+        kernel = fresh_kernel()
+        with kernel.measure() as outer:
+            kernel.clock.advance(10)
+            with kernel.measure() as inner:
+                kernel.clock.advance(30)
+            kernel.clock.advance(5)
+        assert inner.elapsed_ns == 30
+        assert outer.elapsed_ns == 45
+
+    def test_nested_counter_deltas_are_windowed(self):
+        kernel = fresh_kernel()
+        with kernel.measure() as outer:
+            touch(kernel, "a")
+            with kernel.measure() as inner:
+                touch(kernel, "b")
+        assert inner.counter_delta["fault_minor"] > 0
+        assert (
+            outer.counter_delta["fault_minor"]
+            >= 2 * inner.counter_delta["fault_minor"]
+        )
+
+    def test_nested_traced_measures(self):
+        kernel = fresh_kernel()
+        with kernel.measure(trace=True) as outer:
+            touch(kernel, "a")
+            with kernel.measure(trace=True) as inner:
+                touch(kernel, "b")
+        # each window's attribution sums to its own elapsed time
+        assert sum(inner.attribution.values()) == inner.elapsed_ns
+        assert sum(outer.attribution.values()) == outer.elapsed_ns
+        assert inner.elapsed_ns < outer.elapsed_ns
+        # the inner context must not switch tracing off under the outer
+        assert len(outer.events) > len(inner.events)
+        assert not kernel.tracer.enabled  # restored once the outer exits
+
+    def test_traced_inside_untraced(self):
+        kernel = fresh_kernel()
+        with kernel.measure() as outer:
+            with kernel.measure(trace=True) as inner:
+                touch(kernel)
+        assert sum(inner.attribution.values()) == inner.elapsed_ns
+        assert outer.elapsed_ns >= inner.elapsed_ns
+        assert outer.attribution == {}
+        assert not kernel.tracer.enabled
+
+
+class TestMeasureAcrossCrash:
+    def test_counter_delta_not_negative_across_crash(self):
+        kernel = fresh_kernel()
+        touch(kernel, "pre")
+        with kernel.measure() as m:
+            kernel.counters.reset()  # e.g. operator zeroing stats mid-run
+            kernel.crash()
+            touch(kernel, "post")
+        assert m.elapsed_ns > 0
+        assert all(v > 0 for v in m.counter_delta.values())
+
+    def test_crash_inside_traced_measure(self):
+        kernel = fresh_kernel()
+        with kernel.measure(trace=True) as m:
+            touch(kernel, "pre")
+            kernel.crash()
+            touch(kernel, "post")
+        crashes = [
+            e for e in m.events
+            if e.kind is EventKind.INSTANT and e.name == "machine_crash"
+        ]
+        assert len(crashes) == 1
+        assert m.counter_delta["machine_crash"] == 1
+        # attribution still balances: crash work is spans like any other
+        assert sum(m.attribution.values()) == m.elapsed_ns
+
+    def test_measure_usable_after_crash(self):
+        kernel = fresh_kernel()
+        kernel.crash()
+        with kernel.measure(trace=True) as m:
+            touch(kernel, "reborn")
+        assert m.elapsed_ns > 0
+        assert sum(m.attribution.values()) == m.elapsed_ns
+
+
+class TestTracedMeasureResults:
+    def test_events_bracketed_by_measure_root_span(self):
+        kernel = fresh_kernel()
+        with kernel.measure(trace=True) as m:
+            touch(kernel)
+        first, last = m.events[0], m.events[-1]
+        assert (first.kind, first.name) == (EventKind.SPAN_BEGIN, "measure")
+        assert (last.kind, last.name) == (EventKind.SPAN_END, "measure")
+
+    def test_span_latencies_feed_histograms(self):
+        kernel = fresh_kernel()
+        with kernel.measure(trace=True):
+            touch(kernel)
+        hist = kernel.counters.histogram("fault")
+        assert hist.count > 0
+        assert hist.p50 > 0

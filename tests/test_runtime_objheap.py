@@ -39,7 +39,7 @@ class TestAllocation:
         with kernel.measure() as m:
             for _ in range(500):
                 objheap.new(64)
-        assert m.counter_delta.get("page_fault") is None
+        assert m.counter_delta.get("fault_trap") is None
         assert m.counter_delta.get("pte_write") is None
 
     def test_explicit_region_placement(self, heap):

@@ -56,7 +56,7 @@ class TestTerabyteScale:
             kernel.access_range(
                 process, mapping.vaddr, 512 * GIB, stride=1 * GIB
             )
-        assert m.counter_delta.get("page_walk") is None
+        assert m.counter_delta.get("walk_start") is None
         assert m.counter_delta.get("rtlb_hit", 0) >= 511
         # Each touch costs ~an NVM reference, nothing size-dependent.
         assert m.elapsed_ns < 512 * 2 * USEC

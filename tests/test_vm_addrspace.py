@@ -82,15 +82,15 @@ class TestFaultHandling:
         va = sys.mmap(16 * KIB)
         kernel.access_range(process, va, 16 * KIB)
         assert kernel.counters.get("fault_minor") == 4
-        assert kernel.counters.get("page_fault") == 4
+        assert kernel.counters.get("fault_trap") == 4
 
     def test_second_touch_no_fault(self, machine):
         kernel, process, sys = machine
         va = sys.mmap(PAGE_SIZE)
         kernel.access(process, va)
-        before = kernel.counters.get("page_fault")
+        before = kernel.counters.get("fault_trap")
         kernel.access(process, va + 64)
-        assert kernel.counters.get("page_fault") == before
+        assert kernel.counters.get("fault_trap") == before
 
 
 class TestFileMappingAndCow:
