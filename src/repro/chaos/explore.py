@@ -1,0 +1,168 @@
+"""Crash-at-any-point exploration.
+
+:func:`explore` runs a workload once under a counting :class:`FaultPlan`
+to map every fault-site hit (the *census*), then replays the workload
+once per hit with :meth:`FaultPlan.crash_at` armed at that global index.
+After each injected power failure the machine is recovered
+(:func:`recover_machine`) and every recovery oracle from
+:mod:`repro.chaos.oracles` must hold.  One broken crash point is one
+:class:`CrashOutcome` with its problems attached — and because plans are
+deterministic, ``FaultPlan.crash_at(k)`` on the same workload is a
+complete reproduction recipe.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.chaos.oracles import DEFAULT_ORACLES, Oracle, run_oracles
+from repro.chaos.plan import FaultPlan
+from repro.errors import SimulatedCrashError
+
+if False:  # pragma: no cover - typing only, avoids kernel import at load
+    from repro.kernel.kernel import Kernel
+
+
+@dataclass
+class CrashOutcome:
+    """Result of crashing at one global fault-site hit."""
+
+    index: int
+    site: str
+    #: The injected crash actually fired (False = workload finished
+    #: without reaching the hit, which the census says cannot happen).
+    crashed: bool
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.crashed and not self.problems
+
+
+@dataclass
+class ExploreReport:
+    """Everything one exploration run learned."""
+
+    #: site -> hit count from the fault-free census pass.
+    census: Counter
+    #: Site of each global hit, in order.
+    history: List[str]
+    outcomes: List[CrashOutcome]
+    #: Problems from the census pass itself (oracles on the un-crashed
+    #: machine; non-empty means the workload is broken, not recovery).
+    baseline_problems: List[str] = field(default_factory=list)
+
+    @property
+    def crash_points(self) -> int:
+        return len(self.history)
+
+    @property
+    def sites_visited(self) -> int:
+        return len(self.census)
+
+    @property
+    def failures(self) -> List[CrashOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def ok(self) -> bool:
+        return not self.baseline_problems and not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"fault sites visited : {self.sites_visited}",
+            f"crash points        : {self.crash_points}",
+            f"clean recoveries    : "
+            f"{len(self.outcomes) - len(self.failures)}/{len(self.outcomes)}",
+        ]
+        for site, count in sorted(self.census.items()):
+            lines.append(f"  {site:<28} x{count}")
+        for outcome in self.failures:
+            lines.append(
+                f"FAIL hit {outcome.index} at {outcome.site}: "
+                + ("; ".join(outcome.problems) or "crash never fired")
+            )
+        if self.baseline_problems:
+            lines.append(
+                "BASELINE BROKEN: " + "; ".join(self.baseline_problems)
+            )
+        return "\n".join(lines)
+
+
+def recover_machine(kernel: "Kernel") -> None:
+    """Post-power-failure recovery: reboot the machine, sweep FOM state.
+
+    Mirrors what a restart does: volatile state is dropped and PMFS
+    replays its journal (``kernel.crash()``), then the file-only-memory
+    persistence sweep erases dead volatile files.
+    """
+    from repro.core.fom import FileOnlyMemory
+    from repro.core.fom.persistence import PersistenceManager
+
+    kernel.crash()
+    PersistenceManager(FileOnlyMemory(kernel)).recover()
+
+
+def explore(
+    build: Callable[[], Tuple["Kernel", Callable[[], None]]],
+    oracles: Sequence[Oracle] = DEFAULT_ORACLES,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ExploreReport:
+    """Crash a workload at every fault-site hit and check recovery.
+
+    ``build()`` must return a fresh ``(kernel, run)`` pair each call;
+    ``run()`` must be deterministic.
+    """
+
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    # ---- pass 1: census (no faults; the workload must complete) ------
+    kernel, run = build()
+    census_plan = FaultPlan.counting()
+    kernel.arm_chaos(census_plan)
+    run()
+    kernel.disarm_chaos()
+    history = list(census_plan.history)
+    census = Counter(census_plan.hits)
+    say(
+        f"census: {len(history)} hits across {len(census)} sites; "
+        f"exploring every crash point"
+    )
+    recover_machine(kernel)
+    baseline_problems = run_oracles(kernel, oracles)
+
+    # ---- pass 2..N+1: crash at each global hit -----------------------
+    outcomes: List[CrashOutcome] = []
+    for index, site in enumerate(history):
+        kernel, run = build()
+        plan = FaultPlan.crash_at(index)
+        kernel.arm_chaos(plan)
+        crashed = False
+        try:
+            run()
+        except SimulatedCrashError:
+            crashed = True
+        finally:
+            kernel.disarm_chaos()
+        recover_machine(kernel)
+        problems = run_oracles(kernel, oracles)
+        if not crashed:
+            problems = [
+                f"crash scheduled at hit {index} ({site}) never fired"
+            ] + problems
+        outcome = CrashOutcome(
+            index=index, site=site, crashed=crashed, problems=problems
+        )
+        outcomes.append(outcome)
+        if not outcome.ok:
+            say(f"hit {index} @ {site}: " + "; ".join(outcome.problems))
+
+    return ExploreReport(
+        census=census,
+        history=history,
+        outcomes=outcomes,
+        baseline_problems=baseline_problems,
+    )

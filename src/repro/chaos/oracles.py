@@ -1,0 +1,171 @@
+"""Recovery oracles: what must hold after any crash + recovery.
+
+Each oracle inspects a recovered machine and returns a list of
+human-readable problems (empty = holds).  The explorer asserts all of
+them at every crash point; tests and the CLI reuse them directly.
+
+* :func:`fsck_clean` — PMFS journal replay left no leaked, doubly-owned
+  or orphaned blocks;
+* :func:`nvm_block_conservation` — extent trees and the block bitmap
+  agree exactly on what is allocated;
+* :func:`dram_frame_conservation` — the buddy allocator's free lists and
+  live allocations tile the region with no overlap and no loss;
+* :func:`translation_coherence` — a fresh mapping after recovery resolves
+  every page to the frame its file backing says it should;
+* :func:`fom_recover_idempotent` — running the FOM persistence sweep
+  again erases nothing new and reports the same survivors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TYPE_CHECKING
+
+from repro.units import PAGE_SIZE
+from repro.vm.vma import MapFlags
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.kernel import Kernel
+    from repro.mem.buddy import BuddyAllocator
+
+#: An oracle takes a recovered machine, returns problems (empty = clean).
+Oracle = Callable[["Kernel"], List[str]]
+
+
+def fsck_clean(kernel: "Kernel") -> List[str]:
+    """The persistent file system's own consistency check passes."""
+    if kernel.pmfs is None:
+        return []
+    return [f"fsck: {problem}" for problem in kernel.pmfs.fsck()]
+
+
+def nvm_block_conservation(kernel: "Kernel") -> List[str]:
+    """Every bitmap-allocated NVM block is owned by exactly one extent."""
+    fs = kernel.pmfs
+    if fs is None:
+        return []
+    tree_blocks = sum(tree.block_count for tree in fs._trees.values())
+    used = fs.allocator.total_blocks - fs.allocator.free_blocks
+    if tree_blocks != used:
+        return [
+            f"nvm accounting: extent trees hold {tree_blocks} blocks "
+            f"but the bitmap says {used} are allocated"
+        ]
+    return []
+
+
+def audit_buddy(buddy: "BuddyAllocator") -> List[str]:
+    """Free lists + live allocations must exactly tile the region."""
+    problems: List[str] = []
+    intervals = []  # (start_pfn, frames, kind)
+    for order, blocks in enumerate(buddy._free_lists):
+        for pfn in blocks:
+            intervals.append((pfn, 1 << order, "free"))
+    for pfn, order in buddy._allocated.items():
+        intervals.append((pfn, 1 << order, "allocated"))
+    intervals.sort()
+    region = buddy.region
+    cursor = region.first_pfn
+    free_total = 0
+    for start, frames, kind in intervals:
+        if start < cursor:
+            problems.append(
+                f"buddy: {kind} block at pfn {start} overlaps previous block"
+            )
+        elif start > cursor:
+            problems.append(
+                f"buddy: frames [{cursor}, {start}) owned by nothing"
+            )
+        cursor = max(cursor, start + frames)
+        if kind == "free":
+            free_total += frames
+    expected_end = region.first_pfn + region.frame_count
+    if cursor != expected_end:
+        problems.append(
+            f"buddy: region ends at pfn {expected_end} but blocks "
+            f"cover up to {cursor}"
+        )
+    if free_total != buddy.free_frames:
+        problems.append(
+            f"buddy: free lists hold {free_total} frames but the "
+            f"counter says {buddy.free_frames}"
+        )
+    return problems
+
+
+def dram_frame_conservation(kernel: "Kernel") -> List[str]:
+    """The DRAM buddy allocator survived the crash with consistent books."""
+    return audit_buddy(kernel.dram_buddy)
+
+
+def translation_coherence(kernel: "Kernel") -> List[str]:
+    """A post-recovery mapping resolves every page to its backing frame."""
+    fs = kernel.pmfs if kernel.pmfs is not None else kernel.tmpfs
+    problems: List[str] = []
+    process = kernel.spawn("oracle")
+    sys_calls = kernel.syscalls(process)
+    size = 16 * PAGE_SIZE
+    path = "/.oracle-tc"
+    fd = sys_calls.open(fs, path, create=True, size=size)
+    va = sys_calls.mmap(size, fd=fd, flags=MapFlags.SHARED | MapFlags.POPULATE)
+    inode = process.fd(fd).inode
+    for page in range(size // PAGE_SIZE):
+        pte = process.space.page_table.lookup(va + page * PAGE_SIZE)
+        if pte is None:
+            problems.append(
+                f"translation: page {page} of {path} not resident "
+                f"after POPULATE"
+            )
+            continue
+        expected = fs.charge_block_lookup(inode, page)
+        if pte.pfn != expected:
+            problems.append(
+                f"translation: page {page} maps pfn {pte.pfn}, "
+                f"backing says {expected}"
+            )
+    sys_calls.munmap(va, size)
+    sys_calls.close(fd)
+    sys_calls.unlink(fs, path)
+    process.exit()
+    return problems
+
+
+def fom_recover_idempotent(kernel: "Kernel") -> List[str]:
+    """Re-running the persistence recovery sweep is a no-op."""
+    from repro.core.fom import FileOnlyMemory
+    from repro.core.fom.persistence import PersistenceManager
+
+    fom = FileOnlyMemory(kernel)
+    manager = PersistenceManager(fom)
+    first = manager.recover()
+    second = manager.recover()
+    problems: List[str] = []
+    if second.erased:
+        problems.append(
+            f"recover not idempotent: second sweep erased {second.erased}"
+        )
+    if first.survivors != second.survivors:
+        problems.append(
+            f"recover not stable: survivors changed from "
+            f"{first.survivors} to {second.survivors}"
+        )
+    return problems
+
+
+#: The oracles the explorer asserts at every crash point, in order.
+DEFAULT_ORACLES: Sequence[Oracle] = (
+    fsck_clean,
+    nvm_block_conservation,
+    dram_frame_conservation,
+    translation_coherence,
+    fom_recover_idempotent,
+)
+
+
+def run_oracles(
+    kernel: "Kernel", oracles: Sequence[Oracle] = DEFAULT_ORACLES
+) -> List[str]:
+    """Run every oracle; returns the concatenated problem list."""
+    problems: List[str] = []
+    for oracle in oracles:
+        problems.extend(oracle(kernel))
+    return problems

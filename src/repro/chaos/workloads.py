@@ -1,0 +1,132 @@
+"""Workloads for crash-at-any-point exploration.
+
+A chaos workload is a ``build()`` function returning ``(kernel, run)``
+where ``run()`` drives the machine through every subsystem carrying a
+fault site.  The explorer calls ``build()`` fresh for every crash point,
+so ``run`` must be deterministic given the workload seed — no wall-clock
+or global RNG.
+
+:func:`fig2_workload` is the acceptance workload from the issue: the
+Fig-2 create/write/unlink loop over PMFS, extended with FOM regions
+(premap + extent strategies), anonymous mappings (TLB shootdowns on
+unmap), slab and zeroing traffic, and an in-workload crash + recovery so
+the recovery-path sites (``fom.recover.file``, ``zeroing.take``) are
+themselves crash points.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Tuple
+
+from repro.core.fom import FileOnlyMemory, MapStrategy
+from repro.core.fom.persistence import PersistenceManager
+from repro.core.o1.zeroing import EagerZeroing
+from repro.kernel.kernel import Kernel, MachineConfig
+from repro.mem.slab import SlabCache
+from repro.units import KIB, MIB, PAGE_SIZE
+from repro.vm.vma import MapFlags
+
+#: ``build()`` -> (machine, deterministic workload body).
+WorkloadBuilder = Callable[[], Tuple[Kernel, Callable[[], None]]]
+
+
+def fig2_workload(seed: int = 0) -> Tuple[Kernel, Callable[[], None]]:
+    """Fig-2-style create/write/unlink workload, chaos-instrumented.
+
+    Deterministic for a given ``seed``; touches every fault site in
+    :data:`repro.chaos.sites.SITE_ACTIONS`.
+    """
+    kernel = Kernel(
+        MachineConfig(
+            dram_bytes=256 * MIB,
+            nvm_bytes=1024 * MIB,
+            cpus=2,
+            pmfs_extent_align_frames=8,
+        )
+    )
+
+    def run() -> None:
+        rng = random.Random(seed)
+        fs = kernel.pmfs
+        process = kernel.spawn("fig2")
+        sys_calls = kernel.syscalls(process)
+
+        # -- create/write a handful of PMFS files (journal + extent
+        #    alloc + torn-write sites), touching pages through mmap.
+        paths = []
+        for i in range(3):
+            pages = rng.randrange(2, 8)
+            size = pages * PAGE_SIZE
+            path = f"/fig2-{i}"
+            fd = sys_calls.open(fs, path, create=True, size=size)
+            va = sys_calls.mmap(
+                size, fd=fd, flags=MapFlags.SHARED | MapFlags.POPULATE
+            )
+            kernel.access(process, va + (pages // 2) * PAGE_SIZE, write=True)
+            payload = bytes([i + 1]) * rng.randrange(64, 2 * KIB)
+            sys_calls.pwrite(fd, rng.randrange(0, PAGE_SIZE), payload)
+            sys_calls.munmap(va, size)
+            sys_calls.close(fd)
+            paths.append(path)
+
+        # -- truncate-grow one file: journaled extent allocation again.
+        fs.truncate(fs.lookup(paths[0]), 12 * PAGE_SIZE)
+
+        # -- anonymous private mapping; the unmap broadcasts shootdowns.
+        va = sys_calls.mmap(
+            8 * PAGE_SIZE, flags=MapFlags.PRIVATE | MapFlags.POPULATE
+        )
+        sys_calls.munmap(va, 8 * PAGE_SIZE)
+
+        # -- FOM regions: a persistent premapped heap and volatile
+        #    extent scratch (premap.attach + recovery inputs).
+        fom = FileOnlyMemory(kernel)
+        keep = fom.allocate(
+            process,
+            4 * PAGE_SIZE,
+            name="/keep",
+            strategy=MapStrategy.PREMAP,
+            persistent=True,
+        )
+        manager = PersistenceManager(fom)
+        manager.mark_persistent(keep)
+        scratch = fom.allocate(process, 4 * PAGE_SIZE, name="/scratch")
+        kernel.access(process, scratch.vaddr, write=True)
+        fom.release(scratch)
+
+        # -- slab + zeroing traffic: the kernel does not wire these into
+        #    the syscall path, so drive them directly.
+        slab = SlabCache(
+            "chaos-obj",
+            object_size=256,
+            buddy=kernel.dram_buddy,
+            clock=kernel.clock,
+            costs=kernel.costs,
+            counters=kernel.counters,
+        )
+        objs = [slab.alloc() for _ in range(4)]
+        for addr in objs:
+            slab.free(addr)
+        zeroing = EagerZeroing(
+            kernel.dram_buddy, kernel.clock, kernel.costs, kernel.counters
+        )
+        frames = zeroing.take_frames(2)
+        zeroing.return_frames(frames)
+
+        # -- unlink one file, then crash and recover in-workload so the
+        #    recovery sweep's own fault sites become crash points too.
+        sys_calls.unlink(fs, paths[1])
+        kernel.crash()
+        PersistenceManager(FileOnlyMemory(kernel)).recover()
+
+    return kernel, run
+
+
+def make_builder(seed: int = 0) -> WorkloadBuilder:
+    """A :data:`WorkloadBuilder` for :func:`fig2_workload` at ``seed``."""
+
+    def build() -> Tuple[Kernel, Callable[[], None]]:
+        return fig2_workload(seed)
+
+    return build

@@ -8,6 +8,7 @@ Installed as ``repro-o1`` (see pyproject.toml)::
     repro-o1 stats       # counters and latency histograms for a workload
     repro-o1 meminfo     # a fresh machine's memory accounting
     repro-o1 figures     # how to regenerate the paper's figures
+    repro-o1 chaos       # crash-at-any-point exploration with recovery oracles
 """
 
 from __future__ import annotations
@@ -131,6 +132,23 @@ def _cmd_figures(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import explore, make_builder
+
+    print(f"chaos: crash-at-any-point exploration, workload seed {args.seed}")
+    progress = print if args.verbose else None
+    report = explore(make_builder(seed=args.seed), progress=progress)
+    print(report.summary())
+    print()
+    if report.ok():
+        print(f"all {report.crash_points} crash points recover cleanly")
+    else:
+        print(f"{len(report.failures)} of {report.crash_points} crash points "
+              "FAILED recovery (details above)")
+    print(f"reproduce with: repro-o1 chaos --seed {args.seed}")
+    return 0 if report.ok() else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro-o1 argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -164,6 +182,19 @@ def build_parser() -> argparse.ArgumentParser:
     meminfo.set_defaults(func=_cmd_meminfo)
     figures = sub.add_parser("figures", help="how to regenerate the figures")
     figures.set_defaults(func=_cmd_figures)
+    chaos = sub.add_parser(
+        "chaos",
+        help="crash the Fig-2 workload at every fault site, check recovery",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed; the printed seed reproduces any failure",
+    )
+    chaos.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print per-crash-point progress",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 from repro.core.o1.policy import ExtentPolicy
 from repro.core.o1.premap import Attachment, PageTableCache
 from repro.core.rangetrans.manager import RangeMapping, RangeMemory
-from repro.errors import ConfigurationError, MappingError
+from repro.errors import ConfigurationError, MappingError, OutOfMemoryError
 from repro.fs.pmfs import Pmfs
 from repro.fs.vfs import FileSystem, Inode
 from repro.units import PAGE_SIZE
@@ -231,10 +231,31 @@ class FileOnlyMemory:
             region.vaddr = mapping.vaddr
             region.range_mapping = mapping
         elif strategy is MapStrategy.PREMAP:
-            attachment = self.ptcache.attach(space, inode, prot)
-            region.vaddr = attachment.vaddr
-            region.attachment = attachment
-            region.vma = attachment.vma
+            try:
+                attachment = self.ptcache.attach(space, inode, prot)
+            except OutOfMemoryError:
+                # No frames for the donor subtree: degrade gracefully to
+                # demand paging — slower per fault, but the mapping (and
+                # the program) survives.  Region bookkeeping follows the
+                # strategy actually in effect.
+                self._kernel.counters.bump("fom_premap_fallback")
+                region.strategy = MapStrategy.DEMAND
+                vaddr = space.pick_address(
+                    length + self.guard_gap_bytes, alignment=2 * 1024 * 1024
+                )
+                region.vaddr = vaddr
+                region.vma = space.mmap(
+                    length=length,
+                    prot=prot,
+                    flags=MapFlags.SHARED,
+                    backing=inode.fs.backing_for(inode),
+                    addr=vaddr,
+                    name=f"fom:{path}",
+                )
+            else:
+                region.vaddr = attachment.vaddr
+                region.attachment = attachment
+                region.vma = attachment.vma
         else:
             flags = MapFlags.SHARED
             if strategy is MapStrategy.EXTENT:

@@ -88,7 +88,13 @@ class PersistenceManager:
         survivors: List[str] = []
         erased: List[str] = []
         erase_start = clock.now
+        chaos = getattr(self._kernel.counters, "chaos", None)
         for path, inode in list(fs.iter_files()):
+            if chaos is not None:
+                # One crash point per file examined: recovery itself must
+                # survive a power failure at any step (it is idempotent —
+                # already-unlinked files are gone from iter_files).
+                chaos.hit("fom.recover.file")
             if inode.persistent:
                 survivors.append(path)
                 continue

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import MappingError
+from repro.errors import MappingError, OutOfMemoryError
 from repro.fs.vfs import Inode
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel
@@ -91,6 +91,11 @@ class PageTableCache:
         if cached is not None and cached.size >= inode.page_count * PAGE_SIZE:
             self._counters.bump("premap_cache_hit")
             return cached
+        chaos = getattr(self._counters, "chaos", None)
+        if chaos is not None and chaos.hit("premap.attach") == "error":
+            raise OutOfMemoryError(
+                f"chaos: no frames for premap subtree of ino={inode.ino}"
+            )
         self._counters.bump("premap_build")
         donor = PageTable(
             levels=self._levels,

@@ -22,11 +22,36 @@ from __future__ import annotations
 import abc
 from typing import Dict, List, Optional
 
+from repro.errors import OutOfMemoryError
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel
 from repro.mem.buddy import BuddyAllocator
 from repro.mem.zeropool import ZeroPool
 from repro.units import PAGE_SIZE
+
+
+def _alloc_with_retry(
+    buddy: BuddyAllocator,
+    order: int,
+    counters: Optional[EventCounters],
+    attempts: int = 3,
+) -> int:
+    """Buddy allocation with bounded retry on transient exhaustion.
+
+    Erase strategies sit on the allocation critical path, so an
+    `OutOfMemoryError` there (reclaim racing the request, or an injected
+    fault) is retried a bounded number of times before propagating.
+    """
+    last_error: Optional[Exception] = None
+    for attempt in range(attempts):
+        if attempt and counters is not None:
+            counters.bump("zero_alloc_retry")
+        try:
+            return buddy.alloc(order)
+        except OutOfMemoryError as exc:
+            last_error = exc
+    assert last_error is not None
+    raise last_error
 
 
 class ZeroingStrategy(abc.ABC):
@@ -65,7 +90,13 @@ class EagerZeroing(ZeroingStrategy):
         self._counters = counters
 
     def take_frames(self, count: int) -> List[int]:
-        pfns = [self._buddy.alloc(0) for _ in range(count)]
+        chaos = getattr(self._counters, "chaos", None)
+        if chaos is not None:
+            chaos.hit("zeroing.take")
+        pfns = [
+            _alloc_with_retry(self._buddy, 0, self._counters)
+            for _ in range(count)
+        ]
         self._clock.advance(self._costs.zero_page_ns(PAGE_SIZE) * count)
         self._counters.bump("zero_eager_pages", count)
         return pfns
@@ -133,7 +164,13 @@ class CryptoErase(ZeroingStrategy):
         self._next_key = 1
 
     def take_frames(self, count: int) -> List[int]:
-        pfns = [self._buddy.alloc(0) for _ in range(count)]
+        chaos = getattr(self._counters, "chaos", None)
+        if chaos is not None:
+            chaos.hit("zeroing.take")
+        pfns = [
+            _alloc_with_retry(self._buddy, 0, self._counters)
+            for _ in range(count)
+        ]
         self._clock.advance(self.KEY_OP_NS)
         self._counters.bump("crypto_key_create")
         if pfns:

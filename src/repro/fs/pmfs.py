@@ -81,6 +81,11 @@ class BlockAllocator:
         return self._alloc_extent(nblocks, align_frames)
 
     def _alloc_extent(self, nblocks: int, align_frames: int) -> Extent:
+        chaos = getattr(self._counters, "chaos", None)
+        if chaos is not None and chaos.hit("pmfs.extent.alloc") == "error":
+            raise NoSpaceError(
+                f"chaos: injected exhaustion in {self._region.name or 'nvm'}"
+            )
         self._clock.advance(self._costs.extent_alloc_ns + self._costs.bitmap_run_ns)
         self._counters.bump("extent_alloc")
         start = self._find_aligned_run(nblocks, align_frames)
@@ -201,6 +206,9 @@ class JournalRecord:
     applied: bool = False
     #: shrink records remember the target size for idempotent redo.
     keep_blocks: int = 0
+    #: Torn while being made durable: the record's contents cannot be
+    #: trusted, so recovery must skip it (and scrub any blocks it leaks).
+    corrupted: bool = False
 
 
 class _CowShim:
@@ -253,9 +261,26 @@ class Pmfs(FileSystem):
     def schedule_crash(self, ticks: int) -> None:
         """Inject a power failure ``ticks`` journal steps from now.
 
-        Tick points sit between every durable metadata step (after each
-        extent allocation, before and after commit), so tests can crash
-        the file system in every interesting window and verify recovery.
+        Tick points sit between every durable metadata step, so tests can
+        crash the file system in every interesting window and verify
+        recovery.  The countdown decrements *at* each tick point and the
+        crash fires when a tick point is reached with the counter already
+        at zero — so for a one-extent allocation:
+
+        * ``ticks=0`` fires **after** the first extent is allocated from
+          the bitmap and recorded in the (uncommitted) journal entry —
+          i.e. after the first journaled write, not before it (the
+          pre-first-write window has no tick point; nothing durable has
+          happened yet, so there is nothing to recover);
+        * ``ticks=1`` fires at commit-pre: all extents recorded,
+          ``committed`` still False (undo window);
+        * ``ticks=2`` fires at commit-post: committed but not applied
+          (redo window).
+
+        A multi-extent allocation inserts one extra tick per additional
+        extent between 0 and commit-pre.  ``tests/test_fs_pmfs_crash.py::
+        TestTickSemantics`` nails this mapping down.  For kernel-wide,
+        named injection points prefer :mod:`repro.chaos`.
         """
         if ticks < 0:
             raise ValueError(f"ticks must be >= 0, got {ticks}")
@@ -274,10 +299,19 @@ class Pmfs(FileSystem):
         self._counters.bump("journal_record")
         record = JournalRecord(op=op, ino=ino)
         self.journal.append(record)
+        chaos = getattr(self._counters, "chaos", None)
+        if chaos is not None:
+            chaos.hit("pmfs.journal.begin")
         return record
 
     def _journal_commit(self, record: "JournalRecord") -> None:
         self._tick()
+        chaos = getattr(self._counters, "chaos", None)
+        if chaos is not None and chaos.hit("pmfs.journal.commit.pre") == "corrupt":
+            # The commit write is torn: the record is unreadable and the
+            # machine loses power before anything else happens.
+            record.corrupted = True
+            chaos.power_cut("pmfs.journal.commit.pre")
         self._clock.advance(self._costs.journal_record_ns // 2)
         self._counters.bump("journal_commit")
         tracer = self._counters.tracer
@@ -289,6 +323,8 @@ class Pmfs(FileSystem):
             )
         record.committed = True
         self._tick()
+        if chaos is not None:
+            chaos.hit("pmfs.journal.commit.post")
 
     def _charge_extent_lookup(self) -> None:
         self._clock.advance(self._costs.extent_lookup_ns)
@@ -456,7 +492,10 @@ class Pmfs(FileSystem):
 
         Uncommitted records are *undone* (their bitmap allocations
         released); committed-but-unapplied records are *redone* (applied
-        idempotently).  After recovery, :func:`fsck` holds.
+        idempotently).  Records torn mid-commit (``corrupted``) cannot be
+        trusted in either direction: replay skips them and a scrub pass
+        frees any blocks they leaked, so replay stays idempotent even
+        under journal corruption.  After recovery, :func:`fsck` holds.
         """
         self._crash_countdown = None
         tracer = self._counters.tracer
@@ -465,9 +504,16 @@ class Pmfs(FileSystem):
             tracer.begin(
                 "journal_replay", "fs", args={"records": len(self.journal)}
             )
+        corrupted_seen = False
         for record in self.journal:
             self._clock.advance(self._costs.journal_record_ns // 2)
             self._counters.bump("journal_replay")
+            if record.corrupted:
+                # Torn record: extents/op may be garbage.  Don't undo or
+                # redo from it; the scrub below reclaims what it leaked.
+                corrupted_seen = True
+                self._counters.bump("journal_corrupt_skipped")
+                continue
             if record.applied:
                 continue
             if not record.committed:
@@ -486,8 +532,33 @@ class Pmfs(FileSystem):
             elif record.op == "free":
                 self._apply_free(record)
         self.journal.clear()
+        if corrupted_seen:
+            self._scrub()
         if traced:
             tracer.end()
+
+    def _scrub(self) -> None:
+        """Free allocated blocks owned by no file.
+
+        After replay the extent trees are the only ground truth; any
+        bitmap bit set outside them was leaked by a record recovery could
+        not trust.  Bits are re-checked individually so scrubbing is safe
+        to run (and re-run) against any bitmap state.
+        """
+        claimed = set()
+        for tree in self._trees.values():
+            for extent in tree.extents():
+                claimed.update(range(extent.pfn, extent.pfn + extent.count))
+        region = self.allocator._region
+        bitmap = self.allocator._bitmap
+        scrubbed = 0
+        for index in range(bitmap.size):
+            if bitmap.test(index) and region.first_pfn + index not in claimed:
+                bitmap.clear_range(index, 1)
+                scrubbed += 1
+        if scrubbed:
+            self._clock.advance(self._costs.bitmap_run_ns * scrubbed)
+            self._counters.bump("recovery_scrub_blocks", scrubbed)
 
     def fsck(self) -> List[str]:
         """Consistency check: every allocated block belongs to exactly

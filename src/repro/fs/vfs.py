@@ -373,6 +373,16 @@ class FileHandle:
         elif end > self.inode.size:
             self.inode.size = end
         self._charge_copy(offset, len(data), write=True)
+        chaos = getattr(self._counters, "chaos", None)
+        if chaos is not None and chaos.hit("fs.write.torn") == "torn":
+            # Torn write: a prefix of the payload lands, then power fails.
+            self._store(offset, data[: len(data) // 2])
+            chaos.power_cut("fs.write.torn")
+        self._store(offset, data)
+        return len(data)
+
+    def _store(self, offset: int, data: bytes) -> None:
+        """Splice ``data`` into the per-page payload at ``offset``."""
         position = offset
         index = 0
         while index < len(data):
@@ -385,7 +395,6 @@ class FileHandle:
             self.inode.payload[page] = bytes(stored)
             position += chunk
             index += chunk
-        return len(data)
 
     def _charge_copy(self, offset: int, length: int, write: bool) -> None:
         """Kernel-copy cost: per-page lookup + per-line copy + media access."""

@@ -67,6 +67,11 @@ class EventCounters:
     #: instances override it per machine.
     tracer = None
 
+    #: Optional :class:`repro.chaos.plan.FaultPlan` back-reference, set by
+    #: ``Kernel.arm_chaos``.  Instrumented hot paths consult it the same
+    #: way they reach the tracer (``None`` means no fault injection).
+    chaos = None
+
     def __init__(self) -> None:
         self._counts: Counter = Counter()
 

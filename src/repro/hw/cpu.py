@@ -208,12 +208,30 @@ class Cpu:
     # ------------------------------------------------------------------
     # TLB maintenance entry points used by the OS
     # ------------------------------------------------------------------
-    def _broadcast_shootdown(self) -> None:
-        if self.remote_cpus > 0:
+    def _broadcast_shootdown(self, attempts: int = 4) -> None:
+        if self.remote_cpus <= 0:
+            return
+        chaos = getattr(self._counters, "chaos", None)
+        for _attempt in range(attempts):
+            if chaos is not None and chaos.hit("cpu.shootdown") == "error":
+                # Interrupted broadcast: part of the IPI fan-out went out
+                # (charge roughly half) but not every core acked, so the
+                # whole broadcast must be re-issued — remote TLBs may
+                # still hold the stale translation.
+                self._clock.advance(
+                    self._costs.tlb_shootdown_ipi_ns
+                    * max(1, self.remote_cpus // 2)
+                )
+                self._counters.bump("tlb_shootdown_retry")
+                continue
             self._clock.advance(
                 self._costs.tlb_shootdown_ipi_ns * self.remote_cpus
             )
             self._counters.bump("tlb_shootdown_ipi", self.remote_cpus)
+            return
+        raise RuntimeError(
+            f"TLB shootdown failed {attempts} times; remote TLBs stale"
+        )
 
     def invalidate_page(self, vaddr: int, asid: int = 0) -> None:
         """invlpg: drop one translation, charging the invalidate cost."""

@@ -92,6 +92,9 @@ class Kernel:
         #: explicit ``kernel.tracer.enable()``).
         self.tracer = Tracer(self.clock, metrics=self.counters)
         self.counters.tracer = self.tracer
+        #: Armed fault plan (see :meth:`arm_chaos`); ``None`` = no chaos.
+        self.chaos = None
+        self.counters.chaos = None
         self.costs = costs or CostModel()
 
         cfg = self.config
@@ -363,6 +366,25 @@ class Kernel:
         # a measure() block so they land outside the measured region.
         for _index, pfn, run in backing.frame_runs(0, npages):
             self.cache.warm_range(pfn * PAGE_SIZE, run * PAGE_SIZE)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def arm_chaos(self, plan) -> None:
+        """Arm a :class:`~repro.chaos.plan.FaultPlan` on this machine.
+
+        Instrumented hot paths reach the plan through
+        ``counters.chaos`` — the same back-reference pattern the tracer
+        uses — so an unarmed machine pays one ``getattr`` per site.
+        """
+        plan.bind(self.counters)
+        self.chaos = plan
+        self.counters.chaos = plan
+
+    def disarm_chaos(self) -> None:
+        """Detach the armed fault plan (it keeps its hit history)."""
+        self.chaos = None
+        self.counters.chaos = None
 
     # ------------------------------------------------------------------
     # Whole-machine events

@@ -84,6 +84,10 @@ class BuddyAllocator:
         """Number of free 4 KiB frames."""
         return self._free_frames
 
+    def _describe(self) -> str:
+        """Region name for error messages (falls back to its address)."""
+        return self._region.name or f"{self._region.start:#x}"
+
     def _charge(self, ns: int, event: str) -> None:
         if self._clock is not None:
             self._clock.advance(ns)
@@ -106,13 +110,18 @@ class BuddyAllocator:
             raise ValueError(
                 f"order {order} outside supported range 0..{self._max_order}"
             )
+        chaos = getattr(self._counters, "chaos", None)
+        if chaos is not None and chaos.hit("buddy.alloc") == "error":
+            raise OutOfMemoryError(
+                f"chaos: injected exhaustion in region {self._describe()}"
+            )
         source = order
         while source <= self._max_order and not self._free_lists[source]:
             source += 1
         if source > self._max_order:
             raise OutOfMemoryError(
                 f"no free block of order {order} in region "
-                f"{self._region.name or self._region.start:#x} "
+                f"{self._describe()} "
                 f"({self._free_frames} frames free but fragmented)"
             )
         costs = self._costs

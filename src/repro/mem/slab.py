@@ -126,14 +126,31 @@ class SlabCache:
         if len(slab.free_slots) == slab.total_slots:
             self._reap(base_pfn)
 
-    def _grow(self) -> None:
-        """Add one slab from the buddy allocator."""
-        try:
-            base_pfn = self._buddy.alloc(self._slab_order)
-        except OutOfMemoryError as exc:
+    def _grow(self, attempts: int = 3) -> None:
+        """Add one slab from the buddy allocator, with bounded retry.
+
+        Transient exhaustion (reclaim racing the allocation) is retried
+        up to ``attempts`` times before giving up — the injected-fault
+        hardening the chaos explorer exercises.
+        """
+        chaos = getattr(self._counters, "chaos", None)
+        last_error: Optional[OutOfMemoryError] = None
+        for attempt in range(attempts):
+            if attempt and self._counters is not None:
+                self._counters.bump("slab_grow_retry")
+            try:
+                if chaos is not None and chaos.hit("slab.grow") == "error":
+                    raise OutOfMemoryError(
+                        f"chaos: injected exhaustion growing {self.name!r}"
+                    )
+                base_pfn = self._buddy.alloc(self._slab_order)
+                break
+            except OutOfMemoryError as exc:
+                last_error = exc
+        else:
             raise OutOfMemoryError(
-                f"slab cache {self.name!r} cannot grow: {exc}"
-            ) from exc
+                f"slab cache {self.name!r} cannot grow: {last_error}"
+            ) from last_error
         self._slabs[base_pfn] = _Slab(base_pfn, self._slab_order, self._slots_per_slab)
         self._partial.append(base_pfn)
 

@@ -40,6 +40,7 @@ COUNTER_PREFIXES: FrozenSet[str] = frozenset(
         "anon",
         "buddy",
         "cache",
+        "chaos",
         "cow",
         "cr3",
         "crypto",
@@ -92,6 +93,10 @@ CANONICAL_COUNTERS: FrozenSet[str] = frozenset(
         "tlb_hit",
         "tlb_miss",
         "tlb_shootdown_ipi",
+        "tlb_shootdown_retry",
+        # chaos fault injection
+        "chaos_fault_injected",
+        "chaos_site_hit",
         # cache hierarchy
         "cache_l1_hit",
         "cache_llc_hit",
@@ -126,9 +131,11 @@ CANONICAL_COUNTERS: FrozenSet[str] = frozenset(
         "frame_meta_touch",
         "slab_alloc",
         "slab_free",
+        "slab_grow_retry",
         "zeropool_hit",
         "zeropool_miss",
         "zeropool_refill_frames",
+        "zero_alloc_retry",
         "zero_eager_pages",
         # file systems
         "extent_alloc",
@@ -138,6 +145,7 @@ CANONICAL_COUNTERS: FrozenSet[str] = frozenset(
         "inode_create",
         "inode_unlink",
         "journal_commit",
+        "journal_corrupt_skipped",
         "journal_record",
         "journal_replay",
         "pagecache_alloc",
@@ -170,6 +178,7 @@ CANONICAL_COUNTERS: FrozenSet[str] = frozenset(
         "fom_mark_persistent",
         "fom_mark_volatile",
         "fom_open",
+        "fom_premap_fallback",
         "fom_recover",
         "fom_release",
         "pbm_private_pages",
@@ -187,6 +196,7 @@ CANONICAL_COUNTERS: FrozenSet[str] = frozenset(
         "range_unmap",
         "rte_remove",
         "rte_write",
+        "recovery_scrub_blocks",
         "recovery_zero_pages",
         # device extensions
         "crypto_key_create",

@@ -1,8 +1,20 @@
-"""Shared fixtures: small, fast machines for unit and integration tests."""
+"""Shared fixtures and hypothesis profiles for the test suite.
+
+Hypothesis settings live here, not on individual tests: one
+``settings.register_profile`` per use case, selected with
+``--hypothesis-profile=<name>`` (the CI workflow passes ``ci``).
+
+* ``dev`` (default) — no deadline (the simulator advances a virtual
+  clock; wall-time deadlines only add flakiness), modest example count.
+* ``ci`` — like dev but ``derandomize=True``: the example sequence is
+  fixed, so a CI failure always reproduces locally with the same flag.
+* ``heavy`` — 10x examples for the scheduled (cron) deep run.
+"""
 
 from __future__ import annotations
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel, MemoryTechnology
@@ -10,6 +22,17 @@ from repro.kernel import Kernel, MachineConfig
 from repro.mem.buddy import BuddyAllocator
 from repro.mem.physical import MemoryRegion, PhysicalMemory
 from repro.units import GIB, MIB
+
+_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", max_examples=100, **_COMMON)
+settings.register_profile(
+    "ci", max_examples=100, derandomize=True, **_COMMON
+)
+settings.register_profile("heavy", max_examples=1000, **_COMMON)
+settings.load_profile("dev")
 
 
 @pytest.fixture
@@ -41,6 +64,12 @@ def buddy(dram_region, clock, costs, counters) -> BuddyAllocator:
 def kernel() -> Kernel:
     """Small default machine: 512 MiB DRAM + 1 GiB NVM."""
     return Kernel(MachineConfig(dram_bytes=512 * MIB, nvm_bytes=1 * GIB))
+
+
+@pytest.fixture
+def smp_kernel() -> Kernel:
+    """Four-core machine: TLB invalidations broadcast shootdown IPIs."""
+    return Kernel(MachineConfig(dram_bytes=512 * MIB, nvm_bytes=1 * GIB, cpus=4))
 
 
 @pytest.fixture

@@ -1,0 +1,195 @@
+"""Crash-at-any-point exploration and recovery-hardening tests.
+
+The acceptance test for the chaos engine: the Fig-2 create/write/unlink
+workload visits every armed fault site, and the recovery oracles hold at
+100% of crash points, deterministically reproducible from the seed.
+"""
+
+import pytest
+
+from repro.chaos import (
+    FaultPlan,
+    SITE_ACTIONS,
+    explore,
+    fig2_workload,
+    make_builder,
+    recover_machine,
+    run_oracles,
+)
+from repro.chaos.oracles import audit_buddy
+from repro.core.o1.zeroing import EagerZeroing
+from repro.errors import OutOfMemoryError, SimulatedCrashError
+from repro.mem.slab import SlabCache
+
+
+class TestExplorerAcceptance:
+    """The issue's acceptance criterion, as a tier-1 test."""
+
+    SEED = 0
+
+    def test_every_site_visited_and_every_crash_point_recovers(self):
+        report = explore(make_builder(seed=self.SEED))
+        assert set(report.census) == set(SITE_ACTIONS), (
+            "workload must visit every declared fault site; missing: "
+            f"{set(SITE_ACTIONS) - set(report.census)}"
+        )
+        assert report.baseline_problems == []
+        assert report.failures == [], report.summary()
+        assert report.crash_points == len(report.history) > 0
+
+    def test_census_is_deterministic(self):
+        kernel_a, run_a = fig2_workload(seed=self.SEED)
+        plan_a = FaultPlan.counting()
+        kernel_a.arm_chaos(plan_a)
+        run_a()
+        kernel_b, run_b = fig2_workload(seed=self.SEED)
+        plan_b = FaultPlan.counting()
+        kernel_b.arm_chaos(plan_b)
+        run_b()
+        assert plan_a.history == plan_b.history
+        assert plan_a.census() == plan_b.census()
+
+    def test_different_seeds_change_the_workload_not_the_sites(self):
+        kernel, run = fig2_workload(seed=99)
+        plan = FaultPlan.counting()
+        kernel.arm_chaos(plan)
+        run()
+        assert set(plan.census()) == set(SITE_ACTIONS)
+
+
+class TestCrashRecovery:
+    def _run_with(self, plan, seed=5):
+        kernel, run = fig2_workload(seed=seed)
+        kernel.arm_chaos(plan)
+        crashed = False
+        try:
+            run()
+        except SimulatedCrashError:
+            crashed = True
+        kernel.disarm_chaos()
+        recover_machine(kernel)
+        return kernel, crashed
+
+    def test_torn_write_recovers_clean(self):
+        kernel, crashed = self._run_with(
+            FaultPlan.fault_at_site("fs.write.torn", "torn")
+        )
+        assert crashed
+        assert run_oracles(kernel) == []
+
+    def test_corrupt_journal_record_is_skipped_and_scrubbed(self):
+        kernel, crashed = self._run_with(
+            FaultPlan.fault_at_site("pmfs.journal.commit.pre", "corrupt")
+        )
+        assert crashed
+        assert kernel.counters.get("journal_corrupt_skipped") >= 1
+        # The torn record's extents leaked until the scrub reclaimed them.
+        assert kernel.counters.get("recovery_scrub_blocks") >= 1
+        assert kernel.pmfs.fsck() == []
+
+    def test_replay_idempotent_after_corruption(self):
+        kernel, _ = self._run_with(
+            FaultPlan.fault_at_site("pmfs.journal.commit.pre", "corrupt")
+        )
+        # A second replay (journal already clear) must change nothing.
+        before = kernel.pmfs.allocator.free_blocks
+        kernel.pmfs.crash()
+        assert kernel.pmfs.allocator.free_blocks == before
+        assert kernel.pmfs.fsck() == []
+
+    def test_crash_during_recovery_sweep_is_recoverable(self):
+        # Crash at the second file of the in-workload recovery sweep,
+        # then recover again: the sweep must be idempotent.
+        kernel, crashed = self._run_with(
+            FaultPlan.crash_at_site("fom.recover.file", nth=1)
+        )
+        assert crashed
+        assert run_oracles(kernel) == []
+
+
+class TestExhaustionHardening:
+    def test_slab_grow_retries_transient_exhaustion(self, kernel):
+        slab = SlabCache(
+            "t", object_size=128, buddy=kernel.dram_buddy,
+            clock=kernel.clock, costs=kernel.costs, counters=kernel.counters,
+        )
+        kernel.arm_chaos(FaultPlan.fault_at_site("slab.grow", "error"))
+        addr = slab.alloc()
+        assert addr >= 0
+        assert kernel.counters.get("slab_grow_retry") == 1
+
+    def test_zeroing_retries_transient_exhaustion(self, kernel):
+        zeroing = EagerZeroing(
+            kernel.dram_buddy, kernel.clock, kernel.costs, kernel.counters
+        )
+        kernel.arm_chaos(FaultPlan.fault_at_site("buddy.alloc", "error"))
+        frames = zeroing.take_frames(2)
+        assert len(frames) == 2
+        assert kernel.counters.get("zero_alloc_retry") == 1
+        zeroing.return_frames(frames)
+        assert audit_buddy(kernel.dram_buddy) == []
+
+    def test_persistent_buddy_exhaustion_still_raises(self, kernel):
+        # Three injected failures exhaust the zeroing retry budget.
+        zeroing = EagerZeroing(
+            kernel.dram_buddy, kernel.clock, kernel.costs, kernel.counters
+        )
+        plan = FaultPlan(
+            specs=[
+                FaultPlan.fault_at_site("buddy.alloc", "error", nth=n).specs[0]
+                for n in range(3)
+            ]
+        )
+        kernel.arm_chaos(plan)
+        with pytest.raises(OutOfMemoryError):
+            zeroing.take_frames(1)
+
+    def test_premap_failure_degrades_to_demand_paging(self, kernel):
+        from repro.core.fom import FileOnlyMemory, MapStrategy
+
+        fom = FileOnlyMemory(kernel)
+        process = kernel.spawn("p")
+        kernel.arm_chaos(FaultPlan.fault_at_site("premap.attach", "error"))
+        region = fom.allocate(
+            process, 4 * 4096, name="/heap", strategy=MapStrategy.PREMAP
+        )
+        kernel.disarm_chaos()
+        assert region.strategy is MapStrategy.DEMAND
+        assert kernel.counters.get("fom_premap_fallback") == 1
+        # The degraded mapping still works, one fault at a time.
+        paddr = kernel.access(process, region.vaddr, write=True)
+        assert paddr >= 0
+
+    def test_shootdown_rebroadcasts_after_interruption(self, smp_kernel):
+        process = smp_kernel.spawn("p")
+        sys_calls = smp_kernel.syscalls(process)
+        va = sys_calls.mmap(4 * 4096)
+        smp_kernel.access(process, va, write=True)
+        smp_kernel.arm_chaos(FaultPlan.fault_at_site("cpu.shootdown", "error"))
+        sys_calls.munmap(va, 4 * 4096)
+        assert smp_kernel.counters.get("tlb_shootdown_retry") == 1
+        assert smp_kernel.counters.get("tlb_shootdown_ipi") >= 1
+
+    def test_shootdown_gives_up_after_bounded_retries(self, smp_kernel):
+        process = smp_kernel.spawn("p")
+        sys_calls = smp_kernel.syscalls(process)
+        va = sys_calls.mmap(4096)
+        smp_kernel.access(process, va, write=True)
+        plan = FaultPlan(
+            specs=[
+                FaultPlan.fault_at_site("cpu.shootdown", "error", nth=n).specs[0]
+                for n in range(4)
+            ]
+        )
+        smp_kernel.arm_chaos(plan)
+        with pytest.raises(RuntimeError, match="shootdown"):
+            sys_calls.munmap(va, 4096)
+
+
+class TestCliSubcommand:
+    def test_chaos_parser_wiring(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["chaos", "--seed", "17"])
+        assert args.seed == 17
+        assert args.func.__name__ == "_cmd_chaos"

@@ -128,7 +128,7 @@ class TestTraceDriven:
         assert stats["malloc_count"] - stats["free_count"] == len(live)
 
     @given(st.integers(0, 2**31))
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=10)
     def test_random_traces_never_corrupt(self, seed):
         """Property: any generated trace replays without address clashes."""
         kernel = Kernel(

@@ -43,7 +43,7 @@ class TestAlgorithmicAddresses:
         assert a.vaddr != b.vaddr
 
     @given(st.lists(st.integers(1, 8), min_size=2, max_size=6))
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15)
     def test_collision_freedom_property(self, sizes_mib):
         """Arbitrary file sets: PBM segments never overlap, because
         physical extents never overlap."""

@@ -97,7 +97,7 @@ class TestExtentTree:
         assert tree.extent_count == 0 and tree.block_count == 0
 
     @given(st.lists(st.integers(0, 63), min_size=1, max_size=40, unique=True))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_single_blocks_lookup_roundtrip(self, blocks):
         """Arbitrary single-block inserts: every inserted block resolves to
         its own frame; uninserted blocks resolve to None."""

@@ -1,7 +1,7 @@
 """PMFS crash consistency: journal undo/redo under injected failures."""
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import SimulatedCrashError
 from repro.kernel import Kernel, MachineConfig
@@ -68,14 +68,112 @@ class TestInjectedCrashes:
         with pytest.raises(ValueError):
             fs.schedule_crash(-1)
 
+
+class TestTickSemantics:
+    """Nail down exactly where each ``schedule_crash`` tick fires.
+
+    For a single-extent allocation the durable steps are: record the
+    extent in the journal (tick 0), commit-pre (tick 1), commit-post
+    (tick 2).  Tick 0 therefore fires *after* the first journaled write —
+    there is no tick before it, because nothing durable has happened yet.
+    """
+
+    def test_tick0_fires_after_first_journaled_write(self, fs, kernel):
+        free_before = fs.allocator.free_blocks
+        fs.schedule_crash(0)
+        with pytest.raises(SimulatedCrashError):
+            fs.create("/f", size=PAGE_SIZE)
+        # The extent was taken from the bitmap and recorded before the
+        # crash fired: the journal holds an uncommitted record with it.
+        record = fs.journal[-1]
+        assert not record.committed
+        assert len(record.extents) == 1
+        assert fs.allocator.free_blocks == free_before - 1
+        kernel.crash()
+        assert fs.allocator.free_blocks == free_before
+
+    def test_tick1_fires_at_commit_pre(self, fs, kernel):
+        fs.schedule_crash(1)
+        with pytest.raises(SimulatedCrashError):
+            fs.create("/f", size=PAGE_SIZE)
+        record = fs.journal[-1]
+        assert not record.committed and not record.applied
+        kernel.crash()
+        assert fs.fsck() == []
+        # Undone: the file's storage never became durable.
+        tree = fs._trees.get(fs.lookup("/f").ino)
+        assert tree is None or tree.block_count == 0
+
+    def test_tick2_fires_at_commit_post(self, fs, kernel):
+        fs.schedule_crash(2)
+        with pytest.raises(SimulatedCrashError):
+            fs.create("/f", size=PAGE_SIZE)
+        record = fs.journal[-1]
+        assert record.committed and not record.applied
+        kernel.crash()
+        # Redone: the extent landed in the tree despite the crash.
+        assert record.extents[0].count == 1
+        assert fs.fsck() == []
+
+    @staticmethod
+    def _fragmented_fs(clock, costs, counters):
+        """A 4-block PMFS whose only free blocks are non-contiguous."""
+        from repro.fs.pmfs import BlockAllocator, Pmfs
+        from repro.hw.costmodel import MemoryTechnology
+        from repro.mem.physical import MemoryRegion
+
+        region = MemoryRegion(
+            start=0, size=4 * PAGE_SIZE, tech=MemoryTechnology.NVM, name="nv"
+        )
+        fs = Pmfs(
+            "pmfs-tiny",
+            BlockAllocator(region, clock, costs, counters),
+            clock,
+            costs,
+            counters,
+        )
+        for name in "abcd":
+            fs.create(f"/{name}", size=PAGE_SIZE)
+        fs.unlink("/a")
+        fs.unlink("/c")
+        return fs  # free blocks: {0, 2} — no contiguous pair
+
+    def test_multi_extent_alloc_gets_one_tick_per_extent(
+        self, clock, costs, counters
+    ):
+        # A 2-block allocation over fragmented space takes two 1-block
+        # extents, so the tick map shifts: 0 and 1 land after each extent
+        # record, commit-pre is tick 2, commit-post is tick 3.
+        fs = self._fragmented_fs(clock, costs, counters)
+        fs.schedule_crash(1)
+        with pytest.raises(SimulatedCrashError):
+            fs.create("/big", size=2 * PAGE_SIZE)
+        record = fs.journal[-1]
+        assert not record.committed
+        assert len(record.extents) == 2
+        fs.crash()
+        assert fs.fsck() == []
+        assert fs.allocator.free_blocks == 2
+
+    def test_multi_extent_commit_post_is_final_tick(
+        self, clock, costs, counters
+    ):
+        fs = self._fragmented_fs(clock, costs, counters)
+        fs.schedule_crash(3)
+        with pytest.raises(SimulatedCrashError):
+            fs.create("/big", size=2 * PAGE_SIZE)
+        record = fs.journal[-1]
+        assert record.committed and not record.applied
+        fs.crash()
+        assert fs.fsck() == []
+        # Redone: both extents are durable, nothing is free.
+        assert fs.allocator.free_blocks == 0
+
     @given(
         crash_tick=st.integers(0, 12),
         sizes=st.lists(st.integers(1, 64), min_size=1, max_size=5),
     )
-    @settings(
-        max_examples=40, deadline=None,
-        suppress_health_check=[HealthCheck.too_slow],
-    )
+    @settings(max_examples=40)
     def test_any_crash_point_recovers_consistent(self, crash_tick, sizes):
         """Property: crash at *any* journal tick during a random op mix,
         and post-recovery fsck is clean with no leaked blocks."""

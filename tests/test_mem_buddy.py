@@ -127,7 +127,7 @@ class TestAccounting:
         assert buddy.fragmentation_index() == 0.0
 
     @given(st.data())
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     def test_conservation_invariant(self, data):
         """free_frames + live frames == region frames, always."""
         buddy = make_buddy(size=64 * PAGE_SIZE, max_order=6)

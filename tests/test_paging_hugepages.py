@@ -84,7 +84,7 @@ class TestPteEconomy:
         assert page_count_for_tiling(0, 0, GIB) == 1
 
     @given(st.integers(1, 2048))
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=40)
     def test_tiling_covers_exactly(self, npages):
         """Any aligned tiling covers the region exactly once."""
         length = npages * PAGE_SIZE

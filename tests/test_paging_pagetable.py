@@ -194,7 +194,7 @@ class TestIteration:
         assert len(leaves) == 3
 
     @given(st.sets(st.integers(0, 2**20), max_size=30))
-    @settings(max_examples=30, deadline=None)
+    @settings(max_examples=30)
     def test_map_iter_roundtrip(self, vpns):
         table = PageTable()
         for vpn in vpns:

@@ -150,7 +150,7 @@ class TestDestroyAndProperties:
         st.tuples(st.integers(0, 20), st.binary(min_size=1, max_size=600)),
         min_size=1, max_size=60,
     ))
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15)
     def test_log_matches_dict_semantics(self, operations):
         """Property: after arbitrary puts, the log agrees with a dict."""
         kernel = Kernel(
