@@ -9,6 +9,8 @@ Installed as ``repro-o1`` (see pyproject.toml)::
     repro-o1 meminfo     # a fresh machine's memory accounting
     repro-o1 figures     # how to regenerate the paper's figures
     repro-o1 chaos       # crash-at-any-point exploration with recovery oracles
+    repro-o1 lint        # O(1) conformance: AST cost-shape check
+    repro-o1 lint --fit  # ... plus the empirical complexity fitter
 """
 
 from __future__ import annotations
@@ -149,6 +151,45 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok() else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.lint.astcheck import lint_tree
+    from repro.lint.baseline import apply_baseline, load_baseline
+    from repro.lint.report import build_report, render_text, write_json
+
+
+    from repro.lint.baseline import DEFAULT_BASELINE
+
+    root = Path(args.root) if args.root else Path(__file__).parent
+    if not root.is_dir():
+        print(f"lint root {root} is not a directory", file=sys.stderr)
+        return 2
+    result = lint_tree(root)
+    baseline_path = Path(args.baseline) if args.baseline else DEFAULT_BASELINE
+    baseline = load_baseline(baseline_path) if baseline_path.exists() else {}
+    outcome = apply_baseline(result.violations, baseline)
+
+    fits = None
+    sizes = None
+    if args.fit:
+        from repro.lint.ops import HEAVY_SIZES, LIGHT_SIZES, fit_all
+
+        sizes = HEAVY_SIZES if args.sizes == "heavy" else LIGHT_SIZES
+        fits = fit_all(sizes, names=args.op or None)
+
+    print(render_text(result, outcome, fits))
+    if args.json is not None:
+        report = build_report(result, outcome, fits, sizes=sizes)
+        write_json(Path(args.json), report)
+        print(f"wrote machine-readable report to {args.json}")
+
+    failed = bool(outcome.new) or bool(outcome.stale)
+    if fits is not None:
+        failed = failed or any(not f.ok for f in fits)
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro-o1 argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -195,6 +236,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-crash-point progress",
     )
     chaos.set_defaults(func=_cmd_chaos)
+    lint = sub.add_parser(
+        "lint",
+        help="O(1) conformance: AST cost-shape linter + complexity fitter",
+    )
+    lint.add_argument(
+        "--root", default=None,
+        help="package directory to lint (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--baseline", default=None,
+        help="baseline file of accepted violations "
+             "(default: the checked-in repro/lint/o1_baseline.json)",
+    )
+    lint.add_argument(
+        "--fit", action="store_true",
+        help="also run registered operations and fit cost vs size",
+    )
+    lint.add_argument(
+        "--sizes", choices=("light", "heavy"), default="light",
+        help="operand-size ladder for --fit (default: light)",
+    )
+    lint.add_argument(
+        "--op", action="append", metavar="NAME",
+        help="fit only this operation (repeatable)",
+    )
+    lint.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the machine-readable lint_report.json here",
+    )
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -31,6 +31,7 @@ from repro.core.rangetrans.manager import RangeMapping, RangeMemory
 from repro.errors import ConfigurationError, MappingError, OutOfMemoryError
 from repro.fs.pmfs import Pmfs
 from repro.fs.vfs import FileSystem, Inode
+from repro.lint import complexity, o1
 from repro.units import PAGE_SIZE
 from repro.vm.vma import MapFlags, Protection, Vma
 
@@ -118,6 +119,7 @@ class FileOnlyMemory:
     # ------------------------------------------------------------------
     # Allocation — "when a process allocates memory, it maps a file"
     # ------------------------------------------------------------------
+    @o1(note="one policy-rounded extent + one constant-shape map")
     def allocate(
         self,
         process: "Process",
@@ -154,6 +156,7 @@ class FileOnlyMemory:
         self._kernel.counters.bump("fom_allocate")
         return region
 
+    @o1(note="re-map of existing storage; no allocation")
     def open_region(
         self,
         process: "Process",
@@ -280,6 +283,7 @@ class FileOnlyMemory:
     # ------------------------------------------------------------------
     # Growth — the benefit of growing regions without per-page work
     # ------------------------------------------------------------------
+    @o1(note="O(#new extents); the VMA-overlap scan is baselined O(#vmas)")
     def grow_region(self, region: FomRegion, new_size: int) -> None:
         """Extend a region in place: grow the file, map the new extent.
 
@@ -349,6 +353,7 @@ class FileOnlyMemory:
     # ------------------------------------------------------------------
     # Reclamation — "memory is only reclaimed in the unit of a file"
     # ------------------------------------------------------------------
+    @o1(note="constant-shape unmap + whole-file unlink")
     def release(self, region: FomRegion, unlink: Optional[bool] = None) -> None:
         """Unmap and (for temporary/volatile files) unlink the region.
 
@@ -375,6 +380,7 @@ class FileOnlyMemory:
             regions.remove(region)
         self._kernel.counters.bump("fom_release")
 
+    @complexity("n", note="per region, not per page")
     def exit_process(self, process: "Process") -> int:
         """Tear down every region of a process — O(#regions), not O(pages)
         for PREMAP/RANGE regions.  Returns regions released."""

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.lint import o1
 from repro.units import HUGE_PAGE_1G, HUGE_PAGE_2M, PAGE_SIZE, align_up
 
 
@@ -83,6 +84,7 @@ class ExtentPolicy:
         self.max_waste_ratio = max_waste_ratio
         self.ledger = SpaceTimeLedger()
 
+    @o1(note="pure arithmetic rounding")
     def extent_bytes_for(self, requested: int) -> int:
         """Bytes to actually allocate for a request of ``requested``.
 
@@ -104,6 +106,7 @@ class ExtentPolicy:
         self.ledger.record(page_rounded, chosen, reason="extent_rounding")
         return chosen
 
+    @o1(note="pure arithmetic")
     def alignment_frames_for(self, extent_bytes: int) -> int:
         """Physical alignment (in 4 KiB frames) the extent should get."""
         if not self.align_to_page_structures:

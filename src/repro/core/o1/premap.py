@@ -26,6 +26,7 @@ from repro.errors import MappingError, OutOfMemoryError
 from repro.fs.vfs import Inode
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel
+from repro.lint import complexity, o1
 from repro.paging.pagetable import PageTable, PageTableNode
 from repro.units import PAGE_SIZE
 from repro.vm.addrspace import AddressSpace
@@ -84,6 +85,7 @@ class PageTableCache:
     # ------------------------------------------------------------------
     # Building (once per file — the amortized linear investment)
     # ------------------------------------------------------------------
+    @complexity("n", note="per-page build, paid once per file and cached")
     def premap(self, inode: Inode, writable: bool = True) -> PremappedFile:
         """Build (or fetch) the subtree set covering ``inode``'s pages."""
         key = (inode.ino, writable)
@@ -108,6 +110,7 @@ class PageTableCache:
         if npages == 0:
             raise MappingError(f"cannot premap empty file ino={inode.ino}")
         for page_index, pfn, run in backing.frame_runs(0, npages):
+            # o1: allow(o1-nested-size-loop) -- the amortized build itself
             for page in range(run):
                 donor.map(
                     (page_index + page) * PAGE_SIZE,
@@ -139,6 +142,7 @@ class PageTableCache:
     # ------------------------------------------------------------------
     # Attach / detach (the O(1) operations)
     # ------------------------------------------------------------------
+    @o1(note="one pointer write per 2 MiB window, 512x coarser than pages")
     def attach(
         self,
         space: AddressSpace,
@@ -168,15 +172,18 @@ class PageTableCache:
             addr=vaddr,
             name=f"premap:ino{inode.ino}",
         )
+        # o1: allow(o1-size-loop) -- one link per 2 MiB window, not per page
         for offset, node in premapped.windows:
             space.page_table.link_subtree(vaddr + offset, node)
         premapped.attach_count += 1
         self._counters.bump("premap_attach")
         return Attachment(space=space, vaddr=vaddr, premap=premapped, vma=vma)
 
+    @o1(note="one pointer unlink per 2 MiB window")
     def detach(self, attachment: Attachment) -> None:
         """Unmap: unlink each window pointer and drop the VMA — O(windows)."""
         span = attachment.premap.window_span
+        # o1: allow(o1-size-loop) -- one unlink per 2 MiB window
         for offset, _node in attachment.premap.windows:
             attachment.space.page_table.unlink_subtree(
                 attachment.vaddr + offset, self._levels - 1

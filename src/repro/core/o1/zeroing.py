@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 from repro.errors import OutOfMemoryError
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel
+from repro.lint import complexity
 from repro.mem.buddy import BuddyAllocator
 from repro.mem.zeropool import ZeroPool
 from repro.units import PAGE_SIZE
@@ -89,6 +90,7 @@ class EagerZeroing(ZeroingStrategy):
         self._costs = costs
         self._counters = counters
 
+    @complexity("n", note="the linear baseline: zero every frame inline")
     def take_frames(self, count: int) -> List[int]:
         chaos = getattr(self._counters, "chaos", None)
         if chaos is not None:
@@ -101,6 +103,7 @@ class EagerZeroing(ZeroingStrategy):
         self._counters.bump("zero_eager_pages", count)
         return pfns
 
+    @complexity("n", note="per-frame buddy frees")
     def return_frames(self, pfns: List[int]) -> None:
         for pfn in pfns:
             self._buddy.free(pfn)
@@ -117,9 +120,11 @@ class PooledZeroing(ZeroingStrategy):
     def __init__(self, pool: ZeroPool) -> None:
         self._pool = pool
 
+    @complexity("n", note="O(1) per frame while the pool holds")
     def take_frames(self, count: int) -> List[int]:
         return [self._pool.take() for _ in range(count)]
 
+    @complexity("n", note="per-frame pool returns")
     def return_frames(self, pfns: List[int]) -> None:
         for pfn in pfns:
             self._pool.give_back(pfn)
@@ -163,6 +168,7 @@ class CryptoErase(ZeroingStrategy):
         self._keys: Dict[int, int] = {}
         self._next_key = 1
 
+    @complexity("n", note="key install is O(1); allocation stays per-frame")
     def take_frames(self, count: int) -> List[int]:
         chaos = getattr(self._counters, "chaos", None)
         if chaos is not None:
@@ -178,6 +184,10 @@ class CryptoErase(ZeroingStrategy):
             self._next_key += 1
         return pfns
 
+    @complexity(
+        "n", note="key destroy is O(1); frame returns stay per-frame — "
+        "ROADMAP open item"
+    )
     def return_frames(self, pfns: List[int]) -> None:
         if pfns:
             self._keys.pop(pfns[0], None)

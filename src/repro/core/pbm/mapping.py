@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 from repro.core.pbm.share import SharedSubtrees
 from repro.errors import MappingError
 from repro.fs.vfs import Inode
+from repro.lint import complexity, o1
 from repro.units import PAGE_SIZE
 from repro.vm.addrspace import AddressSpace
 from repro.vm.vma import MapFlags, Protection, Vma
@@ -93,6 +94,7 @@ class PbmManager:
         """The machine-wide shared-subtree cache."""
         return self._subtrees
 
+    @o1(note="pure arithmetic — the point of physically based mapping")
     def va_of(self, paddr: int) -> int:
         """The algorithmic virtual address for a physical address."""
         return self._pbm_base + paddr
@@ -100,6 +102,10 @@ class PbmManager:
     # ------------------------------------------------------------------
     # Mapping
     # ------------------------------------------------------------------
+    @complexity(
+        "n", note="one link per 2 MiB window per extent; per-page only on "
+        "the unshareable fallback"
+    )
     def map_file(
         self,
         process: "Process",
@@ -132,6 +138,7 @@ class PbmManager:
             segment = _Segment(vaddr=vaddr, length=length, vma=vma)
             windows = self._subtrees.windows_for_extent(vaddr, pfn, run, writable)
             if windows is not None:
+                # o1: allow(o1-nested-size-loop) -- per 2 MiB window
                 for window_va, node in windows:
                     space.page_table.link_subtree(window_va, node)
                     segment.linked_windows.append(window_va)
@@ -139,6 +146,7 @@ class PbmManager:
             else:
                 # Unshareable extent: private per-page mapping (the
                 # graceful-degradation path).
+                # o1: allow(o1-nested-size-loop) -- degradation by design
                 for page in range(run):
                     space.page_table.map(
                         vaddr + page * PAGE_SIZE, pfn + page, writable=writable
@@ -148,13 +156,16 @@ class PbmManager:
             segments.append(segment)
         return PbmMapping(space=space, inode_ino=inode.ino, segments=segments)
 
+    @complexity("n", note="per window per extent; per page on the fallback")
     def unmap(self, mapping: PbmMapping) -> None:
         """Tear down: unlink shared windows (O(windows)), drop VMAs."""
         levels = self._kernel.config.page_table_levels
         for segment in mapping.segments:
+            # o1: allow(o1-nested-size-loop) -- per 2 MiB window
             for window_va in segment.linked_windows:
                 mapping.space.page_table.unlink_subtree(window_va, levels - 1)
             if segment.mapped_pages:
+                # o1: allow(o1-nested-size-loop) -- degradation by design
                 for page in range(segment.mapped_pages):
                     mapping.space.page_table.unmap(segment.vaddr + page * PAGE_SIZE)
             mapping.space.detach_vma(segment.vma)

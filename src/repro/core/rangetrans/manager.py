@@ -16,6 +16,7 @@ from typing import Dict, List, Tuple, TYPE_CHECKING
 from repro.core.rangetrans.table import RangeTable
 from repro.errors import ConfigurationError, MappingError
 from repro.fs.vfs import Inode
+from repro.lint import complexity, o1
 from repro.units import PAGE_SIZE, align_up
 from repro.vm.addrspace import AddressSpace
 from repro.vm.vma import MapFlags, Protection, Vma
@@ -73,6 +74,7 @@ class RangeMemory:
     # ------------------------------------------------------------------
     # Mapping
     # ------------------------------------------------------------------
+    @complexity("n", note="one RTE per extent, never per page")
     def map_file(
         self,
         process: "Process",
@@ -121,6 +123,7 @@ class RangeMemory:
             inode_ino=inode.ino,
         )
 
+    @o1(note="exactly one RTE insert")
     def map_extent(
         self,
         process: "Process",
@@ -161,9 +164,11 @@ class RangeMemory:
     # ------------------------------------------------------------------
     # Unmapping — the O(1) teardown
     # ------------------------------------------------------------------
+    @o1(note="one RTE remove per extent + one range-TLB shootdown")
     def unmap(self, mapping: RangeMapping) -> None:
         """Remove the mapping's RTEs and shoot down the range TLB."""
         table = self.table_for(mapping.space)
+        # o1: allow(o1-size-loop) -- per extent, not per page
         for base in mapping.rte_bases:
             table.remove(base)
         rtlb = self._kernel.rtlb

@@ -16,6 +16,7 @@ from repro.errors import MappingError
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel
 from repro.hw.rtlb import RangeEntry
+from repro.lint import o1
 
 
 class RangeTable:
@@ -52,6 +53,7 @@ class RangeTable:
     # ------------------------------------------------------------------
     # The O(1) operations
     # ------------------------------------------------------------------
+    @o1(note="bisect + one RTE write, any extent size")
     def insert(self, base: int, limit: int, paddr: int, writable: bool) -> RangeEntry:
         """Map ``[base, base+limit)`` -> ``[paddr, paddr+limit)``: one write."""
         if limit <= 0:
@@ -78,6 +80,7 @@ class RangeTable:
         self._counters.bump("rte_write")
         return entry
 
+    @o1(note="bisect + one RTE write")
     def remove(self, base: int) -> RangeEntry:
         """Unmap the entry starting at ``base``: one write."""
         index = bisect.bisect_left(self._bases, base)
@@ -92,6 +95,7 @@ class RangeTable:
     # ------------------------------------------------------------------
     # CPU-side lookup (range-TLB miss path)
     # ------------------------------------------------------------------
+    @o1(note="one charged bisect walk")
     def lookup(self, vaddr: int) -> Optional[RangeEntry]:
         """Entry covering ``vaddr``, or None; charges the table walk."""
         self._clock.advance(self._costs.range_table_lookup_ns)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import FileSystemError
+from repro.lint import o1
 
 
 @dataclass(frozen=True)
@@ -80,6 +81,7 @@ class ExtentTree:
         """All extents, ascending by logical block."""
         return list(self._extents)
 
+    @o1(note="bisect insert + bounded neighbor merge")
     def insert(self, extent: Extent) -> None:
         """Add an extent; merges with an abutting predecessor."""
         index = bisect.bisect_left(self._logicals, extent.logical)
@@ -123,6 +125,7 @@ class ExtentTree:
                 left.logical, left.pfn, left.count + right.count
             )
 
+    @o1(note="one bisect")
     def lookup(self, logical_block: int) -> Optional[Tuple[int, int]]:
         """(pfn, run_remaining) for ``logical_block``, or None if a hole.
 

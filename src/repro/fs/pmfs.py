@@ -23,6 +23,7 @@ from repro.fs.extent import Extent, ExtentTree
 from repro.fs.vfs import FileSystem, Inode
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel, MemoryTechnology
+from repro.lint import o1
 from repro.mem.bitmap import Bitmap
 from repro.mem.physical import MemoryRegion
 from repro.units import PAGE_SIZE
@@ -62,6 +63,7 @@ class BlockAllocator:
         """Blocks managed."""
         return self._bitmap.size
 
+    @o1(note="one bitmap run update, any extent size")
     def alloc_extent(self, nblocks: int, align_frames: int = 1) -> Extent:
         """Allocate one contiguous extent of ``nblocks`` blocks.
 
@@ -151,6 +153,7 @@ class BlockAllocator:
             remaining -= run
         return extents
 
+    @o1(note="one bitmap run update")
     def free_extent(self, extent: Extent) -> None:
         """Return an extent's blocks to the bitmap (one run update)."""
         self._clock.advance(self._costs.bitmap_run_ns)
@@ -341,6 +344,7 @@ class Pmfs(FileSystem):
     # ------------------------------------------------------------------
     # FileSystem storage interface
     # ------------------------------------------------------------------
+    @o1(note="one journal record + one extent in the aligned common case")
     def allocate_blocks(self, inode: Inode, nblocks: int) -> None:
         """Grow a file by ``nblocks``, crash-safely.
 
@@ -432,6 +436,7 @@ class Pmfs(FileSystem):
             self.allocator.free_extent(extent)
         record.applied = True
 
+    @o1(note="whole-file free: one journaled record")
     def free_blocks(self, inode: Inode) -> None:
         """Release all of a file's storage, crash-safely."""
         tree = self._trees.get(inode.ino)
@@ -459,6 +464,7 @@ class Pmfs(FileSystem):
             self.allocator.free_extent(extent)
         record.applied = True
 
+    @o1(note="one charged extent-tree bisect")
     def charge_block_lookup(self, inode: Inode, page_index: int) -> int:
         self._charge_extent_lookup()
         found = self._tree_of(inode).lookup(page_index)

@@ -27,6 +27,7 @@ from repro.errors import (
 )
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel, MemoryTechnology
+from repro.lint import complexity
 from repro.units import CACHE_LINE, PAGE_SIZE, pages_for
 from repro.vm.vma import MemoryBacking
 
@@ -112,6 +113,7 @@ class FileSystem(abc.ABC):
             raise FileSystemError(f"paths must be absolute, got {path!r}")
         return [part for part in path.split("/") if part]
 
+    @complexity("n", note="one charge per path component")
     def _walk_to_parent(self, path: str) -> Tuple[Inode, str]:
         """(parent directory inode, final component), charging per hop."""
         parts = self._split(path)
@@ -127,6 +129,7 @@ class FileSystem(abc.ABC):
         self._clock.advance(self._costs.path_component_ns)
         return node, parts[-1]
 
+    @complexity("n", note="per path component")
     def lookup(self, path: str) -> Inode:
         """Resolve ``path`` to its inode."""
         parent, name = self._walk_to_parent(path)
@@ -168,6 +171,7 @@ class FileSystem(abc.ABC):
         parent.children[name] = inode
         return inode
 
+    @complexity("n", note="path walk; the storage itself is one extent")
     def create(self, path: str, size: int = 0, mode: int = 0o644) -> Inode:
         """Create a file, pre-allocating ``size`` bytes of storage.
 
@@ -186,6 +190,7 @@ class FileSystem(abc.ABC):
             self.truncate(inode, size)
         return inode
 
+    @complexity("n", note="path walk; the free itself is whole-file")
     def unlink(self, path: str) -> None:
         """Remove a file, freeing its storage — whole-file reclamation."""
         parent, name = self._walk_to_parent(path)
@@ -343,6 +348,7 @@ class FileHandle:
         self.pos += written
         return written
 
+    @complexity("n", note="per page copied")
     def pread(self, offset: int, length: int) -> bytes:
         """Read without moving the offset; short at EOF."""
         self._check_open()
@@ -364,6 +370,7 @@ class FileHandle:
             remaining -= chunk
         return bytes(out)
 
+    @complexity("n", note="per page copied")
     def pwrite(self, offset: int, data: bytes) -> int:
         """Write without moving the offset, extending the file if needed."""
         self._check_open()

@@ -18,6 +18,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.lint import o1
+
 
 @dataclass(frozen=True)
 class RangeEntry:
@@ -62,14 +64,17 @@ class RangeTlb:
         """Maximum number of resident range entries."""
         return self._capacity
 
+    @o1(note="fully associative probe bounded by fixed capacity (<= 32)")
     def lookup(self, vaddr: int, asid: int = 0) -> Optional[RangeEntry]:
         """Entry covering ``vaddr`` for ``asid``, or None on miss."""
+        # o1: allow(o1-size-loop) -- associative scan capped at capacity
         for entry in self._entries:
             if entry.asid == asid and entry.covers(vaddr):
                 self._entries.move_to_end(entry)
                 return entry
         return None
 
+    @o1(note="one associative fill + possible LRU eviction")
     def insert(self, entry: RangeEntry) -> Optional[RangeEntry]:
         """Install ``entry``; returns the LRU entry evicted, if any."""
         if entry.limit <= 0:
@@ -81,7 +86,8 @@ class RangeTlb:
             return evicted
         return None
 
-    def invalidate_overlap(self, base: int, limit: int, asid: int = 0) -> int:
+    @o1(note="one shootdown over a <= 32-entry associative array")
+    def invalidate_overlap(self, base: int, limit: int, asid: int = 0) -> int:  # o1: allow(o1-size-loop) -- capacity-bounded scan
         """Shoot down every entry overlapping ``[base, base + limit)``.
 
         Unmapping a file is one such call — the O(1) shootdown the paper

@@ -17,6 +17,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro.lint import complexity, o1
 from repro.units import HUGE_PAGE_1G, HUGE_PAGE_2M, PAGE_SIZE
 
 
@@ -88,11 +89,13 @@ class Tlb:
     # ------------------------------------------------------------------
     # Lookup / insert
     # ------------------------------------------------------------------
+    @o1(note="parallel probe of three fixed page-size arrays")
     def lookup(self, vaddr: int, asid: int = 0) -> Optional[TlbEntry]:
         """Translation covering ``vaddr`` for ``asid``, or None on miss.
 
         Probes every page-size array, as hardware does in parallel.
         """
+        # o1: allow(o1-size-loop) -- the geometry has exactly 3 arrays
         for size, sets in self._arrays.items():
             vpn = vaddr // size
             nsets, _ = self._geometry[size]
@@ -105,6 +108,7 @@ class Tlb:
                 return entry
         return None
 
+    @o1(note="one set update + possible LRU eviction")
     def insert(self, entry: TlbEntry) -> Optional[TlbEntry]:
         """Install ``entry``, returning any entry evicted by LRU."""
         if entry.page_size not in self._geometry:
@@ -132,9 +136,11 @@ class Tlb:
     # ------------------------------------------------------------------
     # Invalidation
     # ------------------------------------------------------------------
+    @o1(note="one probe per fixed page-size array")
     def invalidate(self, vaddr: int, asid: int = 0) -> int:
         """Drop any entry covering ``vaddr`` (invlpg); returns count dropped."""
         dropped = 0
+        # o1: allow(o1-size-loop) -- the geometry has exactly 3 arrays
         for size, sets in self._arrays.items():
             vpn = vaddr // size
             nsets, _ = self._geometry[size]
@@ -144,12 +150,14 @@ class Tlb:
         self._trace_invalidate("tlb_invalidate", dropped, vaddr=vaddr)
         return dropped
 
+    @complexity("n", note="scans resident entries — the invlpg storm")
     def invalidate_range(self, vaddr: int, length: int, asid: int = 0) -> int:
         """Drop every entry overlapping ``[vaddr, vaddr + length)``."""
         dropped = 0
         end = vaddr + length
         for size, sets in self._arrays.items():
             for entry_set in sets.values():
+                # o1: allow(o1-nested-size-loop) -- ways per set is fixed
                 stale = [
                     key
                     for key, entry in entry_set.items()

@@ -36,6 +36,7 @@ from repro.hw.rtlb import RangeTlb
 from repro.hw.tlb import Tlb
 from repro.kernel.process import Process
 from repro.kernel.syscalls import Syscalls
+from repro.lint import complexity, o1
 from repro.mem.buddy import BuddyAllocator
 from repro.mem.frame_meta import FrameTable
 from repro.mem.physical import PhysicalMemory
@@ -225,6 +226,7 @@ class Kernel:
         """Syscall interface bound to ``process``."""
         return Syscalls(self, process)
 
+    @complexity("n", note="per resident PTE — the baseline the paper fixes")
     def fork(self, parent: Process) -> Process:
         """Clone ``parent`` with copy-on-write semantics.
 
@@ -264,6 +266,7 @@ class Kernel:
             child.space.adopt_vma(child_vma)
             # Eagerly duplicate the parent's existing private copies for
             # the child (rare; keeps sharing bookkeeping simple).
+            # o1: allow(o1-nested-size-loop) -- private copies are rare
             for page_index, src_pfn in vma.private_copies.items():
                 copy_pfn = self.dram_buddy.alloc(0)
                 self.clock.advance(self.costs.copy_line_ns * 128)
@@ -312,6 +315,7 @@ class Kernel:
             self.cpu.switch_address_space(process.space.asid, flush=False)
             self._current_asid = process.space.asid
 
+    @o1(note="one access; any fault charges its own, separate path")
     def access(self, process: Process, vaddr: int, write: bool = False) -> int:
         """One user-mode memory access; returns the physical address."""
         self._ensure_current(process)
@@ -319,6 +323,7 @@ class Kernel:
             self.tracer.current_pid = process.pid
         return self.cpu.access(process.space, vaddr, write=write)
 
+    @complexity("n", note="one access per stride step")
     def access_range(
         self,
         process: Process,

@@ -19,6 +19,7 @@ from typing import Optional, TYPE_CHECKING
 from repro.errors import MappingError
 from repro.fs.dax import mmap_setup_extra_ns
 from repro.fs.vfs import FileSystem
+from repro.lint import complexity, o1
 from repro.units import PAGE_SIZE
 from repro.vm.vma import AnonBacking, MapFlags, Protection, Vma
 
@@ -76,6 +77,7 @@ class Syscalls:
         finally:
             self._exit()
 
+    @complexity("n", note="per page copied through the kernel")
     def read(self, fd: int, length: int) -> bytes:
         """Read from the descriptor's offset."""
         self._enter("read")
@@ -112,6 +114,7 @@ class Syscalls:
         finally:
             self._exit()
 
+    @o1(note="whole-file reclamation: one journaled extent free")
     def unlink(self, fs: FileSystem, path: str) -> None:
         """Remove a file — whole-file reclamation."""
         self._enter("unlink")
@@ -123,6 +126,7 @@ class Syscalls:
     # ------------------------------------------------------------------
     # Memory
     # ------------------------------------------------------------------
+    @o1(note="VMA insert only; MAP_POPULATE opts into the linear pre-fill")
     def mmap(
         self,
         length: int,
@@ -179,6 +183,7 @@ class Syscalls:
         finally:
             self._exit()
 
+    @complexity("n", note="per resident PTE; see Kernel.fork")
     def fork(self):
         """Clone the calling process (COW); returns the child Process."""
         self._enter("fork")
@@ -187,6 +192,7 @@ class Syscalls:
         finally:
             self._exit()
 
+    @complexity("n", note="PTE teardown is per page; ROADMAP open item")
     def munmap(self, addr: int, length: int) -> None:
         """Unmap a range."""
         self._enter("munmap")

@@ -1,0 +1,46 @@
+"""Order(1) conformance checking: declarations, AST linter, empirical fitter.
+
+The paper's thesis is that every memory-management operation should cost
+constant time regardless of operand size.  This package turns that claim
+into a machine-checked invariant, in two prongs:
+
+* :mod:`repro.lint.decorators` — the :func:`o1` / :func:`complexity`
+  decorators hot paths use to *declare* their cost class.  Declaring is
+  free at runtime (two attributes set at import time, no wrapper).
+* :mod:`repro.lint.astcheck` — a static cost-shape linter that parses the
+  source of every declared function and flags size-dependent loops,
+  charge-inside-loop patterns and recursion that contradict the declared
+  class.  Known-O(n)-by-design paths carry inline ``# o1: allow(...)``
+  suppressions or live in the checked-in baseline
+  (``src/repro/lint/o1_baseline.json``).
+* :mod:`repro.lint.fit` + :mod:`repro.lint.ops` — an empirical complexity
+  fitter that runs registered operations at geometrically spaced operand
+  sizes on the simulated clock and fits cost-vs-size to
+  constant/log/linear/linearithmic, catching dynamic O(n) behaviour the
+  AST cannot see.
+
+Run both via ``repro-o1 lint [--fit]``; CI gates on a clean run.
+
+Only the declaration half is imported here: the checker and fitter pull in
+the whole simulator, and annotated modules (buddy, TLB, syscalls, ...)
+import ``repro.lint`` at module load, so this ``__init__`` must stay
+dependency-free to avoid import cycles.
+"""
+
+from repro.lint.decorators import (
+    ComplexityClass,
+    Declaration,
+    complexity,
+    declared_complexity,
+    iter_declarations,
+    o1,
+)
+
+__all__ = [
+    "ComplexityClass",
+    "Declaration",
+    "complexity",
+    "declared_complexity",
+    "iter_declarations",
+    "o1",
+]

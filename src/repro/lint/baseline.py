@@ -1,0 +1,104 @@
+"""Checked-in suppression baseline for the Order(1) linter.
+
+The baseline file (``src/repro/lint/o1_baseline.json``) records findings
+that are understood and accepted — legacy paths that are O(n) by design
+and can't carry an inline ``# o1: allow`` (for instance because the whole
+function is the finding, not one loop).  Each entry pins a
+``(function, rule)`` pair and must carry a human-readable ``reason``:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "function": "repro.core.fom.manager.FirstOrderManager.grow_region",
+          "rule": "o1-size-loop",
+          "reason": "VMA-overlap scan is O(#vmas); ROADMAP open item."
+        }
+      ]
+    }
+
+Matching is exact on the dotted function name and the rule id.  Baseline
+entries that no longer match any finding are reported as *stale* so the
+file shrinks as paths get fixed — a baseline only ratchets down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.lint.astcheck import ALL_RULES, Violation
+
+DEFAULT_BASELINE = Path(__file__).with_name("o1_baseline.json")
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: a (function, rule) pair with a reason."""
+
+    function: str
+    rule: str
+    reason: str
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.function, self.rule)
+
+
+@dataclass
+class BaselineOutcome:
+    """Findings partitioned against the baseline."""
+
+    new: List[Violation]
+    suppressed: List[Violation]
+    stale: List[BaselineEntry]
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Parse a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    version = data.get("version")
+    if version != 1:
+        raise ValueError(f"{path}: unsupported baseline version {version!r}")
+    entries: List[BaselineEntry] = []
+    for raw in data.get("entries", []):
+        entry = BaselineEntry(
+            function=str(raw["function"]),
+            rule=str(raw["rule"]),
+            reason=str(raw.get("reason", "")),
+        )
+        if entry.rule not in ALL_RULES:
+            raise ValueError(f"{path}: unknown rule {entry.rule!r}")
+        if not entry.reason.strip():
+            raise ValueError(
+                f"{path}: baseline entry for {entry.function} needs a reason"
+            )
+        entries.append(entry)
+    return entries
+
+
+def apply_baseline(
+    violations: Sequence[Violation], entries: Sequence[BaselineEntry]
+) -> BaselineOutcome:
+    """Split findings into new / baseline-suppressed, and spot stale entries."""
+    by_key: Dict[Tuple[str, str], BaselineEntry] = {
+        entry.key: entry for entry in entries
+    }
+    new: List[Violation] = []
+    suppressed: List[Violation] = []
+    used: Set[Tuple[str, str]] = set()
+    for violation in violations:
+        key = (violation.function, violation.rule)
+        if key in by_key:
+            suppressed.append(violation)
+            used.add(key)
+        else:
+            new.append(violation)
+    stale = [entry for entry in entries if entry.key not in used]
+    return BaselineOutcome(new=new, suppressed=suppressed, stale=stale)

@@ -1,0 +1,165 @@
+"""Complexity declarations: ``@o1`` and ``@complexity("log n")``.
+
+A declaration is a *contract* about how an operation's simulated cost may
+scale with its operand size (pages, frames, extents, entries — whatever
+the function naturally consumes).  Both the AST linter and the empirical
+fitter enforce the contract; the decorators themselves do no work at call
+time — they set two attributes on the function object at import time and
+record the declaration in a module-level registry, so decorating a hot
+path costs nothing on the hot path (an O(1) checker must itself be O(1)).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, TypeVar, overload
+
+F = TypeVar("F", bound=Callable[..., object])
+
+#: Attribute names set on declared functions; the AST linter matches the
+#: decorators syntactically, these exist for runtime introspection.
+ATTR_CLASS = "__complexity__"
+ATTR_NOTE = "__complexity_note__"
+
+
+class ComplexityClass(enum.Enum):
+    """Asymptotic cost classes the checker can declare and fit."""
+
+    CONSTANT = "1"
+    LOG = "log n"
+    LINEAR = "n"
+    LINEARITHMIC = "n log n"
+
+    def __str__(self) -> str:
+        return f"O({self.value})"
+
+    @property
+    def order(self) -> int:
+        """Rank for comparisons: lower grows slower."""
+        return _ORDER[self]
+
+    @classmethod
+    def parse(cls, text: str) -> "ComplexityClass":
+        """Parse a declaration string, accepting common spellings.
+
+        >>> ComplexityClass.parse("O(1)") is ComplexityClass.CONSTANT
+        True
+        >>> ComplexityClass.parse("log n") is ComplexityClass.LOG
+        True
+        """
+        key = text.strip().lower()
+        if key.startswith("o(") and key.endswith(")"):
+            key = key[2:-1].strip()
+        try:
+            return _ALIASES[key]
+        except KeyError:
+            raise ValueError(
+                f"unknown complexity class {text!r}; "
+                f"known: {sorted(set(_ALIASES))}"
+            ) from None
+
+
+_ORDER: Dict[ComplexityClass, int] = {
+    ComplexityClass.CONSTANT: 0,
+    ComplexityClass.LOG: 1,
+    ComplexityClass.LINEAR: 2,
+    ComplexityClass.LINEARITHMIC: 3,
+}
+
+_ALIASES: Dict[str, ComplexityClass] = {
+    "1": ComplexityClass.CONSTANT,
+    "constant": ComplexityClass.CONSTANT,
+    "const": ComplexityClass.CONSTANT,
+    "log": ComplexityClass.LOG,
+    "log n": ComplexityClass.LOG,
+    "logn": ComplexityClass.LOG,
+    "logarithmic": ComplexityClass.LOG,
+    "n": ComplexityClass.LINEAR,
+    "linear": ComplexityClass.LINEAR,
+    "n log n": ComplexityClass.LINEARITHMIC,
+    "nlogn": ComplexityClass.LINEARITHMIC,
+    "linearithmic": ComplexityClass.LINEARITHMIC,
+}
+
+
+@dataclass(frozen=True)
+class Declaration:
+    """One recorded complexity declaration."""
+
+    module: str
+    qualname: str
+    declared: ComplexityClass
+    note: str = ""
+
+    @property
+    def function(self) -> str:
+        """Fully qualified dotted name, as the baseline file spells it."""
+        return f"{self.module}.{self.qualname}"
+
+
+#: Import-order registry of every declaration seen this process.
+_REGISTRY: List[Declaration] = []
+
+
+def _declare(func: F, declared: ComplexityClass, note: str) -> F:
+    setattr(func, ATTR_CLASS, declared)
+    setattr(func, ATTR_NOTE, note)
+    _REGISTRY.append(
+        Declaration(
+            module=func.__module__,
+            qualname=func.__qualname__,
+            declared=declared,
+            note=note,
+        )
+    )
+    return func
+
+
+@overload
+def o1(func: F) -> F: ...
+
+
+@overload
+def o1(func: None = None, *, note: str = "") -> Callable[[F], F]: ...
+
+
+def o1(
+    func: Optional[F] = None, *, note: str = ""
+) -> object:
+    """Declare a function O(1) in its operand size.
+
+    Usable bare (``@o1``) or with a note (``@o1(note="per extent")``).
+    """
+    if func is not None:
+        return _declare(func, ComplexityClass.CONSTANT, note)
+
+    def wrap(inner: F) -> F:
+        return _declare(inner, ComplexityClass.CONSTANT, note)
+
+    return wrap
+
+
+def complexity(klass: str, *, note: str = "") -> Callable[[F], F]:
+    """Declare a function's cost class, e.g. ``@complexity("log n")``.
+
+    The class string is parsed eagerly so a typo fails at import time,
+    not lint time.
+    """
+    parsed = ComplexityClass.parse(klass)
+
+    def wrap(func: F) -> F:
+        return _declare(func, parsed, note)
+
+    return wrap
+
+
+def declared_complexity(func: object) -> Optional[ComplexityClass]:
+    """The declared class of ``func``, or None if undeclared."""
+    value = getattr(func, ATTR_CLASS, None)
+    return value if isinstance(value, ComplexityClass) else None
+
+
+def iter_declarations() -> Iterator[Declaration]:
+    """Every declaration registered by modules imported so far."""
+    return iter(list(_REGISTRY))

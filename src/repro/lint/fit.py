@@ -1,0 +1,165 @@
+"""Empirical complexity fitting on the simulated clock.
+
+The simulator's clock is deterministic — running an operation twice at the
+same operand size costs exactly the same nanoseconds — so complexity
+fitting needs no statistics, only model selection.  Given measured
+``(size, cost_ns)`` points at geometrically spaced sizes we fit, by least
+squares, one two-parameter model per candidate class::
+
+    CONSTANT       y = a
+    LOG            y = a + b * log2(n)
+    LINEAR         y = a + b * n
+    LINEARITHMIC   y = a + b * n * log2(n)
+
+and pick the class with the smallest residual, tie-breaking toward the
+slowest-growing class (an O(1) fit should never lose to O(n) on equal
+residuals).  Two guards keep the verdict honest:
+
+* **span guard** — if max(cost)/min(cost) ≤ ``constant_span`` the costs
+  are flat for all practical purposes and the verdict is CONSTANT
+  outright; a 20%-total drift across a 64× size sweep is bookkeeping
+  noise (pool warm-up, alignment), not growth.
+* **negative-slope guard** — a fitted b ≤ 0 means cost *shrinks* with
+  size; no growing class may claim that series.
+
+The log-log slope (``exponent``) is reported alongside for human eyes:
+~0 constant, ~1 linear, in between logarithmic flavours.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.lint.decorators import ComplexityClass
+
+#: max/min cost ratio at or below which a series is flat → CONSTANT.
+DEFAULT_CONSTANT_SPAN = 1.3
+
+_GROWTH: Dict[ComplexityClass, Callable[[float], float]] = {
+    ComplexityClass.LOG: lambda n: math.log2(n),
+    ComplexityClass.LINEAR: lambda n: n,
+    ComplexityClass.LINEARITHMIC: lambda n: n * math.log2(n),
+}
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Model-selection verdict for one measured cost series."""
+
+    fitted: ComplexityClass
+    exponent: float
+    span: float
+    residuals: Dict[ComplexityClass, float]
+    coefficients: Dict[ComplexityClass, Tuple[float, float]]
+
+    def summary(self) -> str:
+        return (
+            f"fitted {self.fitted} (log-log slope {self.exponent:+.2f}, "
+            f"cost span {self.span:.2f}x)"
+        )
+
+
+def _least_squares(
+    xs: Sequence[float], ys: Sequence[float]
+) -> Tuple[float, float, float]:
+    """Fit y = a + b*x; return (a, b, sum of squared residuals)."""
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0.0:
+        return mean_y, 0.0, sum((y - mean_y) ** 2 for y in ys)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    b = sxy / sxx
+    a = mean_y - b * mean_x
+    rss = sum((y - (a + b * x)) ** 2 for x, y in zip(xs, ys))
+    return a, b, rss
+
+
+def _normalized_rss(ys: Sequence[float], rss: float) -> float:
+    """Residual sum of squares scaled by total variance, in [0, 1]-ish."""
+    mean_y = sum(ys) / len(ys)
+    tss = sum((y - mean_y) ** 2 for y in ys)
+    if tss == 0.0:
+        return 0.0
+    return rss / tss
+
+
+def loglog_slope(sizes: Sequence[int], costs: Sequence[float]) -> float:
+    """Slope of log2(cost) vs log2(size) — the empirical exponent."""
+    xs = [math.log2(n) for n in sizes]
+    ys = [math.log2(max(c, 1e-9)) for c in costs]
+    _, slope, _ = _least_squares(xs, ys)
+    return slope
+
+
+def fit_series(
+    sizes: Sequence[int],
+    costs: Sequence[float],
+    *,
+    constant_span: float = DEFAULT_CONSTANT_SPAN,
+) -> FitResult:
+    """Fit a measured cost series to its best-matching complexity class."""
+    if len(sizes) != len(costs):
+        raise ValueError("sizes and costs must have equal length")
+    if len(sizes) < 3:
+        raise ValueError("need at least 3 points to fit a complexity class")
+    if any(n <= 0 for n in sizes):
+        raise ValueError("operand sizes must be positive")
+    if any(c < 0 for c in costs):
+        raise ValueError("costs must be non-negative")
+
+    lo, hi = min(costs), max(costs)
+    span = hi / lo if lo > 0 else math.inf
+    exponent = loglog_slope(sizes, costs)
+
+    residuals: Dict[ComplexityClass, float] = {}
+    coefficients: Dict[ComplexityClass, Tuple[float, float]] = {}
+
+    # Constant model: y = mean, residual is the total variance ratio (1.0
+    # by construction unless the series really is flat).
+    ys = [float(c) for c in costs]
+    mean_y = sum(ys) / len(ys)
+    rss_const = sum((y - mean_y) ** 2 for y in ys)
+    residuals[ComplexityClass.CONSTANT] = _normalized_rss(ys, rss_const)
+    coefficients[ComplexityClass.CONSTANT] = (mean_y, 0.0)
+
+    for klass, growth in _GROWTH.items():
+        xs = [growth(float(n)) for n in sizes]
+        a, b, rss = _least_squares(xs, ys)
+        coefficients[klass] = (a, b)
+        if b <= 0.0:
+            # A growing class may not claim a flat or shrinking series.
+            residuals[klass] = math.inf
+        else:
+            residuals[klass] = _normalized_rss(ys, rss)
+
+    if span <= constant_span:
+        fitted = ComplexityClass.CONSTANT
+    else:
+        # Smallest residual wins; ties go to the slowest-growing class.
+        fitted = min(
+            residuals, key=lambda k: (round(residuals[k], 9), k.order)
+        )
+    return FitResult(
+        fitted=fitted,
+        exponent=exponent,
+        span=span,
+        residuals=residuals,
+        coefficients=coefficients,
+    )
+
+
+def geometric_sizes(lo: int, hi: int, *, factor: int = 2) -> List[int]:
+    """Geometrically spaced operand sizes, inclusive of both endpoints."""
+    if lo <= 0 or hi < lo or factor < 2:
+        raise ValueError("need 0 < lo <= hi and factor >= 2")
+    sizes = []
+    n = lo
+    while n < hi:
+        sizes.append(n)
+        n *= factor
+    sizes.append(hi)
+    return sizes

@@ -1,0 +1,132 @@
+"""Rendering for Order(1) conformance results.
+
+Two consumers: humans (``render_text`` — what ``repro-o1 lint`` prints)
+and machines (``build_report`` / ``write_json`` — the
+``lint_report.json`` artifact CI archives next to benchmark results, so
+fitted exponents can be tracked across commits).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.astcheck import LintResult
+from repro.lint.baseline import BaselineOutcome
+from repro.lint.ops import OperationFit
+
+REPORT_VERSION = 1
+
+
+def build_report(
+    lint: LintResult,
+    outcome: BaselineOutcome,
+    fits: Optional[Sequence[OperationFit]] = None,
+    *,
+    sizes: Optional[Sequence[int]] = None,
+) -> Dict[str, object]:
+    """Assemble the machine-readable conformance report."""
+    report: Dict[str, object] = {
+        "version": REPORT_VERSION,
+        "tool": "repro-o1 lint",
+        "lint": {
+            "files_checked": lint.files_checked,
+            "functions_checked": lint.functions_checked,
+            "inline_suppressed": lint.inline_suppressed,
+            "baseline_suppressed": [
+                {
+                    "function": v.function,
+                    "rule": v.rule,
+                    "path": str(v.path),
+                    "line": v.line,
+                }
+                for v in outcome.suppressed
+            ],
+            "violations": [
+                {
+                    "function": v.function,
+                    "rule": v.rule,
+                    "declared": str(v.declared),
+                    "path": str(v.path),
+                    "line": v.line,
+                    "message": v.message,
+                }
+                for v in outcome.new
+            ],
+            "stale_baseline_entries": [
+                {"function": e.function, "rule": e.rule, "reason": e.reason}
+                for e in outcome.stale
+            ],
+        },
+    }
+    if fits is not None:
+        report["fit"] = {
+            "sizes": list(sizes) if sizes is not None else None,
+            "operations": [
+                {
+                    "name": f.operation.name,
+                    "declared": str(f.operation.declared),
+                    "fitted": str(f.fit.fitted),
+                    "exponent": round(f.fit.exponent, 4),
+                    "span": round(f.fit.span, 4)
+                    if f.fit.span != float("inf")
+                    else None,
+                    "known_mismatch": f.operation.known_mismatch,
+                    "ok": f.ok,
+                    "note": f.operation.note,
+                    "sizes": f.sizes,
+                    "costs_ns": f.costs,
+                }
+                for f in fits
+            ],
+        }
+    return report
+
+
+def write_json(path: Path, report: Dict[str, object]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+
+def render_text(
+    lint: LintResult,
+    outcome: BaselineOutcome,
+    fits: Optional[Sequence[OperationFit]] = None,
+) -> str:
+    """Human-readable conformance summary."""
+    lines: List[str] = []
+    lines.append(
+        f"o1 lint: {lint.functions_checked} declared functions across "
+        f"{lint.files_checked} files"
+    )
+    lines.append(
+        f"  {len(outcome.new)} violation(s), "
+        f"{len(outcome.suppressed)} baseline-suppressed, "
+        f"{lint.inline_suppressed} inline-suppressed, "
+        f"{len(outcome.stale)} stale baseline entr"
+        f"{'y' if len(outcome.stale) == 1 else 'ies'}"
+    )
+    for violation in outcome.new:
+        lines.append(f"  VIOLATION {violation.format()}")
+    for entry in outcome.stale:
+        lines.append(
+            f"  STALE baseline entry {entry.function} [{entry.rule}] — "
+            "finding no longer occurs; remove it"
+        )
+    if fits is not None:
+        lines.append("")
+        lines.append(f"o1 fit: {len(fits)} operation(s)")
+        for f in fits:
+            span = (
+                f"{f.fit.span:.2f}x" if f.fit.span != float("inf") else "inf"
+            )
+            status = "ok" if f.ok else "FAIL"
+            verdict = (
+                f"declared {f.operation.declared} fitted {f.fit.fitted} "
+                f"(slope {f.fit.exponent:+.2f}, span {span})"
+            )
+            if f.operation.known_mismatch:
+                verdict += " [control]"
+            lines.append(f"  {status:4s} {f.operation.name:32s} {verdict}")
+    return "\n".join(lines)

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Set
 from repro.errors import OutOfMemoryError
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel
+from repro.lint import complexity, o1
 from repro.mem.physical import MemoryRegion
 from repro.units import PAGE_SIZE
 
@@ -95,6 +96,7 @@ class BuddyAllocator:
             self._counters.bump(event)
 
     @staticmethod
+    @o1(note="bit_length, no search")
     def order_for_pages(npages: int) -> int:
         """Smallest order whose block covers ``npages`` frames."""
         if npages <= 0:
@@ -104,6 +106,7 @@ class BuddyAllocator:
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
+    @complexity("log n", note="<= max_order splits; exact-order hits are O(1)")
     def alloc(self, order: int = 0) -> int:
         """Allocate a block of 2**order frames; returns its first PFN."""
         if not 0 <= order <= self._max_order:
@@ -136,6 +139,7 @@ class BuddyAllocator:
         self._free_frames -= 1 << order
         return pfn
 
+    @complexity("log n", note="one power-of-two block, however many pages")
     def alloc_pages(self, npages: int) -> int:
         """Allocate a contiguous run covering ``npages`` frames.
 
@@ -148,6 +152,7 @@ class BuddyAllocator:
     # ------------------------------------------------------------------
     # Freeing
     # ------------------------------------------------------------------
+    @o1(note="frees charge once; the merge chain charges 0 ns")
     def free(self, pfn: int) -> None:
         """Free a previously allocated block, coalescing with buddies."""
         order = self._allocated.pop(pfn, None)
@@ -156,6 +161,7 @@ class BuddyAllocator:
         self._charge(self._costs.frame_free_ns if self._costs else 0, "buddy_free")
         self._free_frames += 1 << order
         first = self._region.first_pfn
+        # o1: allow(o1-charge-in-loop) -- merges charge 0 ns, max_order bound
         while order < self._max_order:
             buddy = first + ((pfn - first) ^ (1 << order))
             if buddy not in self._free_lists[order]:

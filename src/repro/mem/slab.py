@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.errors import OutOfMemoryError
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel
+from repro.lint import complexity, o1
 from repro.mem.buddy import BuddyAllocator
 from repro.units import PAGE_SIZE
 
@@ -97,6 +98,7 @@ class SlabCache:
         if self._counters is not None:
             self._counters.bump(event)
 
+    @o1(note="LIFO slot pop; growth is amortized over a whole slab")
     def alloc(self) -> int:
         """Allocate one object; returns its physical address."""
         self._charge("slab_alloc")
@@ -111,6 +113,7 @@ class SlabCache:
         self._live[addr] = base_pfn
         return addr
 
+    @o1(note="slot push; empty-slab reaping is one buddy free")
     def free(self, addr: int) -> None:
         """Return the object at ``addr`` to the cache."""
         base_pfn = self._live.pop(addr, None)
@@ -126,6 +129,7 @@ class SlabCache:
         if len(slab.free_slots) == slab.total_slots:
             self._reap(base_pfn)
 
+    @complexity("log n", note="one buddy alloc with bounded retry")
     def _grow(self, attempts: int = 3) -> None:
         """Add one slab from the buddy allocator, with bounded retry.
 

@@ -20,6 +20,7 @@ from typing import Deque, Dict, Optional
 from repro.errors import OutOfMemoryError
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel
+from repro.lint import complexity, o1
 from repro.mem.buddy import BuddyAllocator
 from repro.units import PAGE_SIZE
 
@@ -61,6 +62,7 @@ class ZeroPool:
     # ------------------------------------------------------------------
     # Foreground path
     # ------------------------------------------------------------------
+    @o1(note="popleft when stocked; misses fall back to foreground zeroing")
     def take(self) -> int:
         """Take one zeroed frame.
 
@@ -82,6 +84,7 @@ class ZeroPool:
         self._foreground_zero_ns += zero_ns
         return pfn
 
+    @o1(note="one buddy free")
     def give_back(self, pfn: int) -> None:
         """Return a dirty frame to the buddy (it must be re-zeroed later)."""
         self._buddy.free(pfn)
@@ -89,6 +92,7 @@ class ZeroPool:
     # ------------------------------------------------------------------
     # Background path
     # ------------------------------------------------------------------
+    @complexity("n", note="background work, off the foreground clock")
     def refill(self, max_frames: Optional[int] = None) -> int:
         """Zero frames in the background up to the target; returns count.
 

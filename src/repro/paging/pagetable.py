@@ -31,6 +31,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 from repro.errors import AlignmentError, ConfigurationError, MappingError
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel
+from repro.lint import o1
 from repro.units import HUGE_PAGE_1G, HUGE_PAGE_2M, PAGE_SIZE, PTES_PER_TABLE
 
 #: Bits translated per level and by the page offset.
@@ -196,6 +197,7 @@ class PageTable:
     # ------------------------------------------------------------------
     # Mapping
     # ------------------------------------------------------------------
+    @o1(note="one leaf write after a fixed-depth descent")
     def map(
         self,
         vaddr: int,
@@ -243,6 +245,7 @@ class PageTable:
             node = child
         return node
 
+    @o1(note="one leaf clear after a fixed-depth descent")
     def unmap(self, vaddr: int, page_size: int = PAGE_SIZE) -> Pte:
         """Remove the leaf PTE at ``vaddr``; returns it.
 
@@ -251,6 +254,7 @@ class PageTable:
         """
         leaf_depth = self._leaf_depth_for(page_size)
         node = self._root
+        # o1: allow(o1-size-loop) -- descent depth is fixed by the geometry
         for depth in range(leaf_depth):
             child = node.entries.get(self.index_at(vaddr, depth))
             if not isinstance(child, PageTableNode):
@@ -316,6 +320,7 @@ class PageTable:
             node = entry
         return node
 
+    @o1(note="single pointer write — the paper's O(1) mapping primitive")
     def link_subtree(self, vaddr: int, subtree: PageTableNode) -> None:
         """Graft ``subtree`` so it translates the region at ``vaddr``.
 
@@ -343,6 +348,7 @@ class PageTable:
         subtree.refs += 1
         self._charge_pte_write()
 
+    @o1(note="single pointer clear")
     def unlink_subtree(self, vaddr: int, depth: int) -> PageTableNode:
         """Remove the graft at ``vaddr``/``depth``; returns the subtree."""
         parent = self.subtree_at(vaddr, depth - 1) if depth > 1 else self._root

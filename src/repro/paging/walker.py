@@ -22,6 +22,7 @@ from repro.hw.cache import CacheModel
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel
 from repro.hw.tlb import TlbEntry
+from repro.lint import o1
 from repro.paging.pagetable import PageTable, Pte
 
 
@@ -60,6 +61,7 @@ class PageWalker:
         host = self._nested_levels or levels
         return (levels + 1) * (host + 1) - 1
 
+    @o1(note="4-5 fixed levels, independent of mapping size")
     def walk(self, table: PageTable, vaddr: int, asid: int = 0) -> Optional[TlbEntry]:
         """Translate ``vaddr``; None if no valid leaf exists.
 

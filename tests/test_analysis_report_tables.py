@@ -1,0 +1,98 @@
+"""Table rendering/parsing and the trace-derived report builders.
+
+Covers the report.py/tables.py surface the existing suites skip:
+``parse_table`` round-trips, ``format_table`` error paths, and the
+attribution / histogram / counter report builders.
+"""
+
+import pytest
+
+from repro.analysis.report import (
+    attribution_report,
+    counters_report,
+    histogram_report,
+)
+from repro.analysis.tables import format_table, parse_table
+
+
+class TestFormatTable:
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ValueError, match="at least one header"):
+            format_table([], [])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])
+
+    def test_pads_to_widest_cell(self):
+        text = format_table(["x", "label"], [[1, "a"], [100, "bb"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+        assert lines[1].strip("- ") == ""  # header rule
+
+
+class TestParseTable:
+    def test_round_trip_casts_numbers(self):
+        text = format_table(
+            ["size", "cost (us)", "name"],
+            [[8, "2.50", "mmap"], [16, "2.50", "munmap"]],
+        )
+        records = parse_table(text)
+        assert records == [
+            {"size": 8, "cost (us)": 2.5, "name": "mmap"},
+            {"size": 16, "cost (us)": 2.5, "name": "munmap"},
+        ]
+
+    def test_empty_text_parses_to_nothing(self):
+        assert parse_table("") == []
+        assert parse_table("just one line") == []
+
+    def test_skips_malformed_rows(self):
+        text = format_table(["a", "b"], [[1, 2]]) + "\nonly-one-cell\n"
+        assert parse_table(text) == [{"a": 1, "b": 2}]
+
+
+class TestAttributionReport:
+    def test_groups_by_subsystem_with_shares(self):
+        attribution = {
+            (1, "fault"): 750,
+            (2, "fault"): 150,
+            (1, "fs"): 100,
+        }
+        text = attribution_report(
+            attribution, total_ns=1000, process_names={1: "app", 2: "bg"}
+        )
+        lines = text.splitlines()
+        # Largest subsystem first, largest process first inside it.
+        assert "fault" in lines[2] and "app" in lines[2]
+        assert "75.0%" in lines[2]
+        assert "bg" in lines[3]
+        assert "total" in lines[-1]
+
+    def test_unnamed_pids_and_zero_total(self):
+        text = attribution_report({(7, "fs"): 10}, total_ns=0)
+        assert "pid 7" in text
+        assert "-" in text  # share is undefined at zero elapsed
+
+
+class TestLiveReports:
+    def test_histogram_report_lists_measured_spans(self, kernel):
+        process = kernel.spawn("p")
+        sys = kernel.syscalls(process)
+        va = sys.mmap(64 * 1024)
+        with kernel.measure(trace=True):
+            kernel.access_range(process, va, 64 * 1024)
+        text = histogram_report(kernel.counters)
+        assert "p50" in text and "p99" in text
+        assert "page_walk" in text
+
+    def test_counters_report_sorted_two_columns(self, kernel):
+        process = kernel.spawn("p")
+        sys = kernel.syscalls(process)
+        va = sys.mmap(16 * 1024)
+        kernel.access(process, va)
+        text = counters_report(kernel.counters)
+        records = parse_table(text)
+        names = [r["counter"] for r in records]
+        assert names == sorted(names)
+        assert any(r["counter"] == "fault_minor" for r in records)

@@ -1,0 +1,61 @@
+"""repro-o1 lint subcommand."""
+
+import json
+
+from repro.cli import main
+
+
+class TestLintCommand:
+    def test_lint_clean_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "o1 lint:" in out
+        assert "0 violation(s)" in out
+
+    def test_lint_json_report(self, capsys, tmp_path):
+        path = tmp_path / "lint_report.json"
+        assert main(["lint", "--json", str(path)]) == 0
+        report = json.loads(path.read_text())
+        assert report["version"] == 1
+        assert report["lint"]["violations"] == []
+        assert report["lint"]["functions_checked"] >= 50
+        assert report.get("fit") is None
+
+    def test_lint_fit_single_op(self, capsys, tmp_path):
+        path = tmp_path / "lint_report.json"
+        assert main(
+            ["lint", "--fit", "--op", "rangetrans.map_file",
+             "--json", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "o1 fit: 1 operation(s)" in out
+        assert "rangetrans.map_file" in out
+        report = json.loads(path.read_text())
+        ops = report["fit"]["operations"]
+        assert len(ops) == 1
+        assert ops[0]["ok"] is True
+        assert ops[0]["fitted"] == "O(1)"
+
+    def test_lint_fit_flags_control(self, capsys):
+        assert main(["lint", "--fit", "--op", "fom.demand_touch"]) == 0
+        out = capsys.readouterr().out
+        assert "[control]" in out
+        assert "fitted O(n)" in out
+
+    def test_dirty_tree_exits_one(self, capsys, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(
+            "from repro.lint import o1\n\n@o1\ndef b(pages):\n"
+            "    for p in pages:\n        x(p)\n"
+        )
+        empty_baseline = tmp_path / "baseline.json"
+        empty_baseline.write_text('{"version": 1, "entries": []}')
+        assert main(
+            ["lint", "--root", str(pkg), "--baseline", str(empty_baseline)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "o1-size-loop" in out
+
+    def test_missing_root_exits_two(self, capsys, tmp_path):
+        assert main(["lint", "--root", str(tmp_path / "nope")]) == 2

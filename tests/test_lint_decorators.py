@@ -1,0 +1,98 @@
+"""Complexity declaration decorators."""
+
+import pytest
+
+from repro.lint.decorators import (
+    ComplexityClass,
+    declared_complexity,
+    iter_declarations,
+    o1,
+)
+from repro.lint import complexity
+
+
+class TestComplexityClass:
+    def test_parse_aliases(self):
+        assert ComplexityClass.parse("1") is ComplexityClass.CONSTANT
+        assert ComplexityClass.parse("O(1)") is ComplexityClass.CONSTANT
+        assert ComplexityClass.parse("constant") is ComplexityClass.CONSTANT
+        assert ComplexityClass.parse("log n") is ComplexityClass.LOG
+        assert ComplexityClass.parse("O(log n)") is ComplexityClass.LOG
+        assert ComplexityClass.parse("n") is ComplexityClass.LINEAR
+        assert ComplexityClass.parse("linear") is ComplexityClass.LINEAR
+        assert ComplexityClass.parse("n log n") is ComplexityClass.LINEARITHMIC
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown complexity"):
+            ComplexityClass.parse("n^2")
+
+    def test_order_sorts_by_growth(self):
+        classes = sorted(ComplexityClass, key=lambda k: k.order)
+        assert classes == [
+            ComplexityClass.CONSTANT,
+            ComplexityClass.LOG,
+            ComplexityClass.LINEAR,
+            ComplexityClass.LINEARITHMIC,
+        ]
+
+
+class TestDecorators:
+    def test_o1_bare(self):
+        @o1
+        def fn():
+            return 42
+
+        assert fn() == 42
+        assert declared_complexity(fn) is ComplexityClass.CONSTANT
+
+    def test_o1_with_note(self):
+        @o1(note="one pointer write")
+        def fn():
+            return 42
+
+        assert fn() == 42
+        assert fn.__complexity_note__ == "one pointer write"
+
+    def test_complexity_decorator(self):
+        @complexity("log n", note="binary search")
+        def fn(x):
+            return x + 1
+
+        assert fn(1) == 2
+        assert declared_complexity(fn) is ComplexityClass.LOG
+
+    def test_complexity_rejects_bad_class_eagerly(self):
+        with pytest.raises(ValueError):
+            complexity("exponential")
+
+    def test_undecorated_returns_none(self):
+        def fn():
+            pass
+
+        assert declared_complexity(fn) is None
+
+    def test_decorator_does_not_wrap(self):
+        # Zero runtime cost: the original function object comes back.
+        def fn():
+            pass
+
+        assert o1(fn) is fn
+
+    def test_registry_records_declarations(self):
+        @o1(note="registry check")
+        def registered_fn():
+            pass
+
+        names = [d.qualname for d in iter_declarations()]
+        assert any("registered_fn" in name for name in names)
+
+    def test_codebase_declarations_registered(self):
+        # Importing the kernel pulls in every annotated module.
+        import repro.kernel.kernel  # noqa: F401
+
+        decls = list(iter_declarations())
+        assert len(decls) >= 40
+        constants = [
+            d for d in decls if d.declared is ComplexityClass.CONSTANT
+        ]
+        assert len(constants) >= 20

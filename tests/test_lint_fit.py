@@ -1,0 +1,79 @@
+"""Empirical complexity fitter: model selection on simulated costs."""
+
+import math
+
+import pytest
+
+from repro.lint.decorators import ComplexityClass
+from repro.lint.fit import (
+    DEFAULT_CONSTANT_SPAN,
+    fit_series,
+    geometric_sizes,
+    loglog_slope,
+)
+
+
+SIZES = [8, 16, 32, 64, 128, 256]
+
+
+class TestFitSeries:
+    def test_flat_series_is_constant(self):
+        fit = fit_series(SIZES, [150.0] * len(SIZES))
+        assert fit.fitted is ComplexityClass.CONSTANT
+        assert fit.exponent == pytest.approx(0.0)
+        assert fit.span == pytest.approx(1.0)
+
+    def test_exact_linear(self):
+        fit = fit_series(SIZES, [100.0 * n for n in SIZES])
+        assert fit.fitted is ComplexityClass.LINEAR
+        assert fit.exponent == pytest.approx(1.0, abs=0.05)
+
+    def test_exact_log(self):
+        fit = fit_series(SIZES, [50.0 * math.log2(n) for n in SIZES])
+        assert fit.fitted is ComplexityClass.LOG
+
+    def test_exact_linearithmic(self):
+        fit = fit_series(SIZES, [3.0 * n * math.log2(n) for n in SIZES])
+        assert fit.fitted is ComplexityClass.LINEARITHMIC
+
+    def test_small_span_short_circuits_to_constant(self):
+        # 20% wobble sits under the span guard: never call it growth.
+        costs = [100.0, 104.0, 98.0, 101.0, 103.0, 100.0]
+        fit = fit_series(SIZES, costs)
+        assert fit.fitted is ComplexityClass.CONSTANT
+        assert max(costs) / min(costs) <= DEFAULT_CONSTANT_SPAN
+
+    def test_decreasing_costs_fit_constant_not_growth(self):
+        # A negative trend must not be "explained" by a growing class.
+        fit = fit_series(SIZES, [1000.0 / n for n in SIZES])
+        assert fit.fitted is ComplexityClass.CONSTANT
+
+    def test_all_zero_series_is_constant(self):
+        fit = fit_series(SIZES, [0.0] * len(SIZES))
+        assert fit.fitted is ComplexityClass.CONSTANT
+
+    def test_needs_at_least_three_points(self):
+        with pytest.raises(ValueError):
+            fit_series([8, 16], [1.0, 2.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            fit_series(SIZES, [1.0])
+
+
+class TestHelpers:
+    def test_loglog_slope_linear(self):
+        slope = loglog_slope(SIZES, [7.0 * n for n in SIZES])
+        assert slope == pytest.approx(1.0, abs=0.01)
+
+    def test_loglog_slope_constant(self):
+        slope = loglog_slope(SIZES, [7.0] * len(SIZES))
+        assert slope == pytest.approx(0.0, abs=0.01)
+
+    def test_geometric_sizes(self):
+        assert geometric_sizes(8, 64) == [8, 16, 32, 64]
+        assert geometric_sizes(8, 100) == [8, 16, 32, 64, 100]
+
+    def test_geometric_sizes_validates(self):
+        with pytest.raises(ValueError):
+            geometric_sizes(64, 8)
