@@ -9,6 +9,7 @@ Installed as ``repro-o1`` (see pyproject.toml)::
     repro-o1 meminfo     # a fresh machine's memory accounting
     repro-o1 figures     # how to regenerate the paper's figures
     repro-o1 chaos       # crash-at-any-point exploration with recovery oracles
+    repro-o1 sanitize    # run a workload with shadow-state sanitizers armed
     repro-o1 lint        # O(1) conformance: AST cost-shape check
     repro-o1 lint --fit  # ... plus the empirical complexity fitter
 """
@@ -151,6 +152,87 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok() else 1
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.sanitize import DETECTORS, SanitizerSuite
+
+    if args.detectors:
+        detectors = tuple(
+            name.strip() for name in args.detectors.split(",") if name.strip()
+        )
+    else:
+        detectors = DETECTORS
+
+    if args.chaos:
+        from repro.chaos import explore, make_builder
+
+        print(
+            f"sanitize: chaos sweep with detectors {','.join(detectors)}, "
+            f"workload seed {args.seed}"
+        )
+        build = make_builder(seed=args.seed)
+        suites: List[SanitizerSuite] = []
+
+        def armed_build():
+            kernel, run = build()
+            suite = kernel.arm_sanitizers(
+                SanitizerSuite(detectors=detectors, halt=False)
+            )
+            suites.append(suite)
+            return kernel, run
+
+        progress = print if args.verbose else None
+        chaos_report = explore(armed_build, progress=progress)
+        print(chaos_report.summary())
+        violations = [v for suite in suites for v in suite.violations]
+        checks: dict = {}
+        for suite in suites:
+            for name, count in suite.checks.items():
+                checks[name] = checks.get(name, 0) + count
+        report = {
+            "version": 1,
+            "tool": "repro-o1 sanitize",
+            "mode": "chaos",
+            "seed": args.seed,
+            "armed_detectors": list(detectors),
+            "crash_points": chaos_report.crash_points,
+            "chaos_failures": len(chaos_report.failures),
+            "violation_count": len(violations),
+            "violations": [v.to_dict() for v in violations],
+            "checks": dict(sorted(checks.items())),
+        }
+        failed = bool(violations) or not chaos_report.ok()
+    else:
+        kernel = _demo_kernel()
+        suite = kernel.arm_sanitizers(
+            SanitizerSuite(detectors=detectors, halt=False)
+        )
+        print(
+            f"sanitize: demo workload ({args.mib} MiB) with detectors "
+            f"{','.join(detectors)}"
+        )
+        _run_demo_workload(kernel, args.mib)
+        violations = suite.violations
+        checks = suite.checks
+        report = suite.report()
+        report["mode"] = "demo"
+        failed = bool(violations)
+
+    total_checks = sum(checks.values())
+    print(f"{total_checks} shadow-state checks, {len(violations)} violation(s)")
+    for violation in violations:
+        print(f"  VIOLATION {violation.format()}")
+    if args.json is not None:
+        path = Path(args.json)
+        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote sanitize report to {path}")
+    if not failed:
+        print("no shadow-state violations")
+    return 1 if failed else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -236,6 +318,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-crash-point progress",
     )
     chaos.set_defaults(func=_cmd_chaos)
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="run a workload with the shadow-state sanitizer suite armed",
+    )
+    sanitize.add_argument(
+        "--mib", type=int, default=16, help="demo region size in MiB"
+    )
+    sanitize.add_argument(
+        "--detectors", metavar="LIST", default=None,
+        help="comma-separated subset of trans,frame,persist (default: all)",
+    )
+    sanitize.add_argument(
+        "--chaos", action="store_true",
+        help="run the chaos crash-point sweep fully armed instead of the demo",
+    )
+    sanitize.add_argument(
+        "--seed", type=int, default=0,
+        help="chaos workload seed (with --chaos)",
+    )
+    sanitize.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print per-crash-point progress (with --chaos)",
+    )
+    sanitize.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the machine-readable sanitize_report.json here",
+    )
+    sanitize.set_defaults(func=_cmd_sanitize)
     lint = sub.add_parser(
         "lint",
         help="O(1) conformance: AST cost-shape linter + complexity fitter",

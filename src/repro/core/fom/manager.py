@@ -283,7 +283,7 @@ class FileOnlyMemory:
     # ------------------------------------------------------------------
     # Growth — the benefit of growing regions without per-page work
     # ------------------------------------------------------------------
-    @o1(note="O(#new extents); the VMA-overlap scan is baselined O(#vmas)")
+    @o1(note="O(#new extents); the tail probe is two sorted-bound bisects")
     def grow_region(self, region: FomRegion, new_size: int) -> None:
         """Extend a region in place: grow the file, map the new extent.
 
@@ -311,9 +311,7 @@ class FileOnlyMemory:
         added = grown_bytes - old_pages * PAGE_SIZE
         space = region.process.space
         tail_start = region.vaddr + old_pages * PAGE_SIZE
-        tail_free = not any(
-            vma.overlaps(tail_start, tail_start + added) for vma in space.vmas
-        )
+        tail_free = space.range_is_free(tail_start, tail_start + added)
         if tail_free:
             # Extend in place; identical flags/backing and contiguous
             # offsets merge the new VMA into the existing one, and the
@@ -374,6 +372,10 @@ class FileOnlyMemory:
         if unlink is None:
             unlink = not region.persistent
         if unlink and self._fs.exists(region.path):
+            # Cached premapped subtrees hold donor translations into the
+            # file's blocks; drop them before the unlink frees the blocks
+            # so no translation outlives the storage.
+            self.ptcache.invalidate(region.inode.ino)
             self._fs.unlink(region.path)
         regions = self._regions_by_pid.get(region.process.pid, [])
         if region in regions:

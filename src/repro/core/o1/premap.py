@@ -213,6 +213,23 @@ class PageTableCache:
         premapped.persistent = True
         self._counters.bump("premap_persist")
 
+    def invalidate(self, ino: int) -> int:
+        """Drop cached subtrees for ``ino`` (the file is being deleted).
+
+        The donor tables are cleared, not just dropped, so no cached
+        translation can outlive the file's storage; windows still linked
+        into live address spaces keep their own references and stay
+        valid until those attachments detach.  Returns entries dropped.
+        """
+        dropped = 0
+        for key in [key for key in self._cache if key[0] == ino]:
+            premapped = self._cache.pop(key)
+            premapped.donor.clear()
+            dropped += 1
+        if dropped:
+            self._counters.bump("premap_invalidate", dropped)
+        return dropped
+
     def on_crash(self) -> int:
         """Drop non-persistent entries (DRAM page tables are gone).
 

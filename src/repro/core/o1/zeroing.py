@@ -25,7 +25,7 @@ from typing import Dict, List, Optional
 from repro.errors import OutOfMemoryError
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel
-from repro.lint import complexity
+from repro.lint import complexity, o1
 from repro.mem.buddy import BuddyAllocator
 from repro.mem.zeropool import ZeroPool
 from repro.units import PAGE_SIZE
@@ -101,10 +101,17 @@ class EagerZeroing(ZeroingStrategy):
         ]
         self._clock.advance(self._costs.zero_page_ns(PAGE_SIZE) * count)
         self._counters.bump("zero_eager_pages", count)
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            san.on_frames_zeroed(pfns)
         return pfns
 
     @complexity("n", note="per-frame buddy frees")
     def return_frames(self, pfns: List[int]) -> None:
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            # Returned frames hold whatever the caller wrote: dirty.
+            san.on_frames_tainted(pfns)
         for pfn in pfns:
             self._buddy.free(pfn)
 
@@ -182,19 +189,24 @@ class CryptoErase(ZeroingStrategy):
         if pfns:
             self._keys[pfns[0]] = self._next_key
             self._next_key += 1
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            # A fresh key makes the batch read as zeros (fresh ciphertext).
+            san.on_frames_zeroed(pfns)
         return pfns
 
-    @complexity(
-        "n", note="key destroy is O(1); frame returns stay per-frame — "
-        "ROADMAP open item"
-    )
+    @o1(note="one key destroy + one batched region free")
     def return_frames(self, pfns: List[int]) -> None:
-        if pfns:
-            self._keys.pop(pfns[0], None)
-            self._clock.advance(self.KEY_OP_NS)
-            self._counters.bump("crypto_key_destroy")
-        for pfn in pfns:
-            self._buddy.free(pfn)
+        if not pfns:
+            return
+        self._keys.pop(pfns[0], None)
+        self._clock.advance(self.KEY_OP_NS)
+        self._counters.bump("crypto_key_destroy")
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            # Key gone: old contents are unrecoverable garbage, not zeros.
+            san.on_frames_tainted(pfns)
+        self._buddy.free_many(pfns)
 
     @property
     def live_keys(self) -> int:

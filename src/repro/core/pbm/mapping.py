@@ -136,6 +136,9 @@ class PbmManager:
                 name=f"pbm:ino{inode.ino}",
             )
             segment = _Segment(vaddr=vaddr, length=length, vma=vma)
+            san = getattr(self._kernel.counters, "sanitize", None)
+            if san is not None:
+                san.on_pbm_claim(inode.ino, pfn, run)
             windows = self._subtrees.windows_for_extent(vaddr, pfn, run, writable)
             if windows is not None:
                 # o1: allow(o1-nested-size-loop) -- per 2 MiB window
@@ -160,7 +163,14 @@ class PbmManager:
     def unmap(self, mapping: PbmMapping) -> None:
         """Tear down: unlink shared windows (O(windows)), drop VMAs."""
         levels = self._kernel.config.page_table_levels
+        san = getattr(self._kernel.counters, "sanitize", None)
         for segment in mapping.segments:
+            if san is not None:
+                san.on_pbm_release(
+                    mapping.inode_ino,
+                    (segment.vaddr - self._pbm_base) // PAGE_SIZE,
+                    segment.length // PAGE_SIZE,
+                )
             # o1: allow(o1-nested-size-loop) -- per 2 MiB window
             for window_va in segment.linked_windows:
                 mapping.space.page_table.unlink_subtree(window_va, levels - 1)

@@ -99,6 +99,9 @@ class BlockAllocator:
             )
         self._bitmap.set_range(start, nblocks)
         self._hint = start + nblocks
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            san.on_nvm_alloc(self, self._region.first_pfn + start, nblocks)
         return Extent(logical=0, pfn=self._region.first_pfn + start, count=nblocks)
 
     def _find_aligned_run(self, nblocks: int, align_frames: int) -> Optional[int]:
@@ -147,6 +150,9 @@ class BlockAllocator:
             self._counters.bump("extent_alloc")
             self._bitmap.set_range(start, run)
             self._hint = start + run
+            san = getattr(self._counters, "sanitize", None)
+            if san is not None:
+                san.on_nvm_alloc(self, self._region.first_pfn + start, run)
             extents.append(
                 Extent(logical=0, pfn=self._region.first_pfn + start, count=run)
             )
@@ -156,6 +162,9 @@ class BlockAllocator:
     @o1(note="one bitmap run update")
     def free_extent(self, extent: Extent) -> None:
         """Return an extent's blocks to the bitmap (one run update)."""
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            san.on_nvm_free(self, extent.pfn, extent.count)
         self._clock.advance(self._costs.bitmap_run_ns)
         self._counters.bump("extent_free")
         self._bitmap.clear_range(extent.pfn - self._region.first_pfn, extent.count)
@@ -302,6 +311,9 @@ class Pmfs(FileSystem):
         self._counters.bump("journal_record")
         record = JournalRecord(op=op, ino=ino)
         self.journal.append(record)
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            san.on_journal_begin(self, record)
         chaos = getattr(self._counters, "chaos", None)
         if chaos is not None:
             chaos.hit("pmfs.journal.begin")
@@ -325,6 +337,9 @@ class Pmfs(FileSystem):
                 args={"op": record.op, "ino": record.ino},
             )
         record.committed = True
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            san.on_journal_commit(self, record)
         self._tick()
         if chaos is not None:
             chaos.hit("pmfs.journal.commit.post")
@@ -377,7 +392,15 @@ class Pmfs(FileSystem):
             )
             pieces = [extent]
         except NoSpaceError:
-            pieces = self.allocator.alloc_best_effort(nblocks)
+            try:
+                pieces = self.allocator.alloc_best_effort(nblocks)
+            except NoSpaceError:
+                san = getattr(self._counters, "sanitize", None)
+                if san is not None:
+                    # The transaction dies before its commit: close the
+                    # epoch so later writes to this inode aren't blamed.
+                    san.on_journal_abort(self, record)
+                raise
         for piece in pieces:
             record.extents.append(
                 Extent(logical=logical, pfn=piece.pfn, count=piece.count)
@@ -388,6 +411,9 @@ class Pmfs(FileSystem):
         self._apply_alloc(record)
 
     def _apply_alloc(self, record: "JournalRecord") -> None:
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            san.on_journal_apply(self, record)
         tree = self._trees.get(record.ino)
         if tree is None:
             tree = self._trees[record.ino] = ExtentTree(
@@ -421,6 +447,9 @@ class Pmfs(FileSystem):
         self._apply_shrink(record)
 
     def _apply_shrink(self, record: "JournalRecord") -> None:
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            san.on_journal_apply(self, record)
         tree = self._trees.get(record.ino)
         if tree is not None:
             survivors: List[Extent] = []
@@ -457,6 +486,9 @@ class Pmfs(FileSystem):
                 tracer.end()
 
     def _apply_free(self, record: "JournalRecord") -> None:
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            san.on_journal_apply(self, record)
         tree = self._trees.pop(record.ino, None)
         if tree is not None:
             tree.remove_all()
@@ -504,6 +536,11 @@ class Pmfs(FileSystem):
         under journal corruption.  After recovery, :func:`fsck` holds.
         """
         self._crash_countdown = None
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            # Power was lost: volatile shadow state (translations, open
+            # journal epochs) is gone before any replay runs.
+            san.on_fs_crash(self)
         tracer = self._counters.tracer
         traced = tracer is not None and tracer.enabled
         if traced:
@@ -530,13 +567,15 @@ class Pmfs(FileSystem):
                         self.allocator.free_extent(extent)
                 # Uncommitted frees/shrinks changed nothing durable.
                 continue
-            # Committed but not applied: redo.
+            # Committed but not applied: redo.  The commit already made it
+            # durable before the crash, so applying here is inside the
+            # original transaction's fence.
             if record.op == "alloc":
-                self._apply_alloc(record)
+                self._apply_alloc(record)  # o1: allow(persist-outside-txn) -- committed redo
             elif record.op == "shrink":
-                self._apply_shrink(record)
+                self._apply_shrink(record)  # o1: allow(persist-outside-txn) -- committed redo
             elif record.op == "free":
-                self._apply_free(record)
+                self._apply_free(record)  # o1: allow(persist-outside-txn) -- committed redo
         self.journal.clear()
         if corrupted_seen:
             self._scrub()
@@ -557,9 +596,16 @@ class Pmfs(FileSystem):
                 claimed.update(range(extent.pfn, extent.pfn + extent.count))
         region = self.allocator._region
         bitmap = self.allocator._bitmap
+        san = getattr(self._counters, "sanitize", None)
         scrubbed = 0
         for index in range(bitmap.size):
             if bitmap.test(index) and region.first_pfn + index not in claimed:
+                if san is not None:
+                    # Leaked block reclaim, not a free of a live
+                    # allocation: skip the double-free check.
+                    san.on_nvm_free(
+                        self.allocator, region.first_pfn + index, 1, check=False
+                    )
                 bitmap.clear_range(index, 1)
                 scrubbed += 1
         if scrubbed:

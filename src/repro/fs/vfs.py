@@ -380,6 +380,11 @@ class FileHandle:
         elif end > self.inode.size:
             self.inode.size = end
         self._charge_copy(offset, len(data), write=True)
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            # The data store is about to become visible: any journal
+            # fence this write depends on must already have passed.
+            san.on_data_visible(self.inode)
         chaos = getattr(self._counters, "chaos", None)
         if chaos is not None and chaos.hit("fs.write.torn") == "torn":
             # Torn write: a prefix of the payload lands, then power fails.

@@ -117,6 +117,9 @@ class Cpu:
             for _ in range(self._MAX_FAULT_RETRIES):
                 paddr = self._translate(space, vaddr, write)
                 if paddr is not None:
+                    san = getattr(self._counters, "sanitize", None)
+                    if san is not None:
+                        san.on_frame_access(paddr)
                     self._cache.reference(paddr, write=write)
                     return paddr
                 # No translation (or a permission upgrade needed): fault to OS.
@@ -173,6 +176,9 @@ class Cpu:
                 if write and not entry.writable:
                     return None
                 self._counters.bump("rtlb_hit")
+                san = getattr(self._counters, "sanitize", None)
+                if san is not None:
+                    san.check_rtlb_hit(space, vaddr, entry, write)
                 return entry.translate(vaddr)
             # Range-TLB miss: consult the architectural range table before
             # falling back to paging, as the range hardware would.
@@ -193,6 +199,9 @@ class Cpu:
                 # retry after the OS upgrades the PTE re-walks.
                 self._tlb.invalidate(vaddr, asid=space.asid)
                 return None
+            san = getattr(self._counters, "sanitize", None)
+            if san is not None:
+                san.check_tlb_hit(space, vaddr, entry, write)
             return entry.paddr + vaddr % entry.page_size
 
         self._counters.bump("tlb_miss")

@@ -96,6 +96,9 @@ class Kernel:
         #: Armed fault plan (see :meth:`arm_chaos`); ``None`` = no chaos.
         self.chaos = None
         self.counters.chaos = None
+        #: Armed sanitizer suite (see :meth:`arm_sanitizers`); ``None`` = off.
+        self.sanitizers = None
+        self.counters.sanitize = None
         self.costs = costs or CostModel()
 
         cfg = self.config
@@ -392,6 +395,31 @@ class Kernel:
         self.counters.chaos = None
 
     # ------------------------------------------------------------------
+    # Sanitizers
+    # ------------------------------------------------------------------
+    def arm_sanitizers(self, suite=None):
+        """Arm a :class:`~repro.sanitize.SanitizerSuite` on this machine.
+
+        Same back-reference pattern as :meth:`arm_chaos`: instrumented
+        hot paths reach the suite through ``counters.sanitize``, so an
+        unarmed machine pays one ``getattr`` per site and the armed
+        hooks never touch the simulated clock.
+        """
+        if suite is None:
+            from repro.sanitize import SanitizerSuite
+
+            suite = SanitizerSuite()
+        suite.bind(self.counters)
+        self.sanitizers = suite
+        self.counters.sanitize = suite
+        return suite
+
+    def disarm_sanitizers(self) -> None:
+        """Detach the armed suite (it keeps its collected violations)."""
+        self.sanitizers = None
+        self.counters.sanitize = None
+
+    # ------------------------------------------------------------------
     # Whole-machine events
     # ------------------------------------------------------------------
     def crash(self) -> None:
@@ -400,6 +428,11 @@ class Kernel:
         Processes die, DRAM-backed tmpfs loses everything, caches and
         TLBs empty; PMFS replays its journal.
         """
+        san = getattr(self.counters, "sanitize", None)
+        if san is not None:
+            # Volatile shadow state (translations, open journal epochs)
+            # dies with the power, *before* teardown frees any frames.
+            san.on_machine_crash()
         for process in list(self.processes.values()):
             if process.alive:
                 process.exit()

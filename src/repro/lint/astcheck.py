@@ -16,6 +16,11 @@ declared class:
 ``o1-recursion``          self-recursion in a declared-O(1)/O(log n) function
 ``o1-nested-size-loop``   nested size-dependent loops in a declared-linear
                           function
+``persist-outside-txn``   a journaled-write apply (``_apply_alloc`` /
+                          ``_apply_shrink`` / ``_apply_free``) in a function
+                          that never issued ``_journal_commit`` first — the
+                          static half of PersistSan's ordering check; applies
+                          to *every* function, declared or not
 ========================  ==================================================
 
 Loops the AST can prove constant-bounded (``range(4)``, iteration over a
@@ -40,13 +45,23 @@ RULE_SIZE_LOOP = "o1-size-loop"
 RULE_CHARGE_IN_LOOP = "o1-charge-in-loop"
 RULE_RECURSION = "o1-recursion"
 RULE_NESTED_SIZE_LOOP = "o1-nested-size-loop"
+RULE_PERSIST_OUTSIDE_TXN = "persist-outside-txn"
 
 ALL_RULES = (
     RULE_SIZE_LOOP,
     RULE_CHARGE_IN_LOOP,
     RULE_RECURSION,
     RULE_NESTED_SIZE_LOOP,
+    RULE_PERSIST_OUTSIDE_TXN,
 )
+
+#: Journal *apply* methods: each mutates durable metadata and must be
+#: ordered after a commit (PersistSan checks this dynamically; the rule
+#: below is the static half).
+_PERSIST_APPLY_ATTRS = frozenset({"_apply_alloc", "_apply_shrink", "_apply_free"})
+
+#: The call that makes a journal record durable.
+_PERSIST_COMMIT_ATTR = "_journal_commit"
 
 #: Identifier fragments that suggest an iterable scales with operand size.
 _SIZE_NAME_RE = re.compile(
@@ -100,7 +115,7 @@ class Violation:
     line: int
     module: str
     qualname: str
-    declared: ComplexityClass
+    declared: Optional[ComplexityClass]
     rule: str
     message: str
 
@@ -111,6 +126,11 @@ class Violation:
 
     def format(self) -> str:
         """One-line human-readable rendering."""
+        if self.declared is None:
+            return (
+                f"{self.path}:{self.line}: [{self.rule}] {self.function}: "
+                f"{self.message}"
+            )
         return (
             f"{self.path}:{self.line}: [{self.rule}] {self.function} "
             f"declared {self.declared}: {self.message}"
@@ -379,6 +399,76 @@ class _FunctionChecker:
 
 
 # ---------------------------------------------------------------------------
+# Persist-ordering rule (applies to every function, declared or not)
+# ---------------------------------------------------------------------------
+def _check_persist_ordering(
+    func: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+    module: str,
+    qualname: str,
+    path: str,
+    allowed: Dict[int, Set[str]],
+) -> Tuple[List[Violation], int]:
+    """Flag journaled-write applies with no preceding commit in scope.
+
+    A call to one of :data:`_PERSIST_APPLY_ATTRS` mutates durable FS
+    metadata, so it may only run after the journal record describing it
+    has been committed.  Statically that means: within the calling
+    function there must be a ``_journal_commit(...)`` call on an earlier
+    line, or the site carries an explicit
+    ``# o1: allow(persist-outside-txn)`` justification (e.g. crash
+    recovery redoing records the *previous* boot committed).
+    """
+    if func.name in _PERSIST_APPLY_ATTRS:
+        return [], 0  # the apply implementations themselves
+    commit_line: Optional[int] = None
+    applies: List[ast.Call] = []
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _SCOPE_TYPES):
+            continue  # nested defs are their own transaction scopes
+        stack.extend(ast.iter_child_nodes(node))
+        if not isinstance(node, ast.Call) or not isinstance(
+            node.func, ast.Attribute
+        ):
+            continue
+        attr = node.func.attr
+        if attr == _PERSIST_COMMIT_ATTR:
+            if commit_line is None or node.lineno < commit_line:
+                commit_line = node.lineno
+        elif attr in _PERSIST_APPLY_ATTRS:
+            applies.append(node)
+    violations: List[Violation] = []
+    suppressed = 0
+    for call in applies:
+        if commit_line is not None and commit_line < call.lineno:
+            continue
+        if _is_allowed(
+            allowed,
+            (call.lineno, call.lineno - 1, func.lineno),
+            RULE_PERSIST_OUTSIDE_TXN,
+        ):
+            suppressed += 1
+            continue
+        attr_name = call.func.attr if isinstance(call.func, ast.Attribute) else "?"
+        violations.append(
+            Violation(
+                path=path,
+                line=call.lineno,
+                module=module,
+                qualname=qualname,
+                declared=None,
+                rule=RULE_PERSIST_OUTSIDE_TXN,
+                message=(
+                    f"journaled mutation {attr_name}() applied with no "
+                    "preceding _journal_commit() in scope"
+                ),
+            )
+        )
+    return violations, suppressed
+
+
+# ---------------------------------------------------------------------------
 # Module / tree walking
 # ---------------------------------------------------------------------------
 def lint_source(source: str, module: str, path: str = "<string>") -> LintResult:
@@ -394,19 +484,25 @@ def lint_source(source: str, module: str, path: str = "<string>") -> LintResult:
         for child in ast.iter_child_nodes(node):
             if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 declared = declared_class_of(child)
+                qualname = ".".join(scope + (child.name,))
                 if declared is not None:
                     functions += 1
                     checker = _FunctionChecker(
                         func=child,
                         declared=declared,
                         module=module,
-                        qualname=".".join(scope + (child.name,)),
+                        qualname=qualname,
                         path=path,
                         allowed=allowed,
                     )
                     checker.run()
                     violations.extend(checker.violations)
                     suppressed += checker.suppressed
+                persist_violations, persist_suppressed = _check_persist_ordering(
+                    child, module, qualname, path, allowed
+                )
+                violations.extend(persist_violations)
+                suppressed += persist_suppressed
                 walk(child, scope + (child.name,))
             elif isinstance(child, ast.ClassDef):
                 walk(child, scope + (child.name,))

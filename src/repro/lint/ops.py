@@ -356,9 +356,9 @@ OPERATIONS: List[Operation] = [
         max_size=1024,
     ),
     Operation(
-        "zeroing.crypto.return_frames", _N, _run_crypto_return,
-        note="key destroy is O(1) but frame returns stay per-frame — "
-             "ROADMAP open item (n = frames)",
+        "zeroing.crypto.return_frames", _C, _run_crypto_return,
+        note="one key destroy + one batched region free via "
+             "buddy.free_many (n = frames)",
         max_size=1024,
     ),
     Operation(

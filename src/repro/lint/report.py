@@ -47,7 +47,7 @@ def build_report(
                 {
                     "function": v.function,
                     "rule": v.rule,
-                    "declared": str(v.declared),
+                    "declared": str(v.declared) if v.declared is not None else None,
                     "path": str(v.path),
                     "line": v.line,
                     "message": v.message,

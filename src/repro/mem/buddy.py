@@ -14,7 +14,7 @@ instead — the comparison appears in the extent-allocation ablation bench.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.errors import OutOfMemoryError
 from repro.hw.clock import EventCounters, SimClock
@@ -137,6 +137,9 @@ class BuddyAllocator:
             self._charge(costs.buddy_split_ns if costs else 0, "buddy_split")
         self._allocated[pfn] = order
         self._free_frames -= 1 << order
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            san.on_frame_alloc(self, pfn, order)
         return pfn
 
     @complexity("log n", note="one power-of-two block, however many pages")
@@ -155,13 +158,42 @@ class BuddyAllocator:
     @o1(note="frees charge once; the merge chain charges 0 ns")
     def free(self, pfn: int) -> None:
         """Free a previously allocated block, coalescing with buddies."""
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            san.on_frame_free(self, pfn)
+        self._free_block(pfn, self._costs.frame_free_ns if self._costs else 0)
+
+    @o1(note="one charged update for the whole batch; per-block work charges 0 ns")
+    def free_many(self, pfns: Sequence[int]) -> None:
+        """Region free: return a batch of blocks for one charged update.
+
+        Models a scatter-gather free interface — the allocator ingests
+        the whole list in a single bookkeeping pass, so the simulated
+        cost is one ``frame_free_ns`` however many blocks come back
+        (the per-block ``buddy_free`` events still count).  This is
+        what lets :meth:`CryptoErase.return_frames
+        <repro.core.o1.zeroing.CryptoErase.return_frames>` be O(1) like
+        the key destruction itself.
+        """
+        if not pfns:
+            return
+        san = getattr(self._counters, "sanitize", None)
+        charge = self._costs.frame_free_ns if self._costs else 0
+        # o1: allow(o1-size-loop) -- batch charges one frame_free_ns; rest 0 ns
+        for pfn in pfns:
+            if san is not None:
+                san.on_frame_free(self, pfn)
+            self._free_block(pfn, charge)
+            charge = 0
+
+    def _free_block(self, pfn: int, charge_ns: int) -> None:
+        """Uncharged-core free: ledger pop, coalesce, free-list insert."""
         order = self._allocated.pop(pfn, None)
         if order is None:
             raise ValueError(f"pfn {pfn} was not allocated by this allocator")
-        self._charge(self._costs.frame_free_ns if self._costs else 0, "buddy_free")
+        self._charge(charge_ns, "buddy_free")
         self._free_frames += 1 << order
         first = self._region.first_pfn
-        # o1: allow(o1-charge-in-loop) -- merges charge 0 ns, max_order bound
         while order < self._max_order:
             buddy = first + ((pfn - first) ^ (1 << order))
             if buddy not in self._free_lists[order]:

@@ -70,10 +70,14 @@ class ZeroPool:
         to allocate-and-zero in the foreground (the linear baseline),
         which the ledger records separately.
         """
+        san = getattr(self._counters, "sanitize", None)
         if self._pool:
             pfn = self._pool.popleft()
             if self._counters is not None:
                 self._counters.bump("zeropool_hit")
+            if san is not None:
+                # The fast path skips zeroing: the frame must be clean.
+                san.on_zeropool_take(pfn)
             return pfn
         if self._counters is not None:
             self._counters.bump("zeropool_miss")
@@ -82,11 +86,16 @@ class ZeroPool:
         if self._clock is not None:
             self._clock.advance(zero_ns)
         self._foreground_zero_ns += zero_ns
+        if san is not None:
+            san.on_frames_zeroed((pfn,))
         return pfn
 
     @o1(note="one buddy free")
     def give_back(self, pfn: int) -> None:
         """Return a dirty frame to the buddy (it must be re-zeroed later)."""
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            san.on_frames_tainted((pfn,))
         self._buddy.free(pfn)
 
     # ------------------------------------------------------------------
@@ -110,6 +119,9 @@ class ZeroPool:
                 break
             self._background_ns += self._zero_cost()
             self._pool.append(pfn)
+            san = getattr(self._counters, "sanitize", None)
+            if san is not None:
+                san.on_frames_zeroed((pfn,))
             added += 1
         if added and self._counters is not None:
             self._counters.bump("zeropool_refill_frames", added)

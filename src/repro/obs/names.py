@@ -69,6 +69,7 @@ COUNTER_PREFIXES: FrozenSet[str] = frozenset(
         "recovery",
         "rte",
         "rtlb",
+        "sanitize",
         "slab",
         "swap",
         "sys",
@@ -159,6 +160,8 @@ CANONICAL_COUNTERS: FrozenSet[str] = frozenset(
         # kernel events
         "fork_call",
         "machine_crash",
+        # sanitizer suite (repro.sanitize)
+        "sanitize_violation",
         # syscall dispatch (sys_<name> per entry point)
         "sys_close",
         "sys_fork",
@@ -191,6 +194,7 @@ CANONICAL_COUNTERS: FrozenSet[str] = frozenset(
         "premap_cache_hit",
         "premap_crash_dropped",
         "premap_detach",
+        "premap_invalidate",
         "premap_persist",
         "range_table_lookup",
         "range_unmap",

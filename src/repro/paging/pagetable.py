@@ -227,6 +227,9 @@ class PageTable:
         pte = Pte(pfn=pfn, page_size=page_size, writable=writable, user=user)
         node.entries[index] = pte
         self._charge_pte_write()
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            san.on_pte_map(pte)
         return pte
 
     def _descend_creating(self, vaddr: int, leaf_depth: int) -> PageTableNode:
@@ -266,6 +269,9 @@ class PageTable:
             raise MappingError(f"vaddr {vaddr:#x} is not mapped")
         del node.entries[index]
         self._charge_pte_write()
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            san.on_pte_unmap(entry)
         return entry
 
     def protect(self, vaddr: int, writable: bool, page_size: int = PAGE_SIZE) -> Pte:
@@ -361,6 +367,10 @@ class PageTable:
         del parent.entries[index]
         entry.refs -= 1
         self._charge_pte_write()
+        if entry.refs <= 0:
+            san = getattr(self._counters, "sanitize", None)
+            if san is not None:
+                san.on_subtree_dead(entry)
         return entry
 
     # ------------------------------------------------------------------
@@ -376,10 +386,13 @@ class PageTable:
         return removed
 
     def _clear_node(self, node: PageTableNode) -> int:
+        san = getattr(self._counters, "sanitize", None)
         removed = 0
         for index, entry in list(node.entries.items()):
             if isinstance(entry, Pte):
                 removed += 1
+                if san is not None:
+                    san.on_pte_unmap(entry)
             else:
                 entry.refs -= 1
                 if entry.refs <= 0:

@@ -1,0 +1,32 @@
+"""Shadow-state sanitizers for the simulated machine (``repro.sanitize``).
+
+Three armable detectors validate the semantic invariants the paper's
+O(1) shortcuts must preserve:
+
+* :class:`TransSan` — translation coherence: stale TLB/rTLB entries
+  used after a mutation without shootdown, dangling translations into
+  freed frames, PBM alias violations.
+* :class:`FrameSan` — frame lifetime: double free, use-after-free,
+  leak accounting, read of a non-zeroed frame.
+* :class:`PersistSan` — NVM persist ordering: journal commit must be
+  durable before dependent metadata or data becomes visible.
+
+Arm with ``kernel.arm_sanitizers(SanitizerSuite())``; see DESIGN.md
+("Shadow-state sanitizers") and TESTING.md for usage.
+"""
+
+from repro.sanitize.framesan import FrameSan
+from repro.sanitize.persistsan import PersistSan
+from repro.sanitize.suite import DETECTORS, SanitizerSuite
+from repro.sanitize.transsan import TransSan
+from repro.sanitize.violations import SanitizerError, SanitizerViolation
+
+__all__ = [
+    "DETECTORS",
+    "FrameSan",
+    "PersistSan",
+    "SanitizerError",
+    "SanitizerSuite",
+    "SanitizerViolation",
+    "TransSan",
+]

@@ -1,0 +1,198 @@
+"""FrameSan: frame-lifetime detector.
+
+Shadow state, per allocator:
+
+* **DRAM (buddy)** — a full mirror of the allocator's outstanding
+  blocks (``pfn -> order``), lazily seeded from the allocator's own
+  ledger at the first armed event so allocations made before arming
+  (e.g. the zero pool refilled inside ``Kernel.__init__``) are known.
+* **NVM (PMFS block allocator)** — event-based: the sets of blocks
+  allocated and freed *since arming*.  The bitmap's pre-arm contents
+  are unknown and stay unjudged; a block freed twice since arming is a
+  double free regardless.
+* **Taint** — frames whose contents are not zero (crypto-erased or
+  returned dirty).  The zero pool's fast path must only ever hand out
+  frames that were zeroed since they were last dirtied.
+
+Checks: double free / free of an unallocated block, use-after-free on
+every CPU data access, read-of-non-zeroed-frame on the zero-pool fast
+path, and leak accounting surfaced in the report (not a violation —
+the simulator deliberately drops some COW frames at teardown).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Set, Tuple
+
+from repro.units import PAGE_SIZE
+
+Report = Callable[[str, str, Dict[str, Any]], None]
+
+
+class FrameSan:
+    """Frame-lifetime shadow ledgers and checks."""
+
+    def __init__(self, report: Report) -> None:
+        self._report = report
+        #: id(buddy) -> {block pfn -> order} mirror of outstanding blocks.
+        self._dram: Dict[int, Dict[int, int]] = {}
+        #: id(buddy) -> (first_pfn, frame_count, max_order) for UAF lookup.
+        self._dram_regions: Dict[int, Tuple[int, int, int]] = {}
+        #: id(nvm allocator) -> set of blocks allocated since arming.
+        self._nvm_allocated: Dict[int, Set[int]] = {}
+        #: id(nvm allocator) -> set of blocks freed (and not re-allocated).
+        self._nvm_freed: Dict[int, Set[int]] = {}
+        #: id(nvm allocator) -> (first_pfn, block_count) for UAF lookup.
+        self._nvm_regions: Dict[int, Tuple[int, int]] = {}
+        #: 4 KiB frames whose contents are known non-zero.
+        self._tainted: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # DRAM buddy ledger
+    # ------------------------------------------------------------------
+    def _dram_ledger(self, allocator: Any) -> Dict[int, int]:
+        key = id(allocator)
+        ledger = self._dram.get(key)
+        if ledger is None:
+            # Lazy seed: everything the allocator already holds as
+            # allocated predates arming and is taken on faith.
+            ledger = dict(allocator._allocated)
+            self._dram[key] = ledger
+            region = allocator._region
+            self._dram_regions[key] = (
+                region.first_pfn,
+                region.frame_count,
+                allocator._max_order,
+            )
+        return ledger
+
+    def on_dram_alloc(self, allocator: Any, pfn: int, order: int) -> None:
+        """Buddy handed out a block."""
+        self._dram_ledger(allocator)[pfn] = order
+
+    def on_dram_free(self, allocator: Any, pfn: int) -> None:
+        """Buddy is about to free a block: it must be outstanding."""
+        ledger = self._dram_ledger(allocator)
+        if pfn not in ledger:
+            self._report(
+                "double-free",
+                f"buddy free of block pfn {pfn:#x} which is not an "
+                "outstanding allocation (double free, or free of an "
+                "interior/never-allocated frame)",
+                {"pfn": pfn},
+            )
+            return
+        del ledger[pfn]
+
+    def dram_block_allocated(self, allocator_key: int, frame: int) -> bool:
+        """Is the 4 KiB ``frame`` inside some outstanding buddy block?"""
+        ledger = self._dram.get(allocator_key)
+        region = self._dram_regions.get(allocator_key)
+        if ledger is None or region is None:
+            return True
+        first, _, max_order = region
+        offset = frame - first
+        for order in range(max_order + 1):
+            start = first + ((offset >> order) << order)
+            if ledger.get(start) == order:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # NVM block ledger
+    # ------------------------------------------------------------------
+    def _nvm_sets(self, allocator: Any) -> Tuple[Set[int], Set[int]]:
+        key = id(allocator)
+        allocated = self._nvm_allocated.get(key)
+        if allocated is None:
+            allocated = set()
+            self._nvm_allocated[key] = allocated
+            self._nvm_freed[key] = set()
+            region = allocator._region
+            self._nvm_regions[key] = (region.first_pfn, region.frame_count)
+        return allocated, self._nvm_freed[key]
+
+    def on_nvm_alloc(self, allocator: Any, first_block: int, block_count: int) -> None:
+        """PMFS allocated an extent of blocks."""
+        allocated, freed = self._nvm_sets(allocator)
+        for block in range(first_block, first_block + block_count):
+            freed.discard(block)
+            allocated.add(block)
+
+    def on_nvm_free(
+        self, allocator: Any, first_block: int, block_count: int, check: bool
+    ) -> None:
+        """PMFS freed an extent.  ``check=False`` for fsck scrubbing."""
+        allocated, freed = self._nvm_sets(allocator)
+        for block in range(first_block, first_block + block_count):
+            if check and block in freed:
+                self._report(
+                    "double-free",
+                    f"NVM block {block:#x} freed twice (second free without "
+                    "an intervening allocation)",
+                    {"pfn": block},
+                )
+                return
+            allocated.discard(block)
+            freed.add(block)
+
+    # ------------------------------------------------------------------
+    # Use-after-free at access time
+    # ------------------------------------------------------------------
+    def check_access(self, paddr: int) -> None:
+        """A CPU data access resolved to ``paddr``: the frame must be live."""
+        frame = paddr // PAGE_SIZE
+        for key, (first, count, _) in self._dram_regions.items():
+            if first <= frame < first + count:
+                if not self.dram_block_allocated(key, frame):
+                    self._report(
+                        "use-after-free",
+                        f"data access at pa {paddr:#x} landed in freed DRAM "
+                        f"frame {frame:#x}",
+                        {"paddr": paddr, "pfn": frame},
+                    )
+                return
+        for key, (first, count) in self._nvm_regions.items():
+            if first <= frame < first + count:
+                if frame in self._nvm_freed.get(key, set()):
+                    self._report(
+                        "use-after-free",
+                        f"data access at pa {paddr:#x} landed in freed NVM "
+                        f"block {frame:#x}",
+                        {"paddr": paddr, "pfn": frame},
+                    )
+                return
+
+    # ------------------------------------------------------------------
+    # Zeroing taint
+    # ------------------------------------------------------------------
+    def taint(self, frames: Any) -> None:
+        """These frames' contents are no longer zero."""
+        self._tainted.update(frames)
+
+    def untaint(self, frames: Any) -> None:
+        """These frames were zeroed (eagerly, pooled, or by fresh key)."""
+        self._tainted.difference_update(frames)
+
+    def check_zeroed_handout(self, pfn: int) -> None:
+        """The zero pool's fast path handed out ``pfn``: must be clean."""
+        if pfn in self._tainted:
+            self._report(
+                "non-zeroed-frame",
+                f"zero-pool fast path handed out frame {pfn:#x} whose "
+                "contents were never re-zeroed after being dirtied",
+                {"pfn": pfn},
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Leak-accounting counts for ``sanitize_report.json``."""
+        return {
+            "dram_blocks_outstanding": sum(len(lg) for lg in self._dram.values()),
+            "nvm_blocks_outstanding_since_arming": sum(
+                len(s) for s in self._nvm_allocated.values()
+            ),
+            "tainted_frames": len(self._tainted),
+        }

@@ -1,0 +1,46 @@
+"""Violation records and the halt-mode error for the sanitizer suite.
+
+A violation is a frozen, serializable fact: which detector fired, a
+stable ``kind`` tag (machine-matchable in tests and reports), a human
+message, and free-form details.  ``SanitizerError`` derives from
+``AssertionError`` so a tripped sanitizer reads as a failed invariant
+assertion in pytest output and never masquerades as a simulator error
+(``OutOfMemoryError``, ``NoSpaceError``, ...) that kernel code might
+legitimately catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class SanitizerError(AssertionError):
+    """Raised in halt mode when a detector observes a violation."""
+
+
+@dataclass(frozen=True)
+class SanitizerViolation:
+    """One observed invariant violation."""
+
+    #: Detector that fired: "trans", "frame", or "persist".
+    detector: str
+    #: Stable machine-matchable tag, e.g. "stale-tlb-entry".
+    kind: str
+    #: Human-readable description of what was observed.
+    message: str
+    #: Free-form context (addresses, pfns, inos) for the report.
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form for ``sanitize_report.json``."""
+        return {
+            "detector": self.detector,
+            "kind": self.kind,
+            "message": self.message,
+            "details": dict(self.details),
+        }
+
+    def format(self) -> str:
+        """One-line rendering for CLI output."""
+        return f"[{self.detector}] {self.kind}: {self.message}"

@@ -110,6 +110,21 @@ class AddressSpace:
             return self._vmas[index]
         return None
 
+    def range_is_free(self, start: int, end: int) -> bool:
+        """True if no VMA overlaps ``[start, end)``.
+
+        Two sorted-bound probes — the predecessor (last VMA starting at
+        or before ``start``) and its successor — decide the question,
+        because ``_vmas`` is kept sorted and non-overlapping; no scan of
+        the VMA list is needed (no cost charged — internal).
+        """
+        index = bisect.bisect_right(self._starts, start) - 1
+        if index >= 0 and self._vmas[index].end > start:
+            return False
+        if index + 1 < len(self._vmas) and self._vmas[index + 1].start < end:
+            return False
+        return True
+
     def _insert_vma(self, vma: Vma) -> Vma:
         """Insert, merging with neighbours when Linux would."""
         self._clock.advance(self._costs.vma_insert_ns)

@@ -13,6 +13,8 @@ Hypothesis settings live here, not on individual tests: one
 
 from __future__ import annotations
 
+import os
+
 import pytest
 from hypothesis import HealthCheck, settings
 
@@ -33,6 +35,22 @@ settings.register_profile(
 )
 settings.register_profile("heavy", max_examples=1000, **_COMMON)
 settings.load_profile("dev")
+
+if os.environ.get("REPRO_SANITIZE"):
+    # Sanitizer-armed tier-1: every Kernel built anywhere in the suite
+    # gets the full shadow-state sanitizer suite in halt mode, so any
+    # translation/frame/persist incoherence fails the test that caused
+    # it.  Opt-in via the environment so the plain run measures the
+    # unarmed (single getattr) hot paths.
+    from repro.sanitize import SanitizerSuite
+
+    _orig_kernel_init = Kernel.__init__
+
+    def _armed_kernel_init(self, *args, **kwargs):  # type: ignore[no-untyped-def]
+        _orig_kernel_init(self, *args, **kwargs)
+        self.arm_sanitizers(SanitizerSuite())
+
+    Kernel.__init__ = _armed_kernel_init  # type: ignore[method-assign]
 
 
 @pytest.fixture

@@ -57,3 +57,19 @@ class TestCli:
 
     def test_parser_prog_name(self):
         assert build_parser().prog == "repro-o1"
+
+    def test_sanitize_demo_clean(self, capsys, tmp_path):
+        report_path = tmp_path / "sanitize_report.json"
+        assert main(["sanitize", "--mib", "4", "--json", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "no shadow-state violations" in out
+        report = json.loads(report_path.read_text())
+        assert report["tool"] == "repro-o1 sanitize"
+        assert report["mode"] == "demo"
+        assert report["violation_count"] == 0
+        assert report["armed_detectors"] == ["trans", "frame", "persist"]
+        assert report["checks"]
+
+    def test_sanitize_detector_subset(self, capsys):
+        assert main(["sanitize", "--mib", "4", "--detectors", "frame"]) == 0
+        assert "detectors frame" in capsys.readouterr().out

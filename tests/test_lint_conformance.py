@@ -44,13 +44,17 @@ class TestAstGate:
         assert result.files_checked >= 60
         assert result.functions_checked >= 50
 
-    def test_known_legacy_path_stays_baselined(self, outcome):
-        # grow_region's VMA-overlap scan is the documented O(n) exception;
-        # it should be suppressed by the baseline, not silently fixed
-        # (fixing it should delete the baseline entry too).
+    def test_legacy_baseline_is_retired(self, outcome):
+        # grow_region's VMA-overlap scan and CryptoErase.return_frames'
+        # per-frame free loop were the two documented O(n) exceptions.
+        # Both are fixed (bisect tail probe; batched buddy.free_many),
+        # so the baseline must be empty — a new entry means a genuinely
+        # new O(n) path snuck in and needs its own justification.
         _, applied = outcome
-        names = {v.function for v in applied.suppressed}
-        assert "repro.core.fom.manager.FileOnlyMemory.grow_region" in names
+        assert applied.suppressed == [], (
+            "baseline should be empty; found: "
+            + ", ".join(v.function for v in applied.suppressed)
+        )
 
 
 @pytest.fixture(scope="module")

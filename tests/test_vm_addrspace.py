@@ -228,3 +228,30 @@ class TestDetachVma:
         # No per-page PTE writes happened during detach.
         assert kernel.counters.get("pte_write") == before
         assert process.space.vmas == []
+
+
+class TestRangeIsFree:
+    def test_empty_space_is_free(self, machine):
+        _kernel, process, _sys = machine
+        assert process.space.range_is_free(0x10000, 0x20000)
+
+    def test_overlap_with_existing_vma(self, machine):
+        _kernel, process, sys = machine
+        va = sys.mmap(64 * KIB)
+        assert not process.space.range_is_free(va, va + PAGE_SIZE)
+        assert not process.space.range_is_free(va - PAGE_SIZE, va + PAGE_SIZE)
+        assert not process.space.range_is_free(
+            va + 63 * KIB, va + 65 * KIB
+        )
+
+    def test_gap_between_vmas_is_free(self, machine):
+        _kernel, process, sys = machine
+        low = sys.mmap(16 * KIB)
+        high = sys.mmap(16 * KIB, addr=low + 64 * KIB)
+        assert process.space.range_is_free(low + 16 * KIB, high)
+        assert process.space.range_is_free(high + 16 * KIB, high + 32 * KIB)
+
+    def test_exactly_adjacent_is_free(self, machine):
+        _kernel, process, sys = machine
+        va = sys.mmap(16 * KIB)
+        assert process.space.range_is_free(va + 16 * KIB, va + 32 * KIB)
