@@ -54,6 +54,13 @@ SITE_ACTIONS: Dict[str, FrozenSet[str]] = {
     "cpu.shootdown": frozenset({"error"}),
     # Pre-created page-table subtree build
     "premap.attach": frozenset({"error"}),
+    # RAS: patrol scrubbing, frame retirement, badblock persistence,
+    # live-extent migration (crash-at-any-point covers the journaled
+    # retirement/migration protocol)
+    "ras.scrub.batch": frozenset(),
+    "ras.retire.frame": frozenset(),
+    "ras.badblock.persist": frozenset(),
+    "ras.migrate.extent": frozenset(),
 }
 
 #: Every declared fault site.

@@ -24,6 +24,7 @@ from repro.core.fom.persistence import PersistenceManager
 from repro.core.o1.zeroing import EagerZeroing
 from repro.kernel.kernel import Kernel, MachineConfig
 from repro.mem.slab import SlabCache
+from repro.ras import FaultKind, MediaFaultModel
 from repro.units import KIB, MIB, PAGE_SIZE
 from repro.vm.vma import MapFlags
 
@@ -113,6 +114,31 @@ def fig2_workload(seed: int = 0) -> Tuple[Kernel, Callable[[], None]]:
         )
         frames = zeroing.take_frames(2)
         zeroing.return_frames(frames)
+
+        # -- RAS: inject media faults, patrol-scrub one batch, then
+        #    retire a free NVM block (badblock adoption) and a live file
+        #    block (extent migration), making retirement and migration
+        #    crash points ahead of the in-workload crash.
+        ras = kernel.ras
+        if ras is None:
+            # A caller (the RAS sweep) may have armed a seeded engine
+            # already; default to a clean model so only the two faults
+            # injected below are in play.
+            ras = kernel.arm_ras(
+                model=MediaFaultModel(seed=seed, faults_per_bind=0)
+            )
+        file_pfn = fs.charge_block_lookup(fs.lookup(paths[2]), 0)
+        ras.model.inject(file_pfn, FaultKind.DEAD)
+        first_nvm = kernel.nvm_region.first_pfn
+        free_pfn = next(
+            pfn
+            for pfn in range(first_nvm, first_nvm + 128)
+            if fs.allocator.block_is_free(pfn)
+        )
+        ras.model.inject(free_pfn, FaultKind.DEAD)
+        ras.scrubber.scrub_batch()
+        ras.retire_frame(free_pfn)
+        ras.retire_frame(file_pfn)
 
         # -- unlink one file, then crash and recover in-workload so the
         #    recovery sweep's own fault sites become crash points too.

@@ -10,6 +10,8 @@ Installed as ``repro-o1`` (see pyproject.toml)::
     repro-o1 figures     # how to regenerate the paper's figures
     repro-o1 chaos       # crash-at-any-point exploration with recovery oracles
     repro-o1 sanitize    # run a workload with shadow-state sanitizers armed
+    repro-o1 ras         # seeded media-fault sweep: scrub, retire, migrate
+    repro-o1 ras --sweep 10   # ... across workload seeds 0..9
     repro-o1 lint        # O(1) conformance: AST cost-shape check
     repro-o1 lint --fit  # ... plus the empirical complexity fitter
 """
@@ -233,6 +235,93 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _run_ras_seed(seed: int, verbose: bool = False) -> dict:
+    """One RAS sweep iteration: Fig-2 workload under seeded media faults.
+
+    Arms sanitizers (collecting) and a seeded fault model, patrol-scrubs
+    the whole machine before and after the workload, and returns a
+    machine-readable verdict: sanitizer violations, RAS audit problems,
+    and the recovery oracles' findings must all be empty.
+    """
+    from repro.chaos.oracles import run_oracles
+    from repro.chaos.workloads import fig2_workload
+    from repro.ras import FaultKind, MediaFaultModel
+    from repro.sanitize import SanitizerSuite
+
+    kernel, run = fig2_workload(seed)
+    suite = kernel.arm_sanitizers(SanitizerSuite(halt=False))
+    ras = kernel.arm_ras(model=MediaFaultModel(seed=seed))
+    sampled_dead = sorted(
+        fault.pfn
+        for fault in ras.model.faults()
+        if fault.kind is FaultKind.DEAD
+    )
+    if verbose:
+        print(f"  seed {seed}: {len(ras.model.faults())} sampled faults, "
+              f"{len(sampled_dead)} dead")
+    # Patrol pass 1: retire every sampled dead frame and clear sticky
+    # poison before the workload allocates on top of the faults.
+    ras.scrubber.scrub_full()
+    # The workload injects two more permanent faults mid-run (one free
+    # block, one live file block), retires them, then crashes the
+    # machine and recovers — retirement and migration under fire.
+    run()
+    # Patrol pass 2: anything that was busy on the first pass.
+    ras.scrubber.scrub_full()
+    ras_problems = ras.audit()
+    oracle_problems = run_oracles(kernel)
+    report = ras.report()
+    report["workload_seed"] = seed
+    report["sampled_dead"] = sampled_dead
+    report["sanitizer_violations"] = [v.to_dict() for v in suite.violations]
+    report["oracle_problems"] = oracle_problems
+    report["ok"] = (
+        not suite.violations and not ras_problems and not oracle_problems
+    )
+    return report
+
+
+def _cmd_ras(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    seeds = list(range(args.sweep)) if args.sweep else [args.seed]
+    print(f"ras: media-fault sweep over workload seed(s) "
+          f"{seeds[0]}..{seeds[-1]}")
+    results = []
+    for seed in seeds:
+        result = _run_ras_seed(seed, verbose=args.verbose)
+        results.append(result)
+        status = "ok" if result["ok"] else "FAILED"
+        print(
+            f"  seed {seed}: {len(result['sampled_dead'])} sampled dead, "
+            f"{len(result['retired'])} retired, "
+            f"{len(result['badblock_pfns'])} on the badblock list: {status}"
+        )
+        for problem in result["problems"] + result["oracle_problems"]:
+            print(f"    PROBLEM {problem}")
+        for violation in result["sanitizer_violations"]:
+            print(f"    VIOLATION {violation}")
+    failed = [r for r in results if not r["ok"]]
+    if args.json is not None:
+        payload = {
+            "version": 1,
+            "tool": "repro-o1 ras",
+            "seeds": seeds,
+            "failed_seeds": [r["workload_seed"] for r in failed],
+            "results": results,
+        }
+        path = Path(args.json)
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote ras report to {path}")
+    if failed:
+        print(f"{len(failed)} of {len(seeds)} seed(s) FAILED")
+        return 1
+    print(f"all {len(seeds)} seed(s) clean: every dead frame retired onto "
+          "the persisted badblock list, no sanitizer violations")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -346,6 +435,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the machine-readable sanitize_report.json here",
     )
     sanitize.set_defaults(func=_cmd_sanitize)
+    ras = sub.add_parser(
+        "ras",
+        help="seeded NVM media-fault sweep: scrub, retire, migrate, audit",
+    )
+    ras.add_argument(
+        "--seed", type=int, default=0,
+        help="workload + fault-model seed (ignored with --sweep)",
+    )
+    ras.add_argument(
+        "--sweep", type=int, default=None, metavar="N",
+        help="run seeds 0..N-1 instead of a single seed",
+    )
+    ras.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print per-seed fault details",
+    )
+    ras.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the machine-readable ras_report.json here",
+    )
+    ras.set_defaults(func=_cmd_ras)
     lint = sub.add_parser(
         "lint",
         help="O(1) conformance: AST cost-shape linter + complexity fitter",

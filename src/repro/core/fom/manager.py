@@ -108,6 +108,13 @@ class FileOnlyMemory:
         self._anon_ids = itertools.count(1)
         #: pid -> live regions, for O(#regions) process teardown.
         self._regions_by_pid: Dict[int, List[FomRegion]] = {}
+        if isinstance(self._fs, Pmfs):
+            # Freed or RAS-migrated extents invalidate the inode's cached
+            # premapped subtrees, so no donor translation outlives the
+            # storage it points at.
+            self._fs.register_extent_invalidator(
+                lambda ino, _pfn, _count: self.ptcache.invalidate(ino)
+            )
         if not self._fs.exists("/.fom"):
             self._fs.mkdir("/.fom")
 

@@ -88,6 +88,14 @@ class PbmManager:
             kernel.costs,
             kernel.counters,
         )
+        pmfs = getattr(kernel, "pmfs", None)
+        if pmfs is not None:
+            # When PMFS frees or migrates an extent, cached shared
+            # subtrees keyed on it must not survive to translate into
+            # recycled (or retired) storage.
+            pmfs.register_extent_invalidator(
+                lambda _ino, pfn, count: self._subtrees.invalidate_extent(pfn, count)
+            )
 
     @property
     def subtrees(self) -> SharedSubtrees:

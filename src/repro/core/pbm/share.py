@@ -107,7 +107,17 @@ class SharedSubtrees:
         return len(self._windows)
 
     def invalidate_extent(self, pfn: int, count: int) -> None:
-        """Drop cached subtrees for an extent (file deleted/reallocated)."""
+        """Drop cached subtrees for an extent (file deleted/reallocated).
+
+        Tearing the donor down (not just forgetting it) matters: its
+        PTEs are live translations into the extent, and the frames are
+        about to be reallocatable.  ``clear`` detaches rather than
+        recursing into nodes still linked by a process, so a mapping
+        that outlives the file keeps its own (soon-dangling, and
+        sanitizer-visible) subtree.
+        """
         for writable in (False, True):
             self._windows.pop((pfn, count, writable), None)
-            self._donors.pop((pfn, count, writable), None)
+            donor = self._donors.pop((pfn, count, writable), None)
+            if donor is not None:
+                donor.clear()

@@ -53,6 +53,34 @@ class BadFileDescriptorError(FileSystemError):
     """Operation on a closed or never-opened file descriptor (EBADF)."""
 
 
+class MemoryPoisonError(ReproError):
+    """Machine-check-style trap: an access consumed poisoned media.
+
+    Carries the physical location so the kernel's degradation policy can
+    classify the backing (anonymous vs file-backed) and repair or kill.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        pfn: "int | None" = None,
+        paddr: "int | None" = None,
+        write: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.pfn = pfn
+        self.paddr = paddr
+        self.write = write
+
+
+class MediaError(FileSystemError):
+    """Uncorrectable media error surfaced through the file API (EIO)."""
+
+    def __init__(self, message: str, pfn: "int | None" = None) -> None:
+        super().__init__(message)
+        self.pfn = pfn
+
+
 class ProcessError(ReproError):
     """Invalid process operation (double exit, unknown pid, ...)."""
 

@@ -18,12 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import NoSpaceError, SimulatedCrashError
+from repro.errors import FileSystemError, NoSpaceError, SimulatedCrashError
 from repro.fs.extent import Extent, ExtentTree
 from repro.fs.vfs import FileSystem, Inode
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel, MemoryTechnology
-from repro.lint import o1
+from repro.lint import complexity, o1
 from repro.mem.bitmap import Bitmap
 from repro.mem.physical import MemoryRegion
 from repro.units import PAGE_SIZE
@@ -159,6 +159,38 @@ class BlockAllocator:
             remaining -= run
         return extents
 
+    @o1(note="one bitmap test")
+    def block_is_free(self, pfn: int) -> bool:
+        """Whether the block at ``pfn`` is unallocated."""
+        index = pfn - self._region.first_pfn
+        if not 0 <= index < self._bitmap.size:
+            raise ValueError(
+                f"pfn {pfn:#x} outside {self._region.name or 'nvm'}"
+            )
+        return not self._bitmap.test(index)
+
+    @o1(note="one bitmap bit update")
+    def claim_block(self, pfn: int) -> None:
+        """Mark one specific *free* block allocated (badblock adoption).
+
+        Unlike :meth:`alloc_extent` this claims an exact block rather
+        than searching for a run — the RAS engine uses it to pin a
+        failing-but-free block so it can never be handed out again.
+        """
+        index = pfn - self._region.first_pfn
+        if not 0 <= index < self._bitmap.size:
+            raise ValueError(
+                f"pfn {pfn:#x} outside {self._region.name or 'nvm'}"
+            )
+        if self._bitmap.test(index):
+            raise NoSpaceError(f"block {pfn:#x} is not free")
+        self._clock.advance(self._costs.bitmap_run_ns)
+        self._counters.bump("extent_alloc")
+        self._bitmap.set_range(index, 1)
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            san.on_nvm_alloc(self, pfn, 1)
+
     @o1(note="one bitmap run update")
     def free_extent(self, extent: Extent) -> None:
         """Return an extent's blocks to the bitmap (one run update)."""
@@ -221,6 +253,13 @@ class JournalRecord:
     #: Torn while being made durable: the record's contents cannot be
     #: trusted, so recovery must skip it (and scrub any blocks it leaks).
     corrupted: bool = False
+    #: migrate records: the failing extent being vacated.  ``extents``
+    #: holds only the freshly allocated replacement, so an uncommitted
+    #: crash undoes exactly the new allocation and never the old data.
+    migrate_from: Optional[Extent] = None
+    #: migrate records: inode number of the badblock list that adopts the
+    #: vacated blocks at apply time.
+    badblock_ino: int = 0
 
 
 class _CowShim:
@@ -266,6 +305,26 @@ class Pmfs(FileSystem):
         #: Crash-injection countdown: raises SimulatedCrashError when a
         #: journal tick point is reached with the counter at zero.
         self._crash_countdown: Optional[int] = None
+        #: ``callback(ino, first_pfn, count)`` hooks run whenever file
+        #: extents stop being valid (free, shrink, migration) so shared
+        #: translation caches can drop entries for the vacated media.
+        self._extent_invalidators: List = []
+
+    def register_extent_invalidator(self, callback) -> None:
+        """Register ``callback(ino, first_pfn, count)`` for extent death.
+
+        Invoked once per extent whenever blocks leave a file — whole-file
+        frees (unlink), truncation, and RAS migration — so caches holding
+        physical translations into file extents (premapped page-table
+        subtrees, PBM shared windows) can invalidate instead of serving
+        stale media.
+        """
+        self._extent_invalidators.append(callback)
+
+    def _notify_extent_invalidators(self, ino: int, first_pfn: int, count: int) -> None:
+        # o1: allow(o1-size-loop) -- a handful of registered caches
+        for callback in self._extent_invalidators:
+            callback(ino, first_pfn, count)
 
     # ------------------------------------------------------------------
     # Journal — undo log for allocations, redo log for frees
@@ -462,6 +521,11 @@ class Pmfs(FileSystem):
             for extent in survivors:
                 tree.insert(extent)
         for extent in record.extents:
+            # Invalidate cached translations (premap tables, PBM shared
+            # subtrees) before the free: once the allocator reclaims the
+            # blocks, any surviving translation dangles into memory the
+            # next allocation may own.
+            self._notify_extent_invalidators(record.ino, extent.pfn, extent.count)
             self.allocator.free_extent(extent)
         record.applied = True
 
@@ -493,6 +557,9 @@ class Pmfs(FileSystem):
         if tree is not None:
             tree.remove_all()
         for extent in record.extents:
+            # Same ordering as the truncate path: drop cached
+            # translations before the blocks become reallocatable.
+            self._notify_extent_invalidators(record.ino, extent.pfn, extent.count)
             self.allocator.free_extent(extent)
         record.applied = True
 
@@ -512,6 +579,160 @@ class Pmfs(FileSystem):
 
     def backing_for(self, inode: Inode) -> MemoryBacking:
         return _PmfsBacking(self, inode)
+
+    # ------------------------------------------------------------------
+    # RAS: badblock adoption & live-extent migration (journaled)
+    # ------------------------------------------------------------------
+    @o1(note="one claimed bit + one journal record; badblock tree is tiny")
+    def adopt_badblock(self, badblock_inode: Inode, pfn: int) -> None:
+        """Persist one *free* NVM block onto the badblock list, crash-safely.
+
+        Reuses the alloc journal protocol: begin, claim the exact bit,
+        record the extent, commit, apply.  A crash before commit undoes
+        the claim (the scrubber re-finds and re-adopts the frame after
+        recovery); a crash after commit redoes the tree insert.  Either
+        way :meth:`fsck`'s one-owner invariant holds — the badblock file
+        owns the quarantined block.
+        """
+        tree = self._tree_of(badblock_inode)
+        if self._tree_claims(tree, pfn):
+            return
+        # o1: allow(o1-size-loop) -- one extent per retired frame, few total
+        ends = [extent.logical_end for extent in tree.extents()]
+        next_logical = max(ends, default=0)
+        record = self._journal_begin("alloc", badblock_inode.ino)
+        self.allocator.claim_block(pfn)
+        record.extents.append(Extent(logical=next_logical, pfn=pfn, count=1))
+        self._tick()
+        self._journal_commit(record)
+        self._apply_alloc(record)
+        self._counters.bump("ras_badblock_persisted")
+
+    @complexity("n", note="repair path: scans one file's extents for the block")
+    def migrate_block(
+        self, inode: Inode, bad_pfn: int, badblock_inode: Inode
+    ) -> int:
+        """Move one failing block's data to fresh media, crash-safely.
+
+        Protocol: journal-begin, allocate the replacement block (recorded
+        in ``extents`` so an uncommitted crash undoes exactly that),
+        remember the vacated extent in ``migrate_from``, copy the data
+        old→new *before* commit, commit, then apply — remap the file's
+        extent tree onto the new block and quarantine the old one on the
+        badblock list.  Returns the new block's pfn.  The caller owns
+        translation teardown (PTEs/TLB); the registered extent
+        invalidators fire here for the shared caches.
+        """
+        tree = self._tree_of(inode)
+        logical = None
+        # o1: allow(o1-size-loop) -- per extent of one file (repair path)
+        for extent in tree.extents():
+            if extent.pfn <= bad_pfn < extent.pfn + extent.count:
+                logical = extent.logical + (bad_pfn - extent.pfn)
+                break
+        if logical is None:
+            raise FileSystemError(
+                f"block {bad_pfn:#x} is not mapped by ino {inode.ino}"
+            )
+        chaos = getattr(self._counters, "chaos", None)
+        if chaos is not None:
+            chaos.hit("ras.migrate.extent")
+        record = self._journal_begin("migrate", inode.ino)
+        record.badblock_ino = badblock_inode.ino
+        try:
+            new = self.allocator.alloc_extent(1)
+        except NoSpaceError:
+            san = getattr(self._counters, "sanitize", None)
+            if san is not None:
+                san.on_journal_abort(self, record)
+            raise
+        record.extents.append(Extent(logical=logical, pfn=new.pfn, count=1))
+        record.migrate_from = Extent(logical=logical, pfn=bad_pfn, count=1)
+        self._tick()
+        # Copy the data off the failing media before commit: if power
+        # dies here, undo releases the new block and the old data — still
+        # the only durable copy — is untouched.
+        self._clock.advance(self._costs.ras_migrate_block_ns)
+        self._journal_commit(record)
+        self._apply_migrate(record)
+        return new.pfn
+
+    def _apply_migrate(self, record: "JournalRecord") -> None:
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            san.on_journal_apply(self, record)
+        old = record.migrate_from
+        assert old is not None and record.extents, "malformed migrate record"
+        new = record.extents[0]
+        tree = self._trees.get(record.ino)
+        found = tree.lookup(old.logical) if tree is not None else None
+        if found is not None and found[0] == old.pfn:
+            # Remap: split the containing extent around the migrated
+            # block and point its logical position at the new media.
+            rebuilt: List[Extent] = []
+            for extent in tree.remove_all():
+                if extent.logical <= old.logical < extent.logical_end:
+                    before = old.logical - extent.logical
+                    if before:
+                        rebuilt.append(
+                            Extent(extent.logical, extent.pfn, before)
+                        )
+                    rebuilt.append(Extent(old.logical, new.pfn, old.count))
+                    after = extent.logical_end - (old.logical + old.count)
+                    if after:
+                        rebuilt.append(
+                            Extent(
+                                old.logical + old.count,
+                                extent.pfn + before + old.count,
+                                after,
+                            )
+                        )
+                else:
+                    rebuilt.append(extent)
+            for extent in rebuilt:
+                tree.insert(extent)
+        # Quarantine the vacated block on the badblock list: its bitmap
+        # bit stays set and the badblock inode becomes its owner, so
+        # fsck's one-owner invariant holds and the block can never be
+        # reallocated.
+        bad_tree = self._trees.get(record.badblock_ino)
+        if bad_tree is None:
+            bad_tree = self._trees[record.badblock_ino] = ExtentTree(
+                tracer=self._counters.tracer
+            )
+        if not self._tree_claims(bad_tree, old.pfn):
+            # o1: allow(o1-size-loop) -- badblock tree is tiny
+            next_logical = max(
+                (extent.logical_end for extent in bad_tree.extents()),
+                default=0,
+            )
+            bad_tree.insert(Extent(next_logical, old.pfn, old.count))
+            self._counters.bump("ras_badblock_persisted")
+        self._notify_extent_invalidators(record.ino, old.pfn, old.count)
+        record.applied = True
+
+    @staticmethod
+    def _tree_claims(tree: ExtentTree, pfn: int) -> bool:
+        # o1: allow(o1-size-loop) -- badblock tree: one extent per frame
+        return any(
+            extent.pfn <= pfn < extent.pfn + extent.count
+            for extent in tree.extents()
+        )
+
+    @complexity("n", note="repair path: scans file extents for the owner")
+    def owner_of_block(self, pfn: int) -> Optional[Inode]:
+        """The inode owning the allocated block at ``pfn``, if any."""
+        owner_ino: Optional[int] = None
+        for ino, tree in self._trees.items():
+            if self._tree_claims(tree, pfn):
+                owner_ino = ino
+                break
+        if owner_ino is None:
+            return None
+        for _path, inode in self.iter_files():
+            if inode.ino == owner_ino:
+                return inode
+        return None
 
     # ------------------------------------------------------------------
     # mmap integration
@@ -560,9 +781,11 @@ class Pmfs(FileSystem):
             if record.applied:
                 continue
             if not record.committed:
-                if record.op == "alloc":
+                if record.op in ("alloc", "migrate"):
                     # Undo: the extents were taken from the bitmap but
-                    # never became part of any file.
+                    # never became part of any file.  (For migrate that
+                    # is only the replacement block — the failing extent
+                    # still holds the sole durable copy of the data.)
                     for extent in record.extents:
                         self.allocator.free_extent(extent)
                 # Uncommitted frees/shrinks changed nothing durable.
@@ -576,6 +799,8 @@ class Pmfs(FileSystem):
                 self._apply_shrink(record)  # o1: allow(persist-outside-txn) -- committed redo
             elif record.op == "free":
                 self._apply_free(record)  # o1: allow(persist-outside-txn) -- committed redo
+            elif record.op == "migrate":
+                self._apply_migrate(record)  # o1: allow(persist-outside-txn) -- committed redo
         self.journal.clear()
         if corrupted_seen:
             self._scrub()

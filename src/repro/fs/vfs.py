@@ -415,8 +415,14 @@ class FileHandle:
         fs = self.inode.fs
         first_page = offset // PAGE_SIZE
         last_page = (offset + length - 1) // PAGE_SIZE
+        ras = getattr(self._counters, "ras", None)
         for page in range(first_page, last_page + 1):
-            fs.charge_block_lookup(self.inode, page)
+            pfn = fs.charge_block_lookup(self.inode, page)
+            if ras is not None:
+                # Media check per block touched: retries transients on
+                # the simulated clock, raises MediaError (EIO) for reads
+                # of poisoned/dead media.
+                ras.on_file_block(self.inode, pfn, write)
         lines = -(-length // CACHE_LINE)
         media = (
             self._costs.write_ns(fs.tech) if write else self._costs.read_ns(fs.tech)

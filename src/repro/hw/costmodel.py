@@ -154,6 +154,20 @@ class CostModel:
     range_table_lookup_ns: int = 100
 
     # ------------------------------------------------------------------
+    # RAS: media scrubbing, retirement, migration (armed machines only).
+    # ------------------------------------------------------------------
+    #: Patrol-scrub probe of one frame (controller read + ECC check).
+    ras_probe_ns: int = 100
+    #: Administrative cost of retiring one frame (allocator surgery,
+    #: badblock bookkeeping), beyond any migration copy.
+    ras_retire_ns: int = 800
+    #: Copy one block's data off failing media during extent migration.
+    ras_migrate_block_ns: int = 900
+    #: Base backoff delay per failed media retry (charged linearly:
+    #: attempt k waits k times this).
+    ras_backoff_ns: int = 200
+
+    # ------------------------------------------------------------------
     # Context / scheduling.
     # ------------------------------------------------------------------
     context_switch_ns: int = 2000

@@ -120,6 +120,12 @@ class Cpu:
                     san = getattr(self._counters, "sanitize", None)
                     if san is not None:
                         san.on_frame_access(paddr)
+                    ras = getattr(self._counters, "ras", None)
+                    if ras is not None:
+                        # Media check: retries transient errors on the
+                        # simulated clock; consuming poison raises the
+                        # machine-check trap to the kernel.
+                        ras.check_access(paddr, write=write)
                     self._cache.reference(paddr, write=write)
                     return paddr
                 # No translation (or a permission upgrade needed): fault to OS.

@@ -17,7 +17,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
-from repro.lint import complexity, o1
+from repro.lint import o1
 from repro.units import HUGE_PAGE_1G, HUGE_PAGE_2M, PAGE_SIZE
 
 
@@ -150,21 +150,47 @@ class Tlb:
         self._trace_invalidate("tlb_invalidate", dropped, vaddr=vaddr)
         return dropped
 
-    @complexity("n", note="scans resident entries — the invlpg storm")
+    @o1(
+        note="probes min(range VPNs, sets) sets per fixed array, each of "
+        "fixed associativity — work bounded by the TLB's capacity"
+    )
     def invalidate_range(self, vaddr: int, length: int, asid: int = 0) -> int:
-        """Drop every entry overlapping ``[vaddr, vaddr + length)``."""
+        """Drop every entry overlapping ``[vaddr, vaddr + length)``.
+
+        An entry for page size ``s`` overlaps iff its VPN lies in
+        ``[vaddr // s, (end - 1) // s]``, and a VPN lives in exactly one
+        set — so only the sets those VPNs index are probed.  A range
+        naming more VPNs than there are sets degenerates to probing
+        every set, which is still a hardware constant, not a scan of
+        resident entries.
+        """
+        if length <= 0:
+            return 0
         dropped = 0
         end = vaddr + length
+        # o1: allow(o1-size-loop) -- the geometry has exactly 3 arrays
         for size, sets in self._arrays.items():
-            for entry_set in sets.values():
-                # o1: allow(o1-nested-size-loop) -- ways per set is fixed
+            vpn_lo = vaddr // size
+            vpn_hi = (end - 1) // size
+            nsets, _ = self._geometry[size]
+            span = vpn_hi - vpn_lo + 1
+            if span >= nsets:
+                indices: Iterable[int] = list(sets)
+            else:
+                # o1: allow(o1-size-loop) -- span < sets, a hardware constant
+                indices = {(vpn_lo + i) % nsets for i in range(span)}
+            # o1: allow(o1-size-loop) -- at most nsets indices, a constant
+            for index in indices:
+                entry_set = sets.get(index)
+                if not entry_set:
+                    continue
+                # o1: allow(o1-size-loop) -- ways per set is fixed
                 stale = [
                     key
                     for key, entry in entry_set.items()
-                    if key[0] == asid
-                    and entry.vaddr < end
-                    and entry.vaddr + size > vaddr
+                    if key[0] == asid and vpn_lo <= key[1] <= vpn_hi
                 ]
+                # o1: allow(o1-size-loop) -- at most ways stale keys
                 for key in stale:
                     del entry_set[key]
                     dropped += 1

@@ -25,7 +25,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MemoryPoisonError
 from repro.fs.pmfs import BlockAllocator, Pmfs
 from repro.fs.tmpfs import Tmpfs
 from repro.hw.cache import CacheModel
@@ -99,6 +99,9 @@ class Kernel:
         #: Armed sanitizer suite (see :meth:`arm_sanitizers`); ``None`` = off.
         self.sanitizers = None
         self.counters.sanitize = None
+        #: Armed RAS engine (see :meth:`arm_ras`); ``None`` = perfect media.
+        self.ras = None
+        self.counters.ras = None
         self.costs = costs or CostModel()
 
         cfg = self.config
@@ -324,7 +327,18 @@ class Kernel:
         self._ensure_current(process)
         if self.tracer.enabled:
             self.tracer.current_pid = process.pid
-        return self.cpu.access(process.space, vaddr, write=write)
+        if self.ras is None:
+            return self.cpu.access(process.space, vaddr, write=write)
+        try:
+            return self.cpu.access(process.space, vaddr, write=write)
+        except MemoryPoisonError as exc:
+            # Machine check.  Graceful degradation: file-backed data is
+            # migrated off the failing media and the access retried;
+            # anonymous/private memory SIGBUS-kills only this process.
+            if not self.ras.handle_poison(process, vaddr, write, exc):
+                raise
+            self.counters.bump("ras_recovered_access")
+            return self.cpu.access(process.space, vaddr, write=write)
 
     @complexity("n", note="one access per stride step")
     def access_range(
@@ -418,6 +432,33 @@ class Kernel:
         """Detach the armed suite (it keeps its collected violations)."""
         self.sanitizers = None
         self.counters.sanitize = None
+
+    # ------------------------------------------------------------------
+    # RAS (media faults, scrubbing, retirement)
+    # ------------------------------------------------------------------
+    def arm_ras(self, engine=None, model=None):
+        """Arm a :class:`~repro.ras.RasEngine` on this machine.
+
+        Same back-reference pattern as :meth:`arm_chaos`: the CPU access
+        path and the VFS copy loop reach the engine through
+        ``counters.ras``, so an unarmed machine pays one ``getattr`` per
+        site, never charges the clock, and produces bit-identical
+        figures.  Pass ``model`` (a
+        :class:`~repro.ras.MediaFaultModel`) to control the seeded fault
+        population, or a pre-built ``engine`` to reuse one.
+        """
+        if engine is None:
+            from repro.ras import RasEngine
+
+            engine = RasEngine(self, model=model)
+        self.ras = engine
+        self.counters.ras = engine
+        return engine
+
+    def disarm_ras(self) -> None:
+        """Detach the armed RAS engine (it keeps its model state)."""
+        self.ras = None
+        self.counters.ras = None
 
     # ------------------------------------------------------------------
     # Whole-machine events

@@ -49,6 +49,10 @@ class BuddyAllocator:
         self._free_lists: List[Set[int]] = [set() for _ in range(max_order + 1)]
         #: pfn -> order for blocks handed out (needed to free by pfn alone).
         self._allocated: Dict[int, int] = {}
+        #: Frames permanently removed from service (RAS retirement); they
+        #: are carried in ``_allocated`` at order 0 so the region still
+        #: tiles, but can never be freed or handed out again.
+        self._retired: Set[int] = set()
         self._free_frames = 0
         self._seed_free_lists()
 
@@ -188,6 +192,8 @@ class BuddyAllocator:
 
     def _free_block(self, pfn: int, charge_ns: int) -> None:
         """Uncharged-core free: ledger pop, coalesce, free-list insert."""
+        if pfn in self._retired:
+            raise ValueError(f"pfn {pfn} is retired and can never be freed")
         order = self._allocated.pop(pfn, None)
         if order is None:
             raise ValueError(f"pfn {pfn} was not allocated by this allocator")
@@ -203,6 +209,56 @@ class BuddyAllocator:
             order += 1
             self._charge(0, "buddy_merge")
         self._free_lists[order].add(pfn)
+
+    # ------------------------------------------------------------------
+    # Retirement (RAS)
+    # ------------------------------------------------------------------
+    @complexity("log n", note="<= max_order splits, like alloc")
+    def retire(self, pfn: int) -> bool:
+        """Permanently remove one *free* frame from service.
+
+        Finds the free block containing ``pfn``, splits it down keeping
+        every sibling half free, and quarantines the frame as an
+        order-0 allocation that :meth:`free` refuses and :meth:`alloc`
+        can never return.  Returns False when the frame is currently
+        allocated — the caller (the patrol scrubber) retries after it
+        frees.  Retiring an already-retired frame is a no-op.
+        """
+        first = self._region.first_pfn
+        if not first <= pfn < first + self._region.frame_count:
+            raise ValueError(
+                f"pfn {pfn:#x} outside region {self._describe()}"
+            )
+        if pfn in self._retired:
+            return True
+        for order in range(self._max_order + 1):
+            start = first + (((pfn - first) >> order) << order)
+            if start not in self._free_lists[order]:
+                continue
+            self._free_lists[order].remove(start)
+            # Split down, keeping every half that does not contain pfn.
+            while order > 0:
+                order -= 1
+                half = 1 << order
+                if pfn < start + half:
+                    self._free_lists[order].add(start + half)
+                else:
+                    self._free_lists[order].add(start)
+                    start += half
+            self._allocated[pfn] = 0
+            self._retired.add(pfn)
+            self._free_frames -= 1
+            self._charge(0, "buddy_retire")
+            san = getattr(self._counters, "sanitize", None)
+            if san is not None:
+                san.on_frame_retired(self, pfn)
+            return True
+        return False  # frame is inside a live allocation: busy
+
+    @property
+    def retired_frames(self) -> frozenset:
+        """Frames permanently retired from this region."""
+        return frozenset(self._retired)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -65,6 +65,7 @@ COUNTER_PREFIXES: FrozenSet[str] = frozenset(
         "pt",
         "pte",
         "range",
+        "ras",
         "reclaim",
         "recovery",
         "rte",
@@ -128,6 +129,7 @@ CANONICAL_COUNTERS: FrozenSet[str] = frozenset(
         "buddy_alloc",
         "buddy_free",
         "buddy_merge",
+        "buddy_retire",
         "buddy_split",
         "frame_meta_touch",
         "slab_alloc",
@@ -152,6 +154,18 @@ CANONICAL_COUNTERS: FrozenSet[str] = frozenset(
         "pagecache_alloc",
         "pagecache_free",
         "pagecache_lookup",
+        # RAS: media faults, scrubbing, retirement (repro.ras)
+        "ras_badblock_persisted",
+        "ras_extent_migrated",
+        "ras_frame_retired",
+        "ras_io_retry",
+        "ras_poison_cleared",
+        "ras_poison_trap",
+        "ras_read_eio",
+        "ras_recovered_access",
+        "ras_scrub_busy",
+        "ras_scrub_frame",
+        "ras_sigbus_kill",
         # reclaim & swap
         "reclaim_evicted",
         "reclaim_scanned",

@@ -1,0 +1,153 @@
+"""Deterministic NVM media-fault model.
+
+Persistent memory wears out: cells develop *transient* read/write
+errors (a bounded number of retries succeeds), *sticky poisoned* lines
+(reads trap until the line is overwritten), and *permanently dead*
+frames (every access fails until the frame is retired).  The model is
+seeded and sampled once at bind time, so a given ``(seed, machine)``
+pair always produces the same fault population — the same discipline
+as the chaos engine's :class:`~repro.chaos.plan.FaultPlan`.
+
+The model itself is pure bookkeeping: a dict keyed by pfn.  Probing a
+frame is one dictionary lookup; unarmed machines never construct a
+model at all.  Policy (traps, retries, retirement) lives in
+:class:`~repro.ras.engine.RasEngine`.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint import o1
+
+
+class FaultKind(enum.Enum):
+    """How a frame fails."""
+
+    #: Reads/writes fail ``fail_count`` times, then succeed (retry wins).
+    TRANSIENT = "transient"
+    #: Sticky poisoned line: reads trap until the line is overwritten.
+    POISON = "poison"
+    #: Permanently failed frame: every access fails; must be retired.
+    DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class MediaFault:
+    """One failing frame."""
+
+    pfn: int
+    kind: FaultKind
+    #: For TRANSIENT faults: how many attempts fail before one succeeds.
+    fail_count: int = 1
+
+
+#: Sampled kinds cycle through this tuple so every bind with
+#: ``faults_per_bind >= 3`` exercises all three failure modes.
+_KIND_CYCLE = (FaultKind.DEAD, FaultKind.POISON, FaultKind.TRANSIENT)
+
+
+class MediaFaultModel:
+    """Seeded population of failing NVM frames.
+
+    ``bind_nvm`` samples ``faults_per_bind`` distinct frames from the
+    region (media faults live in the persistent tier; DRAM spans are
+    registered for patrol coverage but sampled clean — tests use
+    :meth:`inject` to poison specific DRAM frames).
+    """
+
+    def __init__(self, seed: int = 0, faults_per_bind: int = 6) -> None:
+        self.seed = seed
+        self.faults_per_bind = faults_per_bind
+        self._rng = random.Random(seed)
+        self._faults: Dict[int, MediaFault] = {}
+        self._retired: Set[int] = set()
+        self._spans: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Binding — sample the fault population once, deterministically
+    # ------------------------------------------------------------------
+    def bind_nvm(self, first_pfn: int, frame_count: int) -> None:
+        """Register an NVM span and sample its fault population."""
+        self._spans.append((first_pfn, frame_count))
+        count = min(self.faults_per_bind, frame_count)
+        pfns = self._rng.sample(range(first_pfn, first_pfn + frame_count), count)
+        for index, pfn in enumerate(sorted(pfns)):
+            kind = _KIND_CYCLE[index % len(_KIND_CYCLE)]
+            fail_count = self._rng.randint(1, 2)
+            self._faults[pfn] = MediaFault(pfn=pfn, kind=kind, fail_count=fail_count)
+
+    def bind_dram(self, first_pfn: int, frame_count: int) -> None:
+        """Register a DRAM span for patrol coverage (sampled clean)."""
+        self._spans.append((first_pfn, frame_count))
+
+    def spans(self) -> Tuple[Tuple[int, int], ...]:
+        """Registered ``(first_pfn, frame_count)`` spans, bind order."""
+        return tuple(self._spans)
+
+    # ------------------------------------------------------------------
+    # Probing — the armed-path lookups, one dict access each
+    # ------------------------------------------------------------------
+    @o1(note="one dict lookup")
+    def probe(self, pfn: int) -> Optional[MediaFault]:
+        """The active fault on ``pfn``, or None (clean or retired)."""
+        if pfn in self._retired:
+            return None
+        return self._faults.get(pfn)
+
+    @o1(note="one dict lookup")
+    def transient_fails(self, pfn: int, attempt: int) -> bool:
+        """Whether the ``attempt``-th try (0-based) on ``pfn`` fails."""
+        fault = self.probe(pfn)
+        if fault is None or fault.kind is not FaultKind.TRANSIENT:
+            return False
+        return attempt < fault.fail_count
+
+    # ------------------------------------------------------------------
+    # Mutation — injection (tests), poison clearing, retirement
+    # ------------------------------------------------------------------
+    def inject(self, pfn: int, kind: FaultKind, fail_count: int = 1) -> MediaFault:
+        """Plant a fault on a specific frame (targeted tests)."""
+        fault = MediaFault(pfn=pfn, kind=kind, fail_count=fail_count)
+        self._faults[pfn] = fault
+        self._retired.discard(pfn)
+        return fault
+
+    @o1(note="two dict ops")
+    def clear_poison(self, pfn: int) -> bool:
+        """Overwrite cleared a sticky poisoned line; True if it was one."""
+        fault = self._faults.get(pfn)
+        if fault is None or fault.kind is not FaultKind.POISON:
+            return False
+        del self._faults[pfn]
+        return True
+
+    @o1(note="one set insert")
+    def retire(self, pfn: int) -> None:
+        """Mark ``pfn`` retired: it no longer reports faults (or anything)."""
+        self._retired.add(pfn)
+
+    @property
+    def retired(self) -> frozenset:
+        """Frames retired so far."""
+        return frozenset(self._retired)
+
+    def faults(self) -> Tuple[MediaFault, ...]:
+        """Active (un-retired) faults, sorted by pfn."""
+        return tuple(
+            self._faults[pfn]
+            for pfn in sorted(self._faults)
+            if pfn not in self._retired
+        )
+
+    def describe(self) -> str:
+        """One line per active fault, for reports and failures."""
+        lines = [
+            f"pfn {fault.pfn:#x} {fault.kind.value}"
+            + (f" (fails {fault.fail_count}x)" if fault.kind is FaultKind.TRANSIENT else "")
+            for fault in self.faults()
+        ]
+        return "\n".join(lines) if lines else "no active media faults"

@@ -46,6 +46,10 @@ class FrameSan:
         self._nvm_regions: Dict[int, Tuple[int, int]] = {}
         #: 4 KiB frames whose contents are known non-zero.
         self._tainted: Set[int] = set()
+        #: Frames permanently retired by RAS — any later allocation,
+        #: free, or access of one is a violation.  PFNs are globally
+        #: unique across regions, so one set covers DRAM and NVM.
+        self._retired: Set[int] = set()
 
     # ------------------------------------------------------------------
     # DRAM buddy ledger
@@ -68,10 +72,26 @@ class FrameSan:
 
     def on_dram_alloc(self, allocator: Any, pfn: int, order: int) -> None:
         """Buddy handed out a block."""
+        end = pfn + (1 << order)
+        # Iterate the (small) retired set, not the (possibly huge) block.
+        if any(pfn <= retired < end for retired in self._retired):
+            self._report(
+                "retired-frame-realloc",
+                f"buddy handed out block pfn {pfn:#x} order {order} "
+                "containing a permanently retired frame",
+                {"pfn": pfn, "order": order},
+            )
         self._dram_ledger(allocator)[pfn] = order
 
     def on_dram_free(self, allocator: Any, pfn: int) -> None:
         """Buddy is about to free a block: it must be outstanding."""
+        if pfn in self._retired:
+            self._report(
+                "retired-frame-free",
+                f"free of permanently retired frame {pfn:#x}",
+                {"pfn": pfn},
+            )
+            return
         ledger = self._dram_ledger(allocator)
         if pfn not in ledger:
             self._report(
@@ -114,6 +134,14 @@ class FrameSan:
 
     def on_nvm_alloc(self, allocator: Any, first_block: int, block_count: int) -> None:
         """PMFS allocated an extent of blocks."""
+        end = first_block + block_count
+        if any(first_block <= retired < end for retired in self._retired):
+            self._report(
+                "retired-frame-realloc",
+                f"NVM extent [{first_block:#x}, {end:#x}) contains a "
+                "permanently retired block",
+                {"pfn": first_block, "count": block_count},
+            )
         allocated, freed = self._nvm_sets(allocator)
         for block in range(first_block, first_block + block_count):
             freed.discard(block)
@@ -142,6 +170,14 @@ class FrameSan:
     def check_access(self, paddr: int) -> None:
         """A CPU data access resolved to ``paddr``: the frame must be live."""
         frame = paddr // PAGE_SIZE
+        if frame in self._retired:
+            self._report(
+                "retired-frame-access",
+                f"data access at pa {paddr:#x} landed in permanently "
+                f"retired frame {frame:#x}",
+                {"paddr": paddr, "pfn": frame},
+            )
+            return
         for key, (first, count, _) in self._dram_regions.items():
             if first <= frame < first + count:
                 if not self.dram_block_allocated(key, frame):
@@ -162,6 +198,24 @@ class FrameSan:
                         {"paddr": paddr, "pfn": frame},
                     )
                 return
+
+    # ------------------------------------------------------------------
+    # RAS retirement
+    # ------------------------------------------------------------------
+    def on_dram_retired(self, allocator: Any, pfn: int) -> None:
+        """RAS retired a free DRAM frame: the buddy now carries it as an
+        order-0 allocation it will never hand out; mirror that and mark
+        the frame permanently unusable."""
+        self._dram_ledger(allocator)[pfn] = 0
+        self._retired.add(pfn)
+
+    def on_nvm_retired(self, allocator: Any, first_block: int, block_count: int) -> None:
+        """RAS retired NVM blocks (badblock adoption or migration): the
+        bitmap keeps them allocated forever; mark them unusable."""
+        allocated, _freed = self._nvm_sets(allocator)
+        for block in range(first_block, first_block + block_count):
+            allocated.add(block)
+            self._retired.add(block)
 
     # ------------------------------------------------------------------
     # Zeroing taint
@@ -195,4 +249,5 @@ class FrameSan:
                 len(s) for s in self._nvm_allocated.values()
             ),
             "tainted_frames": len(self._tainted),
+            "retired_frames": len(self._retired),
         }

@@ -209,6 +209,27 @@ class SanitizerSuite:
             self._count("zeropool_take")
             self._frame.check_zeroed_handout(pfn)
 
+    def on_frame_retired(self, allocator: Any, pfn: int) -> None:
+        """RAS permanently retired a DRAM frame from the buddy allocator.
+
+        Retirement implies the frame left service: any page-table entry
+        still translating to it is a dangling translation (a migration
+        or kill path forgot its TLB/PTE teardown).
+        """
+        if self._frame is not None:
+            self._count("frame_retired")
+            self._frame.on_dram_retired(allocator, pfn)
+        if self._trans is not None:
+            self._trans.check_frames_freed(pfn, 1, "ras")
+
+    def on_nvm_retired(self, allocator: Any, first_block: int, block_count: int) -> None:
+        """RAS retired NVM blocks onto the persisted badblock list."""
+        if self._frame is not None:
+            self._count("nvm_retired")
+            self._frame.on_nvm_retired(allocator, first_block, block_count)
+        if self._trans is not None:
+            self._trans.check_frames_freed(first_block, block_count, "ras")
+
     # ------------------------------------------------------------------
     # PersistSan hooks (fs)
     # ------------------------------------------------------------------

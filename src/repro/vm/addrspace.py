@@ -338,11 +338,14 @@ class AddressSpace:
         first_page = vma.backing_page(start)
         npages = (end - start) // PAGE_SIZE
         vma.backing.release(first_page, npages)
-        # COW copies for the range go back to nowhere — they were
-        # allocator frames owned by the VMA.
+        # COW copies for the range were order-0 frames the VMA owns;
+        # return them to their allocator so they do not leak.
+        allocator = getattr(vma.backing, "_allocator", None)
         for page_index in list(vma.private_copies):
             if first_page <= page_index < first_page + npages:
-                del vma.private_copies[page_index]
+                pfn = vma.private_copies.pop(page_index)
+                if allocator is not None:
+                    allocator.free(pfn)
         # Adjust or remove the VMA itself.
         if start == vma.start and end == vma.end:
             self._remove_vma(vma)

@@ -52,6 +52,22 @@ if os.environ.get("REPRO_SANITIZE"):
 
     Kernel.__init__ = _armed_kernel_init  # type: ignore[method-assign]
 
+if os.environ.get("REPRO_RAS"):
+    # RAS-armed tier-1: every Kernel gets the RAS engine with a *clean*
+    # fault model (no sampled faults), so the whole suite runs through
+    # the armed media-check, degradation and file-IO hooks without any
+    # injected faults perturbing clocks or killing processes.  Fault
+    # behaviour itself is covered by the dedicated test_ras_* modules.
+    from repro.ras import MediaFaultModel
+
+    _plain_kernel_init = Kernel.__init__
+
+    def _ras_kernel_init(self, *args, **kwargs):  # type: ignore[no-untyped-def]
+        _plain_kernel_init(self, *args, **kwargs)
+        self.arm_ras(model=MediaFaultModel(seed=0, faults_per_bind=0))
+
+    Kernel.__init__ = _ras_kernel_init  # type: ignore[method-assign]
+
 
 @pytest.fixture
 def clock() -> SimClock:

@@ -147,3 +147,30 @@ class TestUnmap:
         inode = kernel.pmfs.create("/empty")
         with pytest.raises(MappingError):
             pbm.map_file(kernel.spawn("p"), inode)
+
+
+class TestExtentInvalidation:
+    def test_unlink_drops_cached_subtrees(self, env):
+        kernel, pbm = env
+        kernel.pmfs.create("/doomed", size=2 * MIB)
+        process = kernel.spawn("p")
+        mapping = pbm.map_file(process, kernel.pmfs.lookup("/doomed"))
+        pbm.unmap(mapping)
+        # The unmap keeps the subtree warm for the next mapper...
+        assert pbm.subtrees.cached_extents > 0
+        # ...but freeing the extents must drop it: the frames can be
+        # reallocated to a different file, and a cached subtree would
+        # hand the new owner's data to whoever maps the old path.
+        kernel.pmfs.unlink("/doomed")
+        assert pbm.subtrees.cached_extents == 0
+
+    def test_unlink_of_unrelated_file_keeps_cache(self, env):
+        kernel, pbm = env
+        kernel.pmfs.create("/keep", size=2 * MIB)
+        kernel.pmfs.create("/other", size=2 * MIB)
+        process = kernel.spawn("p")
+        pbm.map_file(process, kernel.pmfs.lookup("/keep"))
+        cached = pbm.subtrees.cached_extents
+        assert cached > 0
+        kernel.pmfs.unlink("/other")
+        assert pbm.subtrees.cached_extents == cached

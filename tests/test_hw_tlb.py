@@ -98,6 +98,71 @@ class TestInvalidation:
         assert dropped == 1
         assert tlb.lookup(10 * PAGE_SIZE) is not None
 
+    def test_invalidate_range_empty_length(self):
+        tlb = Tlb()
+        tlb.insert(entry(vpn=0))
+        assert tlb.invalidate_range(0, 0) == 0
+        assert tlb.lookup(0) is not None
+
+    def test_invalidate_range_respects_asid(self):
+        tlb = Tlb()
+        tlb.insert(entry(vpn=3, asid=1))
+        tlb.insert(entry(vpn=3, asid=2))
+        assert tlb.invalidate_range(3 * PAGE_SIZE, PAGE_SIZE, asid=1) == 1
+        assert tlb.lookup(3 * PAGE_SIZE, asid=2) is not None
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2048),  # vpn
+                st.sampled_from([PAGE_SIZE, HUGE_PAGE_2M, HUGE_PAGE_1G]),
+                st.integers(min_value=0, max_value=2),  # asid
+            ),
+            max_size=40,
+        ),
+        st.integers(min_value=0, max_value=1024),  # range start page
+        st.integers(min_value=1, max_value=4096),  # range length pages
+        st.integers(min_value=0, max_value=2),  # invalidated asid
+    )
+    def test_invalidate_range_matches_brute_force(
+        self, entries, start_page, npages, asid
+    ):
+        """The set-indexed probe drops exactly the overlapping entries.
+
+        Oracle: brute-force overlap filter over every inserted entry —
+        the semantics the set-batched implementation must preserve.
+        Lengths up to 4096 pages exercise both the sparse-VPN probe and
+        the span >= nsets degenerate case (128 sets for 4 KiB pages).
+        """
+        tlb = Tlb()
+        resident = {}
+        for vpn, size, entry_asid in entries:
+            e = entry(vpn=vpn, size=size, asid=entry_asid)
+            evicted = tlb.insert(e)
+            resident[(entry_asid, size, vpn)] = e
+            if evicted is not None:
+                resident.pop(
+                    (evicted.asid, evicted.page_size, evicted.vpn), None
+                )
+        vaddr = start_page * PAGE_SIZE
+        length = npages * PAGE_SIZE
+        end = vaddr + length
+        expected_dropped = {
+            key
+            for key, e in resident.items()
+            if e.asid == asid and e.vaddr < end and e.vaddr + e.page_size > vaddr
+        }
+
+        assert tlb.invalidate_range(vaddr, length, asid=asid) == len(
+            expected_dropped
+        )
+        for key, e in resident.items():
+            hit = tlb.lookup(e.vaddr, asid=e.asid)
+            if key in expected_dropped:
+                assert hit is None or hit.page_size != e.page_size
+            else:
+                assert hit is not None
+
     def test_flush_asid_only(self):
         tlb = Tlb()
         tlb.insert(entry(vpn=1, asid=1))

@@ -1,0 +1,137 @@
+"""RAS efficacy: each deliberately broken repair path trips its oracle.
+
+Three mutants, mirroring the sanitizer-efficacy discipline — prove the
+check *can* fail before trusting that it passes:
+
+* a scrubber that "handles" dead frames without retiring them → the
+  RAS audit's dead-frame-in-service invariant
+* a migration that forgets the translation teardown → TransSan's
+  dangling-translation check fired from the retirement hook
+* a badblock adoption whose journal commit is dropped → PersistSan
+
+Each mutant is paired with its clean companion so the oracle's
+false-positive rate on the correct path stays pinned at zero.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ras import FaultKind, MediaFaultModel
+from repro.sanitize import SanitizerError
+from repro.units import PAGE_SIZE
+from repro.vm.vma import MapFlags
+
+
+def _only_violation(suite):
+    assert len(suite.violations) == 1, [v.format() for v in suite.violations]
+    return suite.violations[0]
+
+
+def _free_nvm_pfn(kernel) -> int:
+    fs = kernel.pmfs
+    first = kernel.nvm_region.first_pfn
+    return next(
+        pfn
+        for pfn in range(first, first + 4096)
+        if fs.allocator.block_is_free(pfn)
+    )
+
+
+class TestScrubberMutant:
+    def test_scrubber_that_skips_retirement_fails_audit(
+        self, kernel, monkeypatch
+    ):
+        ras = kernel.arm_ras(model=MediaFaultModel(faults_per_bind=0))
+        pfn = _free_nvm_pfn(kernel)
+        ras.model.inject(pfn, FaultKind.DEAD)
+
+        # Mutant: the scrubber claims success on dead frames without
+        # actually retiring them.
+        monkeypatch.setattr(ras, "retire_frame", lambda _pfn: True)
+        ras.scrubber.scrub_full()
+
+        problems = ras.audit()
+        assert any("still in service" in p for p in problems), problems
+
+    def test_real_scrubber_passes_audit(self, kernel):
+        ras = kernel.arm_ras(model=MediaFaultModel(faults_per_bind=0))
+        pfn = _free_nvm_pfn(kernel)
+        ras.model.inject(pfn, FaultKind.DEAD)
+        ras.scrubber.scrub_full()
+        assert ras.audit() == []
+
+
+class TestMigrationMutant:
+    def _map_file_block(self, kernel):
+        process = kernel.spawn("mapper")
+        sys_calls = kernel.syscalls(process)
+        fd = sys_calls.open(
+            kernel.pmfs, "/migrate", create=True, size=2 * PAGE_SIZE
+        )
+        va = sys_calls.mmap(
+            2 * PAGE_SIZE, fd=fd, flags=MapFlags.SHARED | MapFlags.POPULATE
+        )
+        pfn = kernel.access(process, va, write=True) // PAGE_SIZE
+        return process, va, pfn
+
+    def test_forgotten_invalidation_trips_dangling_translation(
+        self, kernel, monkeypatch
+    ):
+        # Sanitizers first, so the PTE map registered the translation.
+        suite = kernel.arm_sanitizers()
+        ras = kernel.arm_ras(model=MediaFaultModel(faults_per_bind=0))
+        _process, _va, pfn = self._map_file_block(kernel)
+        ras.model.inject(pfn, FaultKind.DEAD)
+
+        # Mutant: migration moves the extent but leaves every PTE, TLB
+        # entry and cached subtree still translating to the dead frame.
+        monkeypatch.setattr(
+            ras, "_invalidate_translations", lambda *a, **kw: None
+        )
+        with pytest.raises(SanitizerError, match="dangling-translation"):
+            ras.retire_frame(pfn)
+        violation = _only_violation(suite)
+        assert violation.detector == "trans"
+
+    def test_real_migration_is_clean_and_remaps(self, kernel):
+        suite = kernel.arm_sanitizers()
+        ras = kernel.arm_ras(model=MediaFaultModel(faults_per_bind=0))
+        process, va, pfn = self._map_file_block(kernel)
+        ras.model.inject(pfn, FaultKind.DEAD)
+
+        assert ras.retire_frame(pfn)
+        # The access re-faults onto the migrated frame.
+        new_paddr = kernel.access(process, va)
+        assert new_paddr // PAGE_SIZE != pfn
+        assert suite.violations == []
+
+
+class TestBadblockJournalMutant:
+    def test_uncommitted_adoption_trips_persistsan(
+        self, kernel, monkeypatch
+    ):
+        suite = kernel.arm_sanitizers()
+        ras = kernel.arm_ras(model=MediaFaultModel(faults_per_bind=0))
+        pfn = _free_nvm_pfn(kernel)
+        ras.model.inject(pfn, FaultKind.DEAD)
+        ras.badblock_inode()  # journal drop must hit the adoption itself
+
+        # Mutant: the adoption's commit record never reaches NVM, yet
+        # the metadata apply goes ahead — a crash would lose the list.
+        monkeypatch.setattr(
+            kernel.pmfs, "_journal_commit", lambda record: None
+        )
+        with pytest.raises(SanitizerError, match="apply-before-commit"):
+            ras.retire_frame(pfn)
+        violation = _only_violation(suite)
+        assert violation.detector == "persist"
+
+    def test_journaled_adoption_is_clean(self, kernel):
+        suite = kernel.arm_sanitizers()
+        ras = kernel.arm_ras(model=MediaFaultModel(faults_per_bind=0))
+        pfn = _free_nvm_pfn(kernel)
+        ras.model.inject(pfn, FaultKind.DEAD)
+        assert ras.retire_frame(pfn)
+        assert pfn in ras.badblock_pfns()
+        assert suite.violations == []

@@ -1,0 +1,124 @@
+"""Unit tests for the seeded NVM media-fault model."""
+
+from __future__ import annotations
+
+from repro.ras import FaultKind, MediaFaultModel
+
+
+def _bound_model(seed: int = 0, faults: int = 6) -> MediaFaultModel:
+    model = MediaFaultModel(seed=seed, faults_per_bind=faults)
+    model.bind_nvm(first_pfn=0x1000, frame_count=4096)
+    return model
+
+
+class TestSampling:
+    def test_same_seed_same_population(self):
+        a = _bound_model(seed=7)
+        b = _bound_model(seed=7)
+        assert a.faults() == b.faults()
+
+    def test_different_seeds_differ(self):
+        a = _bound_model(seed=0)
+        b = _bound_model(seed=1)
+        assert a.faults() != b.faults()
+
+    def test_kind_cycle_covers_all_three_modes(self):
+        model = _bound_model(faults=6)
+        kinds = [fault.kind for fault in model.faults()]
+        assert kinds.count(FaultKind.DEAD) == 2
+        assert kinds.count(FaultKind.POISON) == 2
+        assert kinds.count(FaultKind.TRANSIENT) == 2
+
+    def test_kinds_cycle_over_sorted_pfns(self):
+        model = _bound_model(faults=6)
+        faults = model.faults()  # already sorted by pfn
+        expected = (
+            FaultKind.DEAD,
+            FaultKind.POISON,
+            FaultKind.TRANSIENT,
+        ) * 2
+        assert tuple(f.kind for f in faults) == expected
+
+    def test_dram_spans_sampled_clean(self):
+        model = MediaFaultModel(seed=0, faults_per_bind=6)
+        model.bind_dram(first_pfn=0, frame_count=1024)
+        assert model.faults() == ()
+        assert model.spans() == ((0, 1024),)
+
+    def test_faults_per_bind_capped_by_span(self):
+        model = MediaFaultModel(seed=0, faults_per_bind=100)
+        model.bind_nvm(first_pfn=0, frame_count=8)
+        assert len(model.faults()) == 8
+
+    def test_spans_preserve_bind_order(self):
+        model = MediaFaultModel(seed=0, faults_per_bind=0)
+        model.bind_dram(0, 64)
+        model.bind_nvm(64, 128)
+        assert model.spans() == ((0, 64), (64, 128))
+
+
+class TestProbing:
+    def test_probe_clean_frame_is_none(self):
+        model = _bound_model()
+        clean = next(
+            pfn
+            for pfn in range(0x1000, 0x1000 + 4096)
+            if model.probe(pfn) is None
+        )
+        assert model.probe(clean) is None
+
+    def test_probe_reports_injected_fault(self):
+        model = MediaFaultModel(faults_per_bind=0)
+        fault = model.inject(42, FaultKind.POISON)
+        assert model.probe(42) is fault
+
+    def test_retired_frame_probes_clean(self):
+        model = MediaFaultModel(faults_per_bind=0)
+        model.inject(42, FaultKind.DEAD)
+        model.retire(42)
+        assert model.probe(42) is None
+        assert 42 in model.retired
+        assert model.faults() == ()
+
+    def test_inject_reactivates_retired_frame(self):
+        model = MediaFaultModel(faults_per_bind=0)
+        model.inject(42, FaultKind.DEAD)
+        model.retire(42)
+        model.inject(42, FaultKind.TRANSIENT)
+        assert model.probe(42) is not None
+        assert 42 not in model.retired
+
+    def test_transient_fails_bounded_by_fail_count(self):
+        model = MediaFaultModel(faults_per_bind=0)
+        model.inject(7, FaultKind.TRANSIENT, fail_count=2)
+        assert model.transient_fails(7, 0)
+        assert model.transient_fails(7, 1)
+        assert not model.transient_fails(7, 2)
+
+    def test_transient_fails_false_for_other_kinds(self):
+        model = MediaFaultModel(faults_per_bind=0)
+        model.inject(7, FaultKind.POISON)
+        assert not model.transient_fails(7, 0)
+
+
+class TestMutation:
+    def test_clear_poison(self):
+        model = MediaFaultModel(faults_per_bind=0)
+        model.inject(9, FaultKind.POISON)
+        assert model.clear_poison(9)
+        assert model.probe(9) is None
+
+    def test_clear_poison_ignores_dead(self):
+        model = MediaFaultModel(faults_per_bind=0)
+        model.inject(9, FaultKind.DEAD)
+        assert not model.clear_poison(9)
+        assert model.probe(9) is not None
+
+    def test_describe_lists_active_faults(self):
+        model = MediaFaultModel(faults_per_bind=0)
+        assert model.describe() == "no active media faults"
+        model.inject(3, FaultKind.TRANSIENT, fail_count=2)
+        model.inject(5, FaultKind.DEAD)
+        text = model.describe()
+        assert "transient (fails 2x)" in text
+        assert "dead" in text

@@ -157,6 +157,47 @@ class TestMunmap:
         # Page-table node frames stay allocated; data frames return.
         assert kernel.dram_buddy.free_frames >= free_before - 8
 
+    def test_unmap_frees_private_cow_copies(self, machine):
+        kernel, process, sys = machine
+        fd = sys.open(kernel.tmpfs, "/cowleak", create=True, size=16 * KIB)
+        va = sys.mmap(16 * KIB, fd=fd, flags=MapFlags.PRIVATE)
+        pfns = [
+            kernel.access(process, va + i * PAGE_SIZE, write=True) // PAGE_SIZE
+            for i in range(4)
+        ]
+        sys.munmap(va, 16 * KIB)
+        # The COW copies belong to the VMA, not the file; the unmap must
+        # return every one of them to the buddy.
+        for pfn in pfns:
+            assert not kernel.dram_buddy.is_allocated(pfn)
+
+    def test_partial_unmap_frees_only_covered_cow_copies(self, machine):
+        kernel, process, sys = machine
+        fd = sys.open(kernel.tmpfs, "/cowpart", create=True, size=16 * KIB)
+        va = sys.mmap(16 * KIB, fd=fd, flags=MapFlags.PRIVATE)
+        low = kernel.access(process, va, write=True) // PAGE_SIZE
+        high = (
+            kernel.access(process, va + 3 * PAGE_SIZE, write=True) // PAGE_SIZE
+        )
+        sys.munmap(va, PAGE_SIZE)  # prefix only
+        assert not kernel.dram_buddy.is_allocated(low)
+        assert kernel.dram_buddy.is_allocated(high)
+        # The surviving copy still serves the mapping, and the final
+        # unmap releases it too.
+        assert kernel.access(process, va + 3 * PAGE_SIZE) // PAGE_SIZE == high
+        sys.munmap(va + PAGE_SIZE, 15 * KIB)
+        assert not kernel.dram_buddy.is_allocated(high)
+
+    def test_unmap_frees_pmfs_cow_copies(self, machine):
+        kernel, process, sys = machine
+        fd = sys.open(kernel.pmfs, "/cownvm", create=True, size=16 * KIB)
+        free_before = kernel.pmfs.allocator.free_blocks
+        va = sys.mmap(16 * KIB, fd=fd, flags=MapFlags.PRIVATE)
+        kernel.access(process, va, write=True)
+        assert kernel.pmfs.allocator.free_blocks == free_before - 1
+        sys.munmap(va, 16 * KIB)
+        assert kernel.pmfs.allocator.free_blocks == free_before
+
     def test_prefix_unmap_shrinks_vma(self, machine):
         kernel, process, sys = machine
         va = sys.mmap(16 * KIB)
