@@ -4,20 +4,18 @@ Paper: demand (MAP_PRIVATE) mmap is constant (~8 us on tmpfs); populating
 page tables grows linearly with file size (~250 us at 1024 KB).
 """
 
-from conftest import run_once
+from conftest import make_kernel, run_once, spawn_bench
 
 from repro.analysis import Series, format_series_table
-from repro.kernel import Kernel, MachineConfig
-from repro.units import GIB, KIB, MIB, USEC
+from repro.units import KIB, USEC
 from repro.vm.vma import MapFlags
 
 SIZES_KB = [4, 16, 64, 256, 1024]
 
 
 def mmap_cost(size_kb: int, populate: bool) -> int:
-    kernel = Kernel(MachineConfig(dram_bytes=512 * MIB, nvm_bytes=0))
-    process = kernel.spawn("bench")
-    sys = kernel.syscalls(process)
+    kernel = make_kernel()
+    process, sys = spawn_bench(kernel)
     size = size_kb * KIB
     fd = sys.open(kernel.tmpfs, "/file", create=True, size=size)
     flags = MapFlags.PRIVATE | (MapFlags.POPULATE if populate else MapFlags.NONE)

@@ -6,20 +6,18 @@ student figures add that populated reads are near zero up to 128 KB.
 Files are read after being written (warm LLC), per the report's method.
 """
 
-from conftest import run_once
+from conftest import make_kernel, run_once, spawn_bench
 
 from repro.analysis import Series, format_ratio, format_series_table
-from repro.kernel import Kernel, MachineConfig
-from repro.units import KIB, MIB, USEC
+from repro.units import KIB, USEC
 from repro.vm.vma import MapFlags
 
 SIZES_KB = [4, 16, 64, 256, 1024]
 
 
 def read_cost(size_kb: int, populate: bool):
-    kernel = Kernel(MachineConfig(dram_bytes=512 * MIB, nvm_bytes=0))
-    process = kernel.spawn("bench")
-    sys = kernel.syscalls(process)
+    kernel = make_kernel()
+    process, sys = spawn_bench(kernel)
     size = size_kb * KIB
     fd = sys.open(kernel.tmpfs, "/file", create=True, size=size)
     kernel.warm_file(process.fd(fd).inode)

@@ -4,20 +4,18 @@ map_private takes one minor fault per page touched; map_populate takes
 none.  The counts, not times, are the figure's y-axis.
 """
 
-from conftest import run_once
+from conftest import make_kernel, run_once, spawn_bench
 
 from repro.analysis import Series, format_series_table
-from repro.kernel import Kernel, MachineConfig
-from repro.units import KIB, MIB
+from repro.units import KIB
 from repro.vm.vma import MapFlags
 
 SIZES_KB = [4, 16, 64, 256, 1024]
 
 
 def fault_count(size_kb: int, populate: bool) -> int:
-    kernel = Kernel(MachineConfig(dram_bytes=512 * MIB, nvm_bytes=0))
-    process = kernel.spawn("bench")
-    sys = kernel.syscalls(process)
+    kernel = make_kernel()
+    process, sys = spawn_bench(kernel)
     size = size_kb * KIB
     fd = sys.open(kernel.tmpfs, "/file", create=True, size=size)
     flags = MapFlags.PRIVATE | (MapFlags.POPULATE if populate else MapFlags.NONE)

@@ -5,21 +5,19 @@ DAX (extra direct-mapping setup), with the same demand-vs-populate read
 behaviour on both file systems.
 """
 
-from conftest import run_once
+from conftest import make_kernel, run_once, spawn_bench
 
 from repro.analysis import Series, format_series_table
-from repro.kernel import Kernel, MachineConfig
-from repro.units import GIB, KIB, MIB, USEC
+from repro.units import KIB, USEC
 from repro.vm.vma import MapFlags
 
 SIZES_KB = [4, 64, 256, 1024]
 
 
 def costs_for(size_kb: int, use_dax: bool, populate: bool):
-    kernel = Kernel(MachineConfig(dram_bytes=512 * MIB, nvm_bytes=2 * GIB))
+    kernel = make_kernel(nvm_gib=2)
     fs = kernel.pmfs if use_dax else kernel.tmpfs
-    process = kernel.spawn("bench")
-    sys = kernel.syscalls(process)
+    process, sys = spawn_bench(kernel)
     size = size_kb * KIB
     fd = sys.open(fs, "/file", create=True, size=size)
     kernel.warm_file(process.fd(fd).inode)

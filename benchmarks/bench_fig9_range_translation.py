@@ -5,12 +5,11 @@ range-TLB shootdown.  Measured against the page-table path for the same
 file sizes: map cost, sparse-access cost, unmap cost.
 """
 
-from conftest import run_once
+from conftest import make_kernel, run_once, spawn_bench
 
 from repro.analysis import Series, format_series_table
 from repro.core.rangetrans import RangeMemory
-from repro.kernel import Kernel, MachineConfig
-from repro.units import GIB, MIB
+from repro.units import MIB
 from repro.vm.vma import MapFlags
 
 SIZES_MB = [1, 16, 128, 512]
@@ -18,9 +17,8 @@ SPARSE_STRIDE = MIB  # touch one byte per MiB — "sparse access to large data"
 
 
 def paging_case(size_mb: int):
-    kernel = Kernel(MachineConfig(dram_bytes=512 * MIB, nvm_bytes=2 * GIB))
-    process = kernel.spawn("pt")
-    sys = kernel.syscalls(process)
+    kernel = make_kernel(nvm_gib=2)
+    process, sys = spawn_bench(kernel, "pt")
     size = size_mb * MIB
     fd = sys.open(kernel.pmfs, "/f", create=True, size=size)
     with kernel.measure() as map_m:
@@ -33,14 +31,10 @@ def paging_case(size_mb: int):
 
 
 def range_case(size_mb: int):
-    kernel = Kernel(
-        MachineConfig(
-            dram_bytes=512 * MIB, nvm_bytes=2 * GIB, range_hardware=True
-        )
-    )
+    kernel = make_kernel(nvm_gib=2, range_hardware=True)
     rm = RangeMemory(kernel)
     inode = kernel.pmfs.create("/f", size=size_mb * MIB)
-    process = kernel.spawn("rt")
+    process, _ = spawn_bench(kernel, "rt")
     with kernel.measure() as map_m:
         mapping = rm.map_file(process, inode)
     with kernel.measure() as access_m:

@@ -12,7 +12,18 @@ Every bench:
   itself a regression gate);
 * wraps the experiment in pytest-benchmark (wall-clock of the harness).
 
-Run with ``pytest benchmarks/ --benchmark-only``.
+Run with ``pytest benchmarks/ --benchmark-only``.  Two options bound the
+wall-clock spend for every bench file — no per-file timing loops:
+
+* ``--quick`` — one round everywhere, tier-1 microbenchmarks at their
+  bounded quick batches (the CI mode);
+* ``--bench-rounds N`` — N pytest-benchmark rounds per experiment for
+  tighter wall-clock medians (simulated results are deterministic, so
+  extra rounds only help the *wall* figures).
+
+Machine construction is deduped here too: :func:`make_kernel` and
+:func:`spawn_bench` replace the per-file ``Kernel(MachineConfig(...))``
+boilerplate.
 """
 
 from __future__ import annotations
@@ -23,8 +34,62 @@ import pathlib
 import pytest
 
 from repro.analysis.tables import parse_table
+from repro.kernel import Kernel, MachineConfig
+from repro.units import GIB, MIB
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Rounds for run_once(); pytest_configure overwrites from the options.
+_ROUNDS = 1
+_QUICK = False
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro benchmarks")
+    group.addoption(
+        "--quick", action="store_true", default=False,
+        help="bounded rounds for every bench (the CI bench-job mode)",
+    )
+    group.addoption(
+        "--bench-rounds", type=int, default=None, metavar="N",
+        help="pytest-benchmark rounds per experiment (default 1; "
+             "ignored under --quick)",
+    )
+
+
+def pytest_configure(config):
+    global _ROUNDS, _QUICK
+    _QUICK = bool(config.getoption("--quick"))
+    rounds = config.getoption("--bench-rounds")
+    _ROUNDS = 1 if _QUICK else max(1, rounds or 1)
+
+
+def bench_rounds() -> int:
+    """Rounds run_once() uses (1 unless --bench-rounds raised it)."""
+    return _ROUNDS
+
+
+def quick_mode() -> bool:
+    """True under --quick: every bench stays at its bounded budget."""
+    return _QUICK
+
+
+# ----------------------------------------------------------------------
+# Shared machine construction (deduped from the per-file boilerplate)
+# ----------------------------------------------------------------------
+def make_kernel(dram_mib: int = 512, nvm_gib: int = 0, **overrides) -> Kernel:
+    """The benches' standard machine: DRAM in MiB, NVM in GiB."""
+    return Kernel(
+        MachineConfig(
+            dram_bytes=dram_mib * MIB, nvm_bytes=nvm_gib * GIB, **overrides
+        )
+    )
+
+
+def spawn_bench(kernel: Kernel, name: str = "bench"):
+    """(process, syscalls) pair for a fresh benchmark process."""
+    process = kernel.spawn(name)
+    return process, kernel.syscalls(process)
 
 
 @pytest.fixture
@@ -49,6 +114,13 @@ def record_result():
 
 
 def run_once(benchmark, fn):
-    """Benchmark ``fn`` with a single round (experiments are deterministic;
-    simulated time, not wall time, is the result of record)."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    """Benchmark ``fn`` under the harness's round budget.
+
+    The simulated result of record is deterministic, so one round
+    suffices for the figures; ``--bench-rounds N`` re-runs the
+    experiment for tighter *wall-clock* medians (``--quick`` pins one
+    round).  The first round's return value is what callers assert on.
+    """
+    return benchmark.pedantic(
+        fn, rounds=bench_rounds(), iterations=1, warmup_rounds=0
+    )

@@ -1,0 +1,53 @@
+"""Tier-1 wall-clock microbenchmarks under pytest-benchmark.
+
+One test per registered op in :data:`repro.perf.bench.TIER1_OPS` — the
+same registry ``repro-o1 bench`` runs and ``BENCH_tier1.json`` commits.
+pytest-benchmark's machinery (``--benchmark-only``,
+``--benchmark-json``, ``--benchmark-histogram``) works over exactly the
+operations the regression gate tracks; ``--quick`` bounds rounds and
+batches the same way ``repro-o1 bench --quick`` does.
+
+Each measured round executes the op's full batch (pytest-benchmark
+forbids ``iterations > 1`` alongside a per-round ``setup``), so the
+reported figures are wall time **per batch**; divide by the ``batch``
+value in ``extra_info`` to compare against the committed trajectory's
+per-op ``median_ns``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import quick_mode
+
+from repro.perf.bench import FULL_ROUNDS, QUICK_ROUNDS, TIER1_OPS
+
+
+@pytest.mark.parametrize("op", TIER1_OPS, ids=lambda op: op.name)
+def test_tier1_op(benchmark, op):
+    quick = quick_mode()
+    rounds = QUICK_ROUNDS if quick else FULL_ROUNDS
+    batch = op.batch_for(quick)
+
+    def setup():
+        # Fresh machine per round; its construction stays off the clock.
+        return (op.prepare(),), {}
+
+    def target(fn):
+        result = None
+        for _ in range(batch):
+            result = fn()
+        return result
+
+    benchmark.extra_info["note"] = op.note
+    benchmark.extra_info["batch"] = batch
+    result = benchmark.pedantic(
+        target,
+        setup=setup,
+        rounds=rounds,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    # Ops return something (a PA, a region, an inode) — pin that the
+    # measured call actually did work rather than short-circuiting.
+    assert result is not None

@@ -14,6 +14,9 @@ Installed as ``repro-o1`` (see pyproject.toml)::
     repro-o1 ras --sweep 10   # ... across workload seeds 0..9
     repro-o1 lint        # O(1) conformance: AST cost-shape check
     repro-o1 lint --fit  # ... plus the empirical complexity fitter
+    repro-o1 bench       # tier-1 wall-clock microbenchmarks
+    repro-o1 bench --quick --compare BENCH_tier1.json   # CI regression gate
+    repro-o1 profile     # wall-clock profile of the demo workload
 """
 
 from __future__ import annotations
@@ -361,6 +364,86 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.perf import (
+        MissingBaselineError,
+        build_document,
+        compare_to_baseline,
+        env_fingerprint,
+        results_table,
+        run_suite,
+    )
+
+    mode = "quick" if args.quick else "full"
+    print(f"bench: tier-1 wall-clock microbenchmarks ({mode} mode)")
+    results = run_suite(
+        names=args.op or None,
+        quick=args.quick,
+        rounds=args.rounds,
+        progress=print if args.verbose else None,
+    )
+    env = env_fingerprint()
+    print()
+    print(results_table(results))
+    print()
+    print(f"calibration: {env['calibration_ns']:,.0f} ns "
+          f"({env['python']} on {env['machine']}, {env['cpus']} cpus)")
+    if args.json is not None:
+        from repro.perf import write_document
+
+        document = build_document(results, env=env, mode=mode)
+        write_document(args.json, document)
+        print(f"wrote bench document to {args.json}")
+    if args.compare is None:
+        return 0
+    print()
+    try:
+        report = compare_to_baseline(
+            args.compare, results, env=env, mode=mode
+        )
+    except MissingBaselineError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+    print(report.render_text())
+    if not report.ok:
+        print(f"reproduce with: repro-o1 bench --compare {args.compare}")
+        return 1
+    baseline_name = Path(args.compare).name
+    print(f"no wall-clock regressions against {baseline_name}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.perf import correlation_report
+
+    kernel = _demo_kernel()
+    profiler = kernel.arm_profiler()
+    demand, o1, _app = _run_demo_workload(kernel, args.mib, trace=True)
+    total_sim = demand.elapsed_ns + o1.elapsed_ns
+    print(f"profile: demo workload ({args.mib} MiB), "
+          f"{profiler.spans} spans sampled on the wall clock")
+    print()
+    print("sim-cost vs wall-cost correlation:")
+    print(correlation_report(
+        kernel.tracer.attribution, profiler.attribution,
+        kernel.tracer.process_names,
+    ))
+    print()
+    print(f"simulated total: {fmt_ns(total_sim)}; "
+          f"wall total attributed: {fmt_ns(profiler.total_ns)}")
+    if args.folded is not None:
+        count = profiler.write_collapsed(args.folded)
+        print(f"wrote {count} collapsed stacks to {args.folded} "
+              "(feed to flamegraph.pl or speedscope)")
+    if args.pstats is not None:
+        count = profiler.write_pstats(args.pstats)
+        print(f"wrote {count} pstats entries to {args.pstats} "
+              "(load with python -m pstats)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro-o1 argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -486,6 +569,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the machine-readable lint_report.json here",
     )
     lint.set_defaults(func=_cmd_lint)
+    bench = sub.add_parser(
+        "bench",
+        help="tier-1 wall-clock microbenchmarks + regression gate",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="bounded rounds and smaller batches (the CI gate mode)",
+    )
+    bench.add_argument(
+        "--rounds", type=int, default=None, metavar="N",
+        help="override rounds per op (default: 15 full / 5 quick)",
+    )
+    bench.add_argument(
+        "--op", action="append", metavar="NAME",
+        help="run only this op (repeatable)",
+    )
+    bench.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the BENCH_tier1.json-schema document here",
+    )
+    bench.add_argument(
+        "--compare", metavar="BASELINE", default=None,
+        help="gate against a baseline document; exit 1 on regression, "
+             "2 if the baseline file is missing",
+    )
+    bench.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print per-op progress as results land",
+    )
+    bench.set_defaults(func=_cmd_bench)
+    profile = sub.add_parser(
+        "profile",
+        help="wall-clock profile of the demo workload (sim vs wall report)",
+    )
+    profile.add_argument(
+        "--mib", type=int, default=16, help="region size in MiB"
+    )
+    profile.add_argument(
+        "--folded", metavar="PATH", default=None,
+        help="write flamegraph collapsed stacks here",
+    )
+    profile.add_argument(
+        "--pstats", metavar="PATH", default=None,
+        help="write a pstats.Stats-loadable profile here",
+    )
+    profile.set_defaults(func=_cmd_profile)
     return parser
 
 

@@ -72,6 +72,11 @@ class EventCounters:
     #: way they reach the tracer (``None`` means no fault injection).
     chaos = None
 
+    #: Optional :class:`repro.perf.profiler.WallProfiler` back-reference,
+    #: set by ``Kernel.arm_profiler`` (``None`` means no wall-time
+    #: attribution).
+    profiler = None
+
     def __init__(self) -> None:
         self._counts: Counter = Counter()
 

@@ -102,6 +102,10 @@ class Kernel:
         #: Armed RAS engine (see :meth:`arm_ras`); ``None`` = perfect media.
         self.ras = None
         self.counters.ras = None
+        #: Armed wall-clock profiler (see :meth:`arm_profiler`); ``None``
+        #: = no wall-time attribution.
+        self.profiler = None
+        self.counters.profiler = None
         self.costs = costs or CostModel()
 
         cfg = self.config
@@ -459,6 +463,42 @@ class Kernel:
         """Detach the armed RAS engine (it keeps its model state)."""
         self.ras = None
         self.counters.ras = None
+
+    # ------------------------------------------------------------------
+    # Wall-clock profiling
+    # ------------------------------------------------------------------
+    def arm_profiler(self, profiler=None):
+        """Arm a :class:`~repro.perf.profiler.WallProfiler` here.
+
+        Same back-reference pattern as :meth:`arm_chaos`: the tracer
+        reaches the profiler through one attribute check inside
+        ``begin``/``end``, and those only run while tracing is enabled —
+        an unarmed machine's hot paths are untouched and its golden
+        figures bit-identical.  Arming enables the tracer (spans carry
+        the wall-clock samples); the profiler itself reads
+        ``time.perf_counter_ns`` and **never** touches the simulated
+        clock, so even an armed machine's simulated results are
+        unchanged.
+        """
+        if profiler is None:
+            from repro.perf import WallProfiler
+
+            profiler = WallProfiler()
+        self.profiler = profiler
+        self.counters.profiler = profiler
+        self.tracer.profiler = profiler
+        self.tracer.enable()
+        return profiler
+
+    def disarm_profiler(self) -> None:
+        """Detach the profiler (it keeps its attributions).
+
+        Tracing stays in whatever state it is in — disarming only stops
+        the wall-clock sampling.
+        """
+        self.profiler = None
+        self.counters.profiler = None
+        self.tracer.profiler = None
 
     # ------------------------------------------------------------------
     # Whole-machine events

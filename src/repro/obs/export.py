@@ -15,6 +15,7 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import EventKind, TraceEvent, Tracer
 
 #: Chrome trace_event phase codes for our three event kinds.
@@ -24,15 +25,53 @@ _PHASES = {
     EventKind.INSTANT: "i",
 }
 
+#: pid the histogram counter tracks render under (its own track group,
+#: so latency percentiles don't interleave with per-process span tracks).
+COUNTER_TRACK_PID = 0
+
+
+def counter_track_events(
+    metrics: MetricsRegistry,
+    end_ts_ns: int,
+    pid: int = COUNTER_TRACK_PID,
+) -> List[Dict[str, object]]:
+    """Chrome ``ph: "C"`` counter samples for the registry's histograms.
+
+    One counter track per histogram, named ``hist:<name>``, with p50/p95/
+    p99 as its three series.  Histograms are cumulative over the whole
+    trace, so each track gets two samples — one at ts 0 and one at the
+    trace's end — which Perfetto renders as a level band spanning the
+    run rather than a single invisible point.
+    """
+    records: List[Dict[str, object]] = []
+    for hist in metrics.iter_histograms():
+        if hist.count == 0:
+            continue
+        args = {"p50": hist.p50, "p95": hist.p95, "p99": hist.p99}
+        for ts_ns in (0, end_ts_ns) if end_ts_ns > 0 else (0,):
+            records.append(
+                {
+                    "name": f"hist:{hist.name}",
+                    "ph": "C",
+                    "ts": ts_ns / 1000.0,
+                    "pid": pid,
+                    "args": dict(args),
+                }
+            )
+    return records
+
 
 def chrome_trace(
     events: Iterable[TraceEvent],
     process_names: Optional[Dict[int, str]] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Dict[str, object]:
     """Build a Chrome ``trace_event`` document from trace events.
 
     Timestamps convert from simulated ns to the microseconds the format
-    expects (fractional µs are allowed and preserved by Perfetto).
+    expects (fractional µs are allowed and preserved by Perfetto).  When
+    ``metrics`` is given, its latency histograms are appended as counter
+    tracks (see :func:`counter_track_events`).
     """
     trace_events: List[Dict[str, object]] = []
     for pid, name in sorted((process_names or {}).items()):
@@ -45,6 +84,7 @@ def chrome_trace(
                 "args": {"name": name},
             }
         )
+    end_ts_ns = 0
     for event in events:
         record: Dict[str, object] = {
             "name": event.name,
@@ -59,6 +99,10 @@ def chrome_trace(
         if event.args:
             record["args"] = dict(event.args)
         trace_events.append(record)
+        if event.ts_ns > end_ts_ns:
+            end_ts_ns = event.ts_ns
+    if metrics is not None:
+        trace_events.extend(counter_track_events(metrics, end_ts_ns))
     return {"traceEvents": trace_events, "displayTimeUnit": "ns"}
 
 
@@ -66,9 +110,10 @@ def write_chrome_trace(
     path: str,
     events: Iterable[TraceEvent],
     process_names: Optional[Dict[int, str]] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> int:
     """Write a Chrome-trace JSON file; returns the event count written."""
-    document = chrome_trace(events, process_names)
+    document = chrome_trace(events, process_names, metrics)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=1)
         handle.write("\n")
@@ -76,8 +121,17 @@ def write_chrome_trace(
 
 
 def export_tracer(path: str, tracer: Tracer) -> int:
-    """Write everything a :class:`Tracer` buffered to ``path``."""
-    return write_chrome_trace(path, tracer.events(), tracer.process_names)
+    """Write everything a :class:`Tracer` buffered to ``path``.
+
+    Includes counter tracks for the machine's latency histograms when
+    the tracer is wired to a :class:`MetricsRegistry`.
+    """
+    metrics = tracer.metrics
+    if not isinstance(metrics, MetricsRegistry):
+        metrics = None
+    return write_chrome_trace(
+        path, tracer.events(), tracer.process_names, metrics
+    )
 
 
 # ----------------------------------------------------------------------

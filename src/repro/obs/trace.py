@@ -99,6 +99,12 @@ class Tracer:
         #: Registry receiving one latency sample per finished span
         #: (``observe(span_name, elapsed_ns)``); optional.
         self._metrics = metrics
+        #: Armed :class:`repro.perf.profiler.WallProfiler` mirroring the
+        #: span stack on the wall clock; ``None`` (the default) costs one
+        #: attribute check per begin/end — and begin/end themselves only
+        #: run while tracing is enabled, so unarmed hot paths are
+        #: untouched.  Set by ``Kernel.arm_profiler``.
+        self.profiler = None
         self.enabled = False
         #: Pid stamped on spans/instants that don't pass one explicitly;
         #: kernel entry points set it on context switch.
@@ -137,6 +143,11 @@ class Tracer:
         """Maximum events the ring retains."""
         return self._ring.maxlen or 0
 
+    @property
+    def metrics(self) -> Optional[object]:
+        """The registry this tracer feeds span latencies into (or None)."""
+        return self._metrics
+
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
@@ -163,6 +174,8 @@ class Tracer:
         self._append(
             TraceEvent(EventKind.SPAN_BEGIN, name, now, pid, subsystem, args)
         )
+        if self.profiler is not None:
+            self.profiler.on_begin(name, subsystem, pid)
 
     def end(self, args: Optional[Dict[str, object]] = None) -> None:
         """Close the innermost open span, attributing its self time."""
@@ -183,6 +196,8 @@ class Tracer:
                 EventKind.SPAN_END, span.name, now, span.pid, span.subsystem, args
             )
         )
+        if self.profiler is not None:
+            self.profiler.on_end()
 
     def span(
         self,

@@ -1,0 +1,246 @@
+"""Regression gate over ``BENCH_tier1.json`` trajectories.
+
+Compares a fresh bench document against a committed baseline and fails
+when any op slowed past its tolerance.  Two details make a committed
+baseline usable across machines:
+
+* **Calibration scaling** — both documents carry the wall time of the
+  same fixed pure-Python loop (:func:`repro.perf.bench.calibrate`).
+  Baseline medians are scaled by ``current_calibration /
+  baseline_calibration`` (clamped) before comparison, so a uniformly
+  slower CI runner does not read as a regression and a uniformly faster
+  one does not mask a real slowdown.
+
+* **Per-op tolerances** — the default ratio gate is
+  :data:`DEFAULT_TOLERANCE` (must stay **below 2.0**: the injected
+  2x-slowdown test fixture has to fail).  Sub-microsecond ops get
+  :data:`SMALL_OP_BONUS` extra slack because a handful of nanoseconds
+  of host jitter is a large *ratio* on a tiny op; individual ops can be
+  widened via :data:`PER_OP_TOLERANCE` with a comment saying why.
+
+Ops present in the baseline but missing from the current run fail the
+gate (a silently dropped benchmark is how trajectories rot); new ops
+are reported but pass — commit a refreshed baseline to start gating
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.perf.bench import OpResult, validate_document
+
+#: Fail an op when current > tolerance x (scaled) baseline median.
+#: Must stay < 2.0 so a genuine 2x slowdown always turns the gate red.
+DEFAULT_TOLERANCE = 1.6
+
+#: Ops with a baseline median under this get extra ratio slack.
+SMALL_OP_NS = 2_000.0
+SMALL_OP_BONUS = 0.4
+
+#: Per-op tolerance overrides (name -> ratio).  Keep each entry under
+#: 2.0 and justified.
+PER_OP_TOLERANCE: Dict[str, float] = {
+    # Fork builds a whole child page table; its wall time has the widest
+    # spread of the registry under allocator/GC jitter.
+    "kernel.fork": 1.8,
+}
+
+#: Calibration ratio clamp: outside this range the two machines are too
+#: different for linear scaling to mean much, so stop extrapolating.
+_SCALE_CLAMP = (0.2, 5.0)
+
+
+class MissingBaselineError(FileNotFoundError):
+    """``--compare`` pointed at a baseline file that does not exist."""
+
+
+@dataclass(frozen=True)
+class OpComparison:
+    """Verdict for one op present in the baseline."""
+
+    name: str
+    baseline_ns: float
+    scaled_baseline_ns: float
+    current_ns: Optional[float]
+    tolerance: float
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """current / scaled baseline (None when the op went missing)."""
+        if self.current_ns is None or self.scaled_baseline_ns <= 0:
+            return None
+        return self.current_ns / self.scaled_baseline_ns
+
+    @property
+    def ok(self) -> bool:
+        ratio = self.ratio
+        return ratio is not None and ratio <= self.tolerance
+
+    @property
+    def verdict(self) -> str:
+        if self.current_ns is None:
+            return "MISSING"
+        return "ok" if self.ok else "REGRESSED"
+
+
+@dataclass
+class CompareReport:
+    """Full gate outcome: one comparison per baseline op."""
+
+    scale: float
+    comparisons: List[OpComparison] = field(default_factory=list)
+    #: Ops in the current run with no baseline entry (pass, reported).
+    new_ops: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(comparison.ok for comparison in self.comparisons)
+
+    def problems(self) -> List[str]:
+        """Human-readable failures ([] when the gate passes)."""
+        out = []
+        for comparison in self.comparisons:
+            if comparison.ok:
+                continue
+            if comparison.current_ns is None:
+                out.append(
+                    f"{comparison.name}: in the baseline but not in this "
+                    "run (dropped benchmark?)"
+                )
+            else:
+                out.append(
+                    f"{comparison.name}: {comparison.current_ns:,.0f} ns/op "
+                    f"vs scaled baseline "
+                    f"{comparison.scaled_baseline_ns:,.0f} ns/op "
+                    f"({comparison.ratio:.2f}x > {comparison.tolerance:.2f}x "
+                    "tolerance)"
+                )
+        return out
+
+    def render_text(self) -> str:
+        """The comparison table plus a PASS/FAIL summary line."""
+        header = (
+            f"{'op':<24} {'baseline ns':>12} {'scaled':>12} "
+            f"{'current ns':>12} {'ratio':>7} {'tol':>5}  verdict"
+        )
+        lines = [
+            f"calibration scale: x{self.scale:.3f} "
+            "(baseline medians scaled by current/baseline calibration)",
+            header,
+            "-" * len(header),
+        ]
+        for comparison in sorted(
+            self.comparisons,
+            key=lambda c: -(c.ratio if c.ratio is not None else float("inf")),
+        ):
+            ratio = comparison.ratio
+            current = comparison.current_ns
+            lines.append(
+                f"{comparison.name:<24} {comparison.baseline_ns:>12,.0f} "
+                f"{comparison.scaled_baseline_ns:>12,.0f} "
+                f"{current if current is not None else 0:>12,.0f} "
+                f"{ratio if ratio is not None else 0:>7.2f} "
+                f"{comparison.tolerance:>5.2f}  {comparison.verdict}"
+            )
+        for name in sorted(self.new_ops):
+            lines.append(f"{name:<24} (new op: no baseline entry yet)")
+        failures = self.problems()
+        lines.append("")
+        if failures:
+            lines.append(f"FAIL: {len(failures)} op(s) regressed or missing")
+            lines.extend(f"  {problem}" for problem in failures)
+        else:
+            lines.append(
+                f"PASS: all {len(self.comparisons)} baselined op(s) within "
+                "tolerance"
+            )
+        return "\n".join(lines)
+
+
+def tolerance_for(
+    name: str,
+    baseline_ns: float,
+    default_tolerance: float = DEFAULT_TOLERANCE,
+    per_op: Optional[Dict[str, float]] = None,
+) -> float:
+    """The ratio gate for one op: override, plus small-op slack."""
+    overrides = PER_OP_TOLERANCE if per_op is None else per_op
+    tolerance = overrides.get(name, default_tolerance)
+    if baseline_ns < SMALL_OP_NS:
+        tolerance += SMALL_OP_BONUS
+    return tolerance
+
+
+def _calibration_of(document: Dict[str, object]) -> float:
+    env = document.get("env")
+    assert isinstance(env, dict)
+    return float(env["calibration_ns"])  # validated by the schema check
+
+
+def compare_documents(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    default_tolerance: float = DEFAULT_TOLERANCE,
+    per_op: Optional[Dict[str, float]] = None,
+) -> CompareReport:
+    """Gate ``current`` against ``baseline`` (both schema-valid docs)."""
+    for label, document in (("baseline", baseline), ("current", current)):
+        problems = validate_document(document)
+        if problems:
+            raise ValueError(
+                f"{label} document is invalid: " + "; ".join(problems)
+            )
+    scale = _calibration_of(current) / _calibration_of(baseline)
+    scale = min(max(scale, _SCALE_CLAMP[0]), _SCALE_CLAMP[1])
+    baseline_ops = baseline["ops"]
+    current_ops = current["ops"]
+    assert isinstance(baseline_ops, dict) and isinstance(current_ops, dict)
+    report = CompareReport(scale=scale)
+    for name in sorted(baseline_ops):
+        baseline_ns = float(baseline_ops[name]["median_ns"])
+        figures = current_ops.get(name)
+        current_ns = float(figures["median_ns"]) if figures else None
+        report.comparisons.append(
+            OpComparison(
+                name=name,
+                baseline_ns=baseline_ns,
+                scaled_baseline_ns=baseline_ns * scale,
+                current_ns=current_ns,
+                tolerance=tolerance_for(
+                    name, baseline_ns, default_tolerance, per_op
+                ),
+            )
+        )
+    report.new_ops = [name for name in current_ops if name not in baseline_ops]
+    return report
+
+
+def compare_to_baseline(
+    baseline_path: str,
+    results: Sequence[OpResult],
+    env: Optional[Dict[str, object]] = None,
+    mode: str = "full",
+    default_tolerance: float = DEFAULT_TOLERANCE,
+) -> CompareReport:
+    """Gate fresh ``results`` against the baseline file at ``path``.
+
+    Raises :class:`MissingBaselineError` when the file does not exist —
+    callers distinguish "no baseline yet" (generate one) from "baseline
+    says you regressed" (fix the slowdown).
+    """
+    from repro.perf.bench import build_document, load_document
+
+    path = Path(baseline_path)
+    if not path.exists():
+        raise MissingBaselineError(
+            f"baseline {path} does not exist; generate one with "
+            f"`repro-o1 bench --json {path}`"
+        )
+    baseline = load_document(str(path))
+    current = build_document(results, env=env, mode=mode)
+    return compare_documents(
+        baseline, current, default_tolerance=default_tolerance
+    )

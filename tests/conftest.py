@@ -68,6 +68,22 @@ if os.environ.get("REPRO_RAS"):
 
     Kernel.__init__ = _ras_kernel_init  # type: ignore[method-assign]
 
+if os.environ.get("REPRO_PROFILE"):
+    # Profiler-armed tier-1: every Kernel gets a WallProfiler (which also
+    # enables tracing, so spans carry wall-time samples).  The profiler
+    # never touches the simulated clock, so every simulated figure —
+    # including the goldens — must come out bit-identical to the plain
+    # run; this mode exists to prove exactly that.
+    from repro.perf import WallProfiler
+
+    _bare_kernel_init = Kernel.__init__
+
+    def _profiled_kernel_init(self, *args, **kwargs):  # type: ignore[no-untyped-def]
+        _bare_kernel_init(self, *args, **kwargs)
+        self.arm_profiler(WallProfiler())
+
+    Kernel.__init__ = _profiled_kernel_init  # type: ignore[method-assign]
+
 
 @pytest.fixture
 def clock() -> SimClock:

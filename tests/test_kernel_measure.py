@@ -42,6 +42,9 @@ class TestNestedMeasure:
 
     def test_nested_traced_measures(self):
         kernel = fresh_kernel()
+        # May already be on (e.g. REPRO_PROFILE arms every kernel with
+        # tracing enabled); measure must restore whatever it found.
+        was_enabled = kernel.tracer.enabled
         with kernel.measure(trace=True) as outer:
             touch(kernel, "a")
             with kernel.measure(trace=True) as inner:
@@ -52,17 +55,22 @@ class TestNestedMeasure:
         assert inner.elapsed_ns < outer.elapsed_ns
         # the inner context must not switch tracing off under the outer
         assert len(outer.events) > len(inner.events)
-        assert not kernel.tracer.enabled  # restored once the outer exits
+        # restored to its pre-measure state once the outer exits
+        assert kernel.tracer.enabled == was_enabled
 
     def test_traced_inside_untraced(self):
         kernel = fresh_kernel()
+        was_enabled = kernel.tracer.enabled
         with kernel.measure() as outer:
             with kernel.measure(trace=True) as inner:
                 touch(kernel)
         assert sum(inner.attribution.values()) == inner.elapsed_ns
         assert outer.elapsed_ns >= inner.elapsed_ns
-        assert outer.attribution == {}
-        assert not kernel.tracer.enabled
+        if not was_enabled:
+            # a plain measure neither enables tracing nor attributes —
+            # unless something else (REPRO_PROFILE) had tracing on.
+            assert outer.attribution == {}
+        assert kernel.tracer.enabled == was_enabled
 
 
 class TestMeasureAcrossCrash:

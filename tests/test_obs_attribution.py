@@ -7,6 +7,10 @@ construction (the root ``measure`` span covers the whole region); the
 exported JSON only rounds through microsecond floats.
 """
 
+import os
+
+import pytest
+
 from repro.kernel import Kernel, MachineConfig
 from repro.obs.export import load_chrome_trace, subsystem_self_times
 from repro.units import GIB, KIB, MIB
@@ -69,6 +73,10 @@ class TestAttributionInvariant:
         # the measure root runs as the kernel, the workload as the process
         assert 0 in pids
 
+    @pytest.mark.skipif(
+        bool(os.environ.get("REPRO_PROFILE")),
+        reason="REPRO_PROFILE arms every Kernel with tracing enabled",
+    )
     def test_untraced_measure_has_no_attribution(self):
         kernel = fresh_kernel()
         process = kernel.spawn("plain")

@@ -1,0 +1,184 @@
+"""Regression-gate comparator: tolerances, scaling, and failure modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.bench import OpResult, build_document, write_document
+from repro.perf.compare import (
+    DEFAULT_TOLERANCE,
+    PER_OP_TOLERANCE,
+    SMALL_OP_BONUS,
+    SMALL_OP_NS,
+    MissingBaselineError,
+    compare_documents,
+    compare_to_baseline,
+    tolerance_for,
+)
+
+
+def env(calibration_ns: float = 1_000_000.0):
+    return {
+        "python": "3.0.0",
+        "implementation": "CPython",
+        "platform": "test",
+        "machine": "test",
+        "cpus": 1,
+        "calibration_ns": calibration_ns,
+    }
+
+
+def results(**medians: float):
+    return [
+        OpResult(name=name, median_ns=ns, ops_per_sec=1e9 / ns,
+                 rounds=3, batch=8)
+        for name, ns in medians.items()
+    ]
+
+
+def document(calibration_ns: float = 1_000_000.0, **medians: float):
+    return build_document(results(**medians), env=env(calibration_ns))
+
+
+# ----------------------------------------------------------------------
+# Tolerance policy
+# ----------------------------------------------------------------------
+class TestTolerance:
+    def test_default_below_two(self):
+        # The whole point of the gate: a genuine 2x slowdown must fail,
+        # so every tolerance (default and overrides) stays under 2.0.
+        assert DEFAULT_TOLERANCE < 2.0
+        for name, tolerance in PER_OP_TOLERANCE.items():
+            assert tolerance < 2.0, name
+
+    def test_small_ops_get_bonus(self):
+        big = tolerance_for("x", SMALL_OP_NS * 10)
+        small = tolerance_for("x", SMALL_OP_NS / 2)
+        assert big == DEFAULT_TOLERANCE
+        assert small == pytest.approx(DEFAULT_TOLERANCE + SMALL_OP_BONUS)
+
+    def test_per_op_override_wins(self):
+        assert tolerance_for(
+            "x", 10_000.0, per_op={"x": 1.9}
+        ) == pytest.approx(1.9)
+
+
+# ----------------------------------------------------------------------
+# compare_documents verdicts
+# ----------------------------------------------------------------------
+class TestCompare:
+    def test_identical_documents_pass(self):
+        base = document(**{"a.op": 10_000.0, "b.op": 20_000.0})
+        report = compare_documents(base, base)
+        assert report.ok
+        assert report.scale == pytest.approx(1.0)
+        assert {c.name for c in report.comparisons} == {"a.op", "b.op"}
+        assert "PASS" in report.render_text()
+
+    def test_two_x_slowdown_fails(self):
+        base = document(**{"a.op": 10_000.0})
+        slow = document(**{"a.op": 20_000.0})
+        report = compare_documents(base, slow)
+        assert not report.ok
+        [comparison] = report.comparisons
+        assert comparison.ratio == pytest.approx(2.0)
+        assert comparison.verdict == "REGRESSED"
+        assert "REGRESSED" in report.render_text()
+        assert report.problems()
+
+    def test_missing_op_fails(self):
+        base = document(**{"a.op": 10_000.0, "b.op": 10_000.0})
+        current = document(**{"a.op": 10_000.0})
+        report = compare_documents(base, current)
+        assert not report.ok
+        missing = [c for c in report.comparisons if c.name == "b.op"]
+        assert missing[0].verdict == "MISSING"
+        assert any("dropped" in problem for problem in report.problems())
+
+    def test_new_op_passes_but_is_reported(self):
+        base = document(**{"a.op": 10_000.0})
+        current = document(**{"a.op": 10_000.0, "fresh.op": 5_000.0})
+        report = compare_documents(base, current)
+        assert report.ok
+        assert report.new_ops == ["fresh.op"]
+        assert "fresh.op" in report.render_text()
+
+    def test_speedups_always_pass(self):
+        base = document(**{"a.op": 10_000.0})
+        fast = document(**{"a.op": 1_000.0})
+        assert compare_documents(base, fast).ok
+
+    def test_invalid_document_raises(self):
+        base = document(**{"a.op": 10_000.0})
+        broken = dict(base)
+        broken.pop("ops")
+        with pytest.raises(ValueError, match="invalid"):
+            compare_documents(base, broken)
+        with pytest.raises(ValueError, match="invalid"):
+            compare_documents(broken, base)
+
+
+# ----------------------------------------------------------------------
+# Calibration scaling
+# ----------------------------------------------------------------------
+class TestCalibrationScaling:
+    def test_slower_machine_is_forgiven(self):
+        # Current machine's calibration loop takes 2x the baseline's: a
+        # uniform 2x wall slowdown is environmental, not a regression.
+        base = document(calibration_ns=1_000_000.0, **{"a.op": 10_000.0})
+        current = document(calibration_ns=2_000_000.0, **{"a.op": 20_000.0})
+        report = compare_documents(base, current)
+        assert report.scale == pytest.approx(2.0)
+        assert report.ok
+
+    def test_faster_machine_does_not_mask_regression(self):
+        # Machine got 2x faster but the op stayed flat: that is a real
+        # 2x algorithmic regression and must fail.
+        base = document(calibration_ns=2_000_000.0, **{"a.op": 10_000.0})
+        current = document(calibration_ns=1_000_000.0, **{"a.op": 10_000.0})
+        report = compare_documents(base, current)
+        assert report.scale == pytest.approx(0.5)
+        assert not report.ok
+
+    def test_scale_is_clamped(self):
+        base = document(calibration_ns=1.0, **{"a.op": 10_000.0})
+        current = document(calibration_ns=1e9, **{"a.op": 10_000.0})
+        assert compare_documents(base, current).scale == 5.0
+        assert compare_documents(current, base).scale == 0.2
+
+
+# ----------------------------------------------------------------------
+# compare_to_baseline (file-level entry the CLI uses)
+# ----------------------------------------------------------------------
+class TestBaselineFile:
+    def test_missing_baseline_raises_distinct_error(self, tmp_path):
+        with pytest.raises(MissingBaselineError, match="does not exist"):
+            compare_to_baseline(
+                str(tmp_path / "nope.json"),
+                results(**{"a.op": 10.0}),
+                env=env(),
+            )
+
+    def test_round_trip_through_file_passes(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_document(str(path), document(**{"a.op": 10_000.0}))
+        report = compare_to_baseline(
+            str(path), results(**{"a.op": 10_000.0}), env=env()
+        )
+        assert report.ok
+
+    def test_injected_slowdown_fails_through_file(self, tmp_path):
+        # The issue's acceptance fixture: gate a 2x-slower "current" run
+        # against a committed baseline file and demand a red verdict.
+        path = tmp_path / "baseline.json"
+        write_document(
+            str(path),
+            document(**{"a.op": 10_000.0, "b.op": 4_000.0}),
+        )
+        report = compare_to_baseline(
+            str(path),
+            results(**{"a.op": 20_000.0, "b.op": 8_000.0}),
+            env=env(),
+        )
+        assert not report.ok
+        assert len(report.problems()) == 2
