@@ -18,10 +18,14 @@ FOOTPRINTS_MB = [1, 4, 16, 64]
 
 
 def make_kernel():
+    # This experiment measures the paper's motivating baseline: the
+    # eager per-resident-PTE fork, pinned now that COW subtree sharing
+    # is the kernel default.
     return Kernel(
         MachineConfig(
             dram_bytes=512 * MIB, nvm_bytes=2 * GIB,
             pmfs_extent_align_frames=512,
+            fork_policy="eager",
         )
     )
 

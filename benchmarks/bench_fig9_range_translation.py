@@ -17,7 +17,9 @@ SPARSE_STRIDE = MIB  # touch one byte per MiB — "sparse access to large data"
 
 
 def paging_case(size_mb: int):
-    kernel = make_kernel(nvm_gib=2)
+    # The figure's baseline is the per-PTE teardown; pin it now that the
+    # extent munmap policy is the kernel default.
+    kernel = make_kernel(nvm_gib=2, munmap_policy="page")
     process, sys = spawn_bench(kernel, "pt")
     size = size_mb * MIB
     fd = sys.open(kernel.pmfs, "/f", create=True, size=size)

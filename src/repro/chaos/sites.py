@@ -54,6 +54,9 @@ SITE_ACTIONS: Dict[str, FrozenSet[str]] = {
     "cpu.shootdown": frozenset({"error"}),
     # Pre-created page-table subtree build
     "premap.attach": frozenset({"error"}),
+    # COW break of a fork-shared page-table window (after the window is
+    # privatized, before leaf downgrades / write-protect clearing)
+    "vm.cow_break": frozenset(),
     # RAS: patrol scrubbing, frame retirement, badblock persistence,
     # live-extent migration (crash-at-any-point covers the journaled
     # retirement/migration protocol)

@@ -80,6 +80,18 @@ def fig2_workload(seed: int = 0) -> Tuple[Kernel, Callable[[], None]]:
         )
         sys_calls.munmap(va, 8 * PAGE_SIZE)
 
+        # -- COW fork: the parent's first post-fork store breaks the
+        #    shared page-table window (vm.cow_break crash point); the
+        #    child's exit and the extent unmap then drop whole subtrees.
+        cow_va = sys_calls.mmap(
+            6 * PAGE_SIZE, flags=MapFlags.PRIVATE | MapFlags.POPULATE
+        )
+        kernel.access(process, cow_va, write=True)
+        cow_child = sys_calls.fork()
+        kernel.access(process, cow_va + PAGE_SIZE, write=True)
+        cow_child.exit()
+        sys_calls.munmap(cow_va, 6 * PAGE_SIZE)
+
         # -- FOM regions: a persistent premapped heap and volatile
         #    extent scratch (premap.attach + recovery inputs).
         fom = FileOnlyMemory(kernel)

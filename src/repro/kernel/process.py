@@ -74,6 +74,9 @@ class Process:
             self._fds.pop(fd).close()
         for vma in self.space.vmas:
             self.space.munmap(vma.start, vma.length)
+        # Return the page-table node frames themselves (one batched free),
+        # so both fork policies leave an identical frame census behind.
+        self.space.page_table.release()
 
     def __repr__(self) -> str:
         return f"Process(pid={self.pid}, name={self.name!r}, alive={self.alive})"

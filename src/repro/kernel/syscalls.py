@@ -183,7 +183,12 @@ class Syscalls:
         finally:
             self._exit()
 
-    @complexity("n", note="per resident PTE; see Kernel.fork")
+    @o1(
+        note=(
+            "COW policy: per-VMA subtree shares, O(windows) not O(pages); "
+            "the eager policy keeps the paper's linear baseline selectable"
+        )
+    )
     def fork(self):
         """Clone the calling process (COW); returns the child Process."""
         self._enter("fork")
@@ -192,7 +197,13 @@ class Syscalls:
         finally:
             self._exit()
 
-    @complexity("n", note="PTE teardown is per page; ROADMAP open item")
+    @o1(
+        note=(
+            "extent policy: one subtree unlink per 2 MiB window plus one "
+            "batched TLB range invalidation; the page policy keeps the "
+            "per-PTE baseline selectable"
+        )
+    )
     def munmap(self, addr: int, length: int) -> None:
         """Unmap a range."""
         self._enter("munmap")

@@ -29,6 +29,7 @@ from repro.kernel.kernel import Kernel, MachineConfig
 from repro.lint.decorators import ComplexityClass
 from repro.lint.fit import DEFAULT_CONSTANT_SPAN, FitResult, fit_series
 from repro.units import MIB, PAGE_SIZE
+from repro.vm.vma import MapFlags
 
 #: Geometrically spaced operand sizes (pages, components, or sharers).
 LIGHT_SIZES = (8, 16, 32, 64, 128, 256)
@@ -268,6 +269,24 @@ def _run_vfs_lookup(n: int) -> int:
     return _measure(kernel, lambda: kernel.pmfs.lookup(path + "/leaf"))
 
 
+def _run_fork_cow(n: int) -> int:
+    kernel = _machine()
+    parent = kernel.spawn("f")
+    sys = kernel.syscalls(parent)
+    # POPULATE makes n pages resident without warming the TLB, so the
+    # fork-time range invalidation drops a fixed (zero) entry count and
+    # the measurement isolates the per-window share cost.
+    sys.mmap(n * PAGE_SIZE, flags=MapFlags.PRIVATE | MapFlags.POPULATE)
+    return _measure(kernel, lambda: sys.fork())
+
+
+def _run_munmap_extent(n: int) -> int:
+    kernel = _machine()
+    sys = kernel.syscalls(kernel.spawn("u"))
+    va = sys.mmap(n * PAGE_SIZE, flags=MapFlags.PRIVATE | MapFlags.POPULATE)
+    return _measure(kernel, lambda: sys.munmap(va, n * PAGE_SIZE))
+
+
 def _run_zero_eager(n: int) -> int:
     from repro.core.o1.zeroing import EagerZeroing
 
@@ -344,6 +363,19 @@ OPERATIONS: List[Operation] = [
         note="per-process map cost independent of sharers (n = processes "
              "already mapping the file)",
         max_size=256,
+    ),
+    Operation(
+        "kernel.fork_cow", _C, _run_fork_cow,
+        note="COW fork: one pointer write + one WP bit per 2 MiB window; "
+             "single window here (n = resident pages)",
+        max_size=WINDOW_PAGES,
+    ),
+    Operation(
+        "syscalls.munmap", _C, _run_munmap_extent,
+        note="extent policy: one subtree unlink per 2 MiB window plus one "
+             "batched TLB range invalidation; single window here "
+             "(n = resident pages)",
+        max_size=WINDOW_PAGES,
     ),
     Operation(
         "vfs.lookup", _N, _run_vfs_lookup,

@@ -113,6 +113,7 @@ CANONICAL_COUNTERS: FrozenSet[str] = frozenset(
         "fault_minor",
         "fault_trap",
         "cow_copy",
+        "cow_break",
         # vm layer
         "anon_page_alloc",
         "mmap_call",
@@ -124,6 +125,7 @@ CANONICAL_COUNTERS: FrozenSet[str] = frozenset(
         "vma_remove",
         # page tables
         "pt_node_alloc",
+        "pt_node_clone",
         "pte_write",
         # physical allocators
         "buddy_alloc",
@@ -173,6 +175,7 @@ CANONICAL_COUNTERS: FrozenSet[str] = frozenset(
         "swap_out",
         # kernel events
         "fork_call",
+        "fork_cow",
         "machine_crash",
         # sanitizer suite (repro.sanitize)
         "sanitize_violation",

@@ -25,7 +25,7 @@ costs are charged by :mod:`repro.paging.walker`, not here.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import AlignmentError, ConfigurationError, MappingError
@@ -78,13 +78,19 @@ class PageTableNode:
 
     _synthetic_addrs = itertools.count(_SYNTHETIC_NODE_BASE, PAGE_SIZE)
 
-    __slots__ = ("entries", "depth", "paddr", "refs")
+    __slots__ = ("entries", "depth", "paddr", "refs", "wp_slots")
 
     def __init__(self, depth: int, paddr: Optional[int] = None) -> None:
         self.entries: Dict[int, Union["PageTableNode", Pte]] = {}
         self.depth = depth
         self.paddr = paddr if paddr is not None else next(self._synthetic_addrs)
         self.refs = 1
+        #: Slot indexes whose subtree is write-protected: hardware treats
+        #: every translation below such a slot as read-only regardless of
+        #: the leaf's own W bit.  This is how COW fork shares a whole
+        #: window with one permission-bit write instead of downgrading
+        #: each leaf.
+        self.wp_slots: set = set()
 
     def entry_paddr(self, index: int) -> int:
         """Physical address of slot ``index`` (8 bytes per entry)."""
@@ -108,6 +114,10 @@ class PageTable:
         Optional callable returning a PFN for each new node, so node
         frames come from the simulated buddy allocator.  Without it,
         synthetic high addresses are used.
+    frame_sink:
+        Optional callable taking a list of PFNs; :meth:`release` hands
+        it every node frame this table owned, in one batch, so process
+        exit returns page-table memory to the allocator at extent cost.
     """
 
     def __init__(
@@ -117,6 +127,7 @@ class PageTable:
         costs: Optional[CostModel] = None,
         counters: Optional[EventCounters] = None,
         frame_source: Optional[Callable[[], int]] = None,
+        frame_sink: Optional[Callable[[List[int]], None]] = None,
     ) -> None:
         if levels not in (4, 5):
             raise ConfigurationError(f"levels must be 4 or 5, got {levels}")
@@ -125,6 +136,7 @@ class PageTable:
         self._costs = costs
         self._counters = counters
         self._frame_source = frame_source
+        self._frame_sink = frame_sink
         self._node_count = 0
         self._root = self._new_node(depth=0)
 
@@ -245,8 +257,43 @@ class PageTable:
                     f"vaddr {vaddr:#x}: a {child.page_size}-byte huge page "
                     f"already maps this region"
                 )
+            elif child.refs > 1:
+                # Copy-on-write for the page table itself: a mutation
+                # descending into a node shared with another table first
+                # unshares it, so the other sharer never sees the change.
+                child = self._unshare_child(node, index, child)
             node = child
         return node
+
+    def _unshare_child(
+        self, parent: PageTableNode, index: int, child: PageTableNode
+    ) -> PageTableNode:
+        """Replace ``parent``'s shared ``child`` with a private clone."""
+        clone = self._clone_node(child)
+        parent.entries[index] = clone
+        child.refs -= 1
+        self._charge_pte_write()
+        return clone
+
+    def _clone_node(self, node: PageTableNode) -> PageTableNode:
+        """A private copy of one node (fixed 4 KiB of entries).
+
+        Child subtrees become shared (refs bumped); leaf PTEs are
+        re-registered with the sanitizers because the clone adds one more
+        translation of each mapped frame.
+        """
+        clone = self._new_node(depth=node.depth)
+        clone.entries = dict(node.entries)
+        clone.wp_slots = set(node.wp_slots)
+        san = getattr(self._counters, "sanitize", None)
+        for entry in clone.entries.values():
+            if isinstance(entry, PageTableNode):
+                entry.refs += 1
+            elif san is not None:
+                san.on_pte_map(entry)
+        if self._counters is not None:
+            self._counters.bump("pt_node_clone")
+        return clone
 
     @o1(note="one leaf clear after a fixed-depth descent")
     def unmap(self, vaddr: int, page_size: int = PAGE_SIZE) -> Pte:
@@ -259,9 +306,12 @@ class PageTable:
         node = self._root
         # o1: allow(o1-size-loop) -- descent depth is fixed by the geometry
         for depth in range(leaf_depth):
-            child = node.entries.get(self.index_at(vaddr, depth))
+            index = self.index_at(vaddr, depth)
+            child = node.entries.get(index)
             if not isinstance(child, PageTableNode):
                 raise MappingError(f"vaddr {vaddr:#x} is not mapped")
+            if child.refs > 1:
+                child = self._unshare_child(node, index, child)
             node = child
         index = self.index_at(vaddr, leaf_depth)
         entry = node.entries.get(index)
@@ -285,16 +335,41 @@ class PageTable:
     # Lookup (uncharged; the walker prices hardware walks)
     # ------------------------------------------------------------------
     def lookup(self, vaddr: int) -> Optional[Pte]:
-        """Leaf PTE covering ``vaddr``, or None.  Pure data-structure op."""
+        """Leaf PTE covering ``vaddr``, or None.  Pure data-structure op.
+
+        Reflects the *effective* permission hardware would compute: a
+        write-protected slot anywhere on the path downgrades the leaf to
+        read-only, exactly like x86's U/S and R/W bits combining across
+        levels.
+        """
         node = self._root
+        write_protected = False
         for depth in range(self._levels):
-            entry = node.entries.get(self.index_at(vaddr, depth))
+            index = self.index_at(vaddr, depth)
+            entry = node.entries.get(index)
             if entry is None:
                 return None
+            if index in node.wp_slots:
+                write_protected = True
             if isinstance(entry, Pte):
+                if write_protected and entry.writable:
+                    return replace(entry, writable=False)
                 return entry
             node = entry
         return None
+
+    def path_write_protected(self, vaddr: int) -> bool:
+        """True when a write-protected slot covers ``vaddr``'s path."""
+        node = self._root
+        for depth in range(self._levels):
+            index = self.index_at(vaddr, depth)
+            if index in node.wp_slots:
+                return True
+            entry = node.entries.get(index)
+            if not isinstance(entry, PageTableNode):
+                return False
+            node = entry
+        return False
 
     def path_nodes(self, vaddr: int) -> List[PageTableNode]:
         """Nodes visited translating ``vaddr`` (for the walker), root first.
@@ -327,7 +402,9 @@ class PageTable:
         return node
 
     @o1(note="single pointer write — the paper's O(1) mapping primitive")
-    def link_subtree(self, vaddr: int, subtree: PageTableNode) -> None:
+    def link_subtree(
+        self, vaddr: int, subtree: PageTableNode, write_protect: bool = False
+    ) -> None:
         """Graft ``subtree`` so it translates the region at ``vaddr``.
 
         One pointer write: this is the paper's O(1) mapping operation.
@@ -351,6 +428,8 @@ class PageTable:
         if index in parent.entries:
             raise MappingError(f"slot for {vaddr:#x} already populated")
         parent.entries[index] = subtree
+        if write_protect:
+            parent.wp_slots.add(index)
         subtree.refs += 1
         self._charge_pte_write()
 
@@ -365,6 +444,7 @@ class PageTable:
         if not isinstance(entry, PageTableNode):
             raise MappingError(f"no linked subtree at {vaddr:#x} depth {depth}")
         del parent.entries[index]
+        parent.wp_slots.discard(index)
         entry.refs -= 1
         self._charge_pte_write()
         if entry.refs <= 0:
@@ -372,6 +452,63 @@ class PageTable:
             if san is not None:
                 san.on_subtree_dead(entry)
         return entry
+
+    # ------------------------------------------------------------------
+    # Bottom-level windows — the COW-fork granularity
+    # ------------------------------------------------------------------
+    @property
+    def bottom_depth(self) -> int:
+        """Depth of the lowest interior node (one 2 MiB window each)."""
+        return self._levels - 1
+
+    def iter_bottom_subtrees(
+        self,
+    ) -> Iterator[Tuple[int, Union[PageTableNode, Pte]]]:
+        """(window_va, entry) for every bottom-level node or huge leaf.
+
+        Bottom-level nodes each translate one 2 MiB window; a huge-page
+        leaf installed above the bottom level is yielded as the ``Pte``
+        itself (callers copy those directly — they cannot be shared by
+        node reference).
+        """
+        yield from self._iter_windows(self._root, 0, 0)
+
+    def _iter_windows(
+        self, node: PageTableNode, depth: int, base: int
+    ) -> Iterator[Tuple[int, Union[PageTableNode, Pte]]]:
+        span = self.span_at(depth)
+        for index in sorted(node.entries):
+            entry = node.entries[index]
+            vaddr = base + index * span
+            if isinstance(entry, Pte) or entry.depth == self.bottom_depth:
+                yield vaddr, entry
+            else:
+                yield from self._iter_windows(entry, depth + 1, vaddr)
+
+    @o1(note="one permission-bit write on the window's parent slot")
+    def window_write_protect(self, vaddr: int, protect: bool = True) -> None:
+        """Set/clear the WP bit on the slot covering ``vaddr``'s window."""
+        depth = self.bottom_depth
+        parent = self.subtree_at(vaddr, depth - 1) if depth > 1 else self._root
+        if parent is None:
+            raise MappingError(f"no window parent at {vaddr:#x}")
+        index = self.index_at(vaddr, depth - 1)
+        if protect:
+            parent.wp_slots.add(index)
+        else:
+            parent.wp_slots.discard(index)
+        self._charge_pte_write()
+
+    @o1(note="clones at most one fixed-size node per level of the descent")
+    def privatize_window(self, vaddr: int) -> PageTableNode:
+        """Ensure the bottom-level node under ``vaddr`` is exclusively
+        owned by this table, cloning shared nodes along the descent.
+
+        This is the page-table half of a COW break: after it, leaf
+        rewrites in the window no longer reach the other sharer.
+        """
+        node = self._descend_creating(vaddr, self.bottom_depth)
+        return node
 
     # ------------------------------------------------------------------
     # Teardown / iteration
@@ -385,7 +522,9 @@ class PageTable:
         removed = self._clear_node(self._root)
         return removed
 
-    def _clear_node(self, node: PageTableNode) -> int:
+    def _clear_node(
+        self, node: PageTableNode, dead_pfns: Optional[List[int]] = None
+    ) -> int:
         san = getattr(self._counters, "sanitize", None)
         removed = 0
         for index, entry in list(node.entries.items()):
@@ -396,8 +535,46 @@ class PageTable:
             else:
                 entry.refs -= 1
                 if entry.refs <= 0:
-                    removed += self._clear_node(entry)
+                    removed += self._clear_node(entry, dead_pfns)
+                    if (
+                        dead_pfns is not None
+                        and entry.paddr < _SYNTHETIC_NODE_BASE
+                    ):
+                        dead_pfns.append(entry.paddr // PAGE_SIZE)
             del node.entries[index]
+        node.wp_slots.clear()
+        return removed
+
+    @staticmethod
+    def node_frame_pfn(node: PageTableNode) -> Optional[int]:
+        """PFN of the node's backing frame, or None for synthetic nodes."""
+        if node.paddr >= _SYNTHETIC_NODE_BASE:
+            return None
+        return node.paddr // PAGE_SIZE
+
+    def sink_node_frames(self, pfns: List[int]) -> None:
+        """Hand dead node frames back to the allocator in one batch."""
+        if pfns and self._frame_sink is not None:
+            self._frame_sink(pfns)
+
+    def release(self) -> int:
+        """Tear down the tree and free every owned node frame in one batch.
+
+        Returns the number of leaf PTEs removed.  Shared subtrees whose
+        refcount stays positive are detached, not freed; synthetic-paddr
+        nodes (donor trees built outside the allocator) are never handed
+        to the sink.  The data frames the leaves pointed at are the
+        caller's business — this releases only page-table *node* memory.
+        """
+        dead_pfns: List[int] = []
+        removed = self._clear_node(self._root, dead_pfns)
+        self._root.refs -= 1
+        if self._root.refs <= 0 and self._root.paddr < _SYNTHETIC_NODE_BASE:
+            dead_pfns.append(self._root.paddr // PAGE_SIZE)
+        if dead_pfns and self._frame_sink is not None:
+            self._frame_sink(dead_pfns)
+        self._node_count = 0
+        self._root = PageTableNode(depth=0)  # defensive: table stays valid
         return removed
 
     def iter_leaves(self) -> Iterator[Tuple[int, Pte]]:

@@ -83,8 +83,11 @@ class PageWalker:
         nodes = table.path_nodes(vaddr)
         host_levels = self._nested_levels or table.levels
         pte: Optional[Pte] = None
+        write_protected = False
         for node in nodes:
             index = table.index_at(vaddr, node.depth)
+            if index in node.wp_slots:
+                write_protected = True
             if self._virtualized:
                 # The guest-physical address of this node must itself be
                 # translated: one reference per host level against the
@@ -119,6 +122,6 @@ class PageWalker:
             vpn=vaddr // pte.page_size,
             pfn=pte.pfn,
             page_size=pte.page_size,
-            writable=pte.writable,
+            writable=pte.writable and not write_protected,
             asid=asid,
         )

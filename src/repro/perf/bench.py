@@ -150,9 +150,17 @@ def _prep_mmap_anon() -> Callable[[], object]:
 
 def _prep_munmap(round_budget: int) -> Callable[[], object]:
     kernel = _machine()
-    sys_calls = kernel.syscalls(kernel.spawn("b"))
-    length = 16 * PAGE_SIZE
-    regions = [sys_calls.mmap(length) for _ in range(round_budget)]
+    process = kernel.spawn("b")
+    sys_calls = kernel.syscalls(process)
+    # One full bottom-level page-table window per region, partially
+    # resident: the extent policy drops the whole subtree in one unlink
+    # where the page policy probes all 512 slots.
+    length = 512 * PAGE_SIZE
+    regions = []
+    for _ in range(round_budget):
+        va = sys_calls.mmap(length)
+        kernel.access_range(process, va, 8 * PAGE_SIZE, write=True)
+        regions.append(va)
     regions.reverse()
 
     def step() -> object:
@@ -325,9 +333,11 @@ TIER1_OPS: List[BenchOp] = [
     BenchOp("syscall.mmap_anon", _prep_mmap_anon, 256,
             "16-page anonymous VMA insert, no populate"),
     BenchOp("syscall.munmap", lambda: _prep_munmap(128), 128,
-            "teardown of a pre-mapped 16-page anonymous VMA"),
+            "teardown of a 2 MiB anonymous window with 8 resident pages "
+            "(extent subtree drop)"),
     BenchOp("kernel.fork", _prep_fork, 16,
-            "fork of a parent with 8 resident private pages (COW setup)"),
+            "fork of a parent with 8 resident private pages "
+            "(COW subtree share)"),
     BenchOp("pmfs.read", _prep_pmfs_read, 256,
             "4 KiB positioned read from a DAX PMFS file"),
     BenchOp("pmfs.write", _prep_pmfs_write, 256,

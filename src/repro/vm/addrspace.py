@@ -21,6 +21,7 @@ all.
 from __future__ import annotations
 
 import bisect
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import MappingError, OutOfMemoryError, ProtectionError
@@ -31,7 +32,7 @@ from repro.hw.tlb import TlbEntry
 from repro.mem.frame_meta import FrameTable, PageFlags
 from repro.paging.fault import FaultType
 from repro.paging.hugepages import choose_page_runs
-from repro.paging.pagetable import PageTable
+from repro.paging.pagetable import PageTable, Pte
 from repro.paging.walker import PageWalker
 from repro.units import CACHE_LINE, PAGE_SIZE, align_up
 from repro.vm.vma import MapFlags, MemoryBacking, Protection, Vma
@@ -68,6 +69,9 @@ class AddressSpace:
         self.range_provider: Optional[Callable[[int], Optional[RangeEntry]]] = None
         #: Optional CPU back-reference for TLB maintenance on unmap.
         self.cpu = None
+        #: "page" (per-PTE teardown, the baseline) or "extent" (whole
+        #: PTE-subtree drops); the kernel sets this from its config.
+        self.munmap_policy = "page"
         #: Optional LRU registry for the reclaim baseline.
         self.lru = None
         self.fault_stats: Dict[FaultType, int] = {kind: 0 for kind in FaultType}
@@ -314,6 +318,50 @@ class AddressSpace:
 
     def _unmap_vma_range(self, vma: Vma, start: int, end: int) -> int:
         """Tear down PTEs and backing for ``[start, end)`` of ``vma``."""
+        extent = self.munmap_policy == "extent"
+        if extent:
+            pages = self._teardown_extent(vma, start, end)
+        else:
+            pages = self._teardown_pages(vma, start, end)
+        first_page = vma.backing_page(start)
+        npages = (end - start) // PAGE_SIZE
+        release_extent = getattr(vma.backing, "release_extent", None)
+        if extent and release_extent is not None:
+            release_extent(first_page, npages)
+        else:
+            vma.backing.release(first_page, npages)
+        # COW copies for the range were order-0 frames the VMA owns;
+        # return them to their allocator so they do not leak.
+        allocator = getattr(vma.backing, "_allocator", None)
+        doomed = [
+            vma.private_copies.pop(page_index)
+            for page_index in list(vma.private_copies)
+            if first_page <= page_index < first_page + npages
+        ]
+        if doomed and allocator is not None:
+            free_many = getattr(allocator, "free_many", None)
+            if extent and free_many is not None:
+                free_many(doomed)
+            else:
+                for pfn in doomed:
+                    allocator.free(pfn)
+        # Adjust or remove the VMA itself.
+        if start == vma.start and end == vma.end:
+            self._remove_vma(vma)
+            detach = getattr(vma.backing, "detach_user", None)
+            if detach is not None:
+                detach()
+        elif start == vma.start:
+            index = self._vmas.index(vma)
+            vma.start = end
+            vma.backing_offset = first_page + npages
+            self._starts[index] = end
+        else:  # suffix
+            vma.end = start
+        return pages
+
+    def _teardown_pages(self, vma: Vma, start: int, end: int) -> int:
+        """Per-PTE teardown — the baseline's linear loop."""
         tracks_meta = getattr(vma.backing, "tracks_frame_meta", True)
         pages = 0
         va = start
@@ -335,35 +383,87 @@ class AddressSpace:
                 pages += pte.page_size // PAGE_SIZE
             else:
                 va += PAGE_SIZE
-        first_page = vma.backing_page(start)
-        npages = (end - start) // PAGE_SIZE
-        vma.backing.release(first_page, npages)
-        # COW copies for the range were order-0 frames the VMA owns;
-        # return them to their allocator so they do not leak.
-        allocator = getattr(vma.backing, "_allocator", None)
-        for page_index in list(vma.private_copies):
-            if first_page <= page_index < first_page + npages:
-                pfn = vma.private_copies.pop(page_index)
-                if allocator is not None:
-                    allocator.free(pfn)
-        # Adjust or remove the VMA itself.
-        if start == vma.start and end == vma.end:
-            self._remove_vma(vma)
-        elif start == vma.start:
-            index = self._vmas.index(vma)
-            vma.start = end
-            vma.backing_offset = first_page + npages
-            self._starts[index] = end
-        else:  # suffix
-            vma.end = start
         return pages
+
+    def _teardown_extent(self, vma: Vma, start: int, end: int) -> int:
+        """Extent-granularity teardown: drop whole bottom-level subtrees.
+
+        A 2 MiB window is droppable with one pointer clear when the cut
+        covers everything this VMA maps inside it and no other VMA lives
+        in the window.  Windows failing the test (VMA boundaries packed
+        together by the bump allocator) fall back to the per-PTE loop,
+        bounded by the fixed window span — so a whole-VMA unmap costs
+        O(windows dropped), not O(pages resident).  Per-4KiB struct-page
+        bookkeeping is skipped on dropped windows: that churn is exactly
+        the linear cost the paper's extent design eliminates.
+        """
+        bottom = self._pt.bottom_depth
+        window_span = self._pt.span_at(bottom - 1)
+        dead_nodes: List[int] = []
+        pages = 0
+        window_va = start - start % window_span
+        while window_va < end:
+            window_end = window_va + window_span
+            if not self._window_droppable(vma, window_va, window_end, start, end):
+                pages += self._teardown_pages(
+                    vma, max(start, window_va), min(end, window_end)
+                )
+                window_va = window_end
+                continue
+            leaf = self._pt.lookup(window_va)
+            if leaf is not None and leaf.page_size >= window_span:
+                # A huge leaf covers the window (and possibly more): one
+                # unmap at its base; later windows it spans see None.
+                base = window_va - window_va % leaf.page_size
+                if base == window_va:
+                    self._pt.unmap(base, page_size=leaf.page_size)
+                    pages += leaf.page_size // PAGE_SIZE
+            else:
+                entry = self._pt.subtree_at(window_va, bottom)
+                if entry is not None:
+                    pages += sum(
+                        e.page_size // PAGE_SIZE
+                        for e in entry.entries.values()
+                        if isinstance(e, Pte)
+                    )
+                    node = self._pt.unlink_subtree(window_va, bottom)
+                    if node.refs <= 0:
+                        pfn = self._pt.node_frame_pfn(node)
+                        if pfn is not None:
+                            dead_nodes.append(pfn)
+            window_va = window_end
+        self._pt.sink_node_frames(dead_nodes)
+        return pages
+
+    def _window_droppable(
+        self, vma: Vma, window_va: int, window_end: int, start: int, end: int
+    ) -> bool:
+        """True when the whole window's subtree may be unlinked at once."""
+        # Everything this VMA maps in the window must be inside the cut.
+        if max(window_va, vma.start) < start or min(window_end, vma.end) > end:
+            return False
+        # No other VMA may have translations in the window.
+        index = bisect.bisect_right(self._starts, window_va) - 1
+        if index >= 0:
+            prev = self._vmas[index]
+            if prev is not vma and prev.end > window_va:
+                return False
+        for probe in self._vmas[index + 1 :]:
+            if probe.start >= window_end:
+                break
+            if probe is not vma:
+                return False
+        return True
 
     def adopt_vma(self, vma: Vma) -> Vma:
         """Insert an externally built VMA (the fork duplication path).
 
         Charges the VMA insertion like any mapping, but skips the mmap
-        syscall constants — fork duplicates in-kernel.
+        syscall constants — fork duplicates in-kernel.  Advances the
+        mmap cursor past the adopted range so later mmaps in the child
+        don't collide with inherited mappings.
         """
+        self._mmap_cursor = max(self._mmap_cursor, vma.end)
         return self._insert_vma(vma)
 
     def detach_vma(self, vma: Vma) -> None:
@@ -427,6 +527,10 @@ class AddressSpace:
         if not write and not vma.prot & Protection.READ:
             raise ProtectionError(f"read from PROT_NONE mapping at {vaddr:#x}")
         page_va = vaddr - vaddr % PAGE_SIZE
+        if write and self._pt.path_write_protected(page_va):
+            # First store into a fork-shared page-table window: break the
+            # share once, for the whole window, charged to this access.
+            self._cow_break_window(page_va)
         existing = self._pt.lookup(page_va)
         if existing is not None and write and not existing.writable:
             self._cow_fault(vma, page_va)
@@ -434,6 +538,38 @@ class AddressSpace:
         if existing is not None:
             return  # spurious — translation already valid
         self._minor_fault(vma, page_va, write)
+
+    def _cow_break_window(self, page_va: int) -> None:
+        """Privatize the fork-shared window containing ``page_va``.
+
+        The COW fork installed one write-protected pointer per 2 MiB
+        window instead of per-PTE copies.  The first write into such a
+        window (a) clones the shared bottom-level node so this space owns
+        its slice, (b) downgrades the raw writable bit on every leaf a
+        COW VMA covers (so the per-page COW machinery sees them exactly
+        as the eager fork would have left them), and (c) clears the slot
+        write-protect.  All three steps are bounded by the fixed window
+        span — O(1) in mapping size.  The leaf downgrades are free on the
+        clock: the privatizing node copy already wrote the whole node.
+        """
+        window_span = self._pt.span_at(self._pt.bottom_depth - 1)
+        window_va = page_va - page_va % window_span
+        node = self._pt.privatize_window(page_va)
+        chaos = getattr(self._counters, "chaos", None)
+        if chaos is not None:
+            # Torn point: node privatized (refcounts consistent) but the
+            # write-protect bit and leaf downgrades are still pending.
+            chaos.hit("vm.cow_break")
+        if node is not None:
+            for index, entry in list(node.entries.items()):
+                if not isinstance(entry, Pte) or not entry.writable:
+                    continue
+                leaf_va = window_va + index * PAGE_SIZE
+                leaf_vma = self.find_vma(leaf_va)
+                if leaf_vma is not None and leaf_vma.needs_cow():
+                    node.entries[index] = replace(entry, writable=False)
+        self._pt.window_write_protect(window_va, protect=False)
+        self._counters.bump("cow_break")
 
     def _minor_fault(self, vma: Vma, page_va: int, write: bool) -> None:
         self._clock.advance(self._costs.fault_accounting_ns)

@@ -145,18 +145,59 @@ class AnonBacking:
             yield page_index, self.frame_for(page_index, write=True), 1
 
     def release(self, page_index: int, npages: int) -> None:
+        """Free the range's frames — unless another space still shares them.
+
+        A shared backing defers *all* frees to :meth:`detach_user`: a
+        partial unmap in one address space must not pull frames out from
+        under the other (the fork-sharing bug the differential harness
+        guards against).
+        """
         if self._users > 1:
-            # Another address space still maps these frames; the last
-            # release frees them.
-            self._users -= 1
             return
         for index in range(page_index, page_index + npages):
             pfn = self._frames.pop(index, None)
             if pfn is not None:
                 self._allocator.free(pfn)
-            slot = self._swapped.pop(index, None)
-            if slot is not None and self._swap is not None:
-                self._swap.free_slot(slot)
+            self._free_swap_slot(index)
+
+    def release_extent(self, page_index: int, npages: int) -> None:
+        """Extent-granularity :meth:`release`: one batched frame free.
+
+        Walks the resident/swapped population rather than the page
+        range: a sparsely touched extent costs its residency, not its
+        span.
+        """
+        if self._users > 1:
+            return
+        end = page_index + npages
+        doomed = [i for i in self._frames if page_index <= i < end]
+        pfns = [self._frames.pop(i) for i in doomed]
+        for index in [i for i in self._swapped if page_index <= i < end]:
+            self._free_swap_slot(index)
+        if pfns:
+            self._allocator.free_many(pfns)
+
+    def detach_user(self) -> None:
+        """One address space dropped its whole mapping of this backing.
+
+        When the last user detaches, any frames still resident (pages the
+        departing spaces never individually released) are freed in one
+        batch.
+        """
+        self._users -= 1
+        if self._users > 0:
+            return
+        if self._frames:
+            leftovers = list(self._frames.values())
+            self._frames.clear()
+            self._allocator.free_many(leftovers)
+        for index in list(self._swapped):
+            self._free_swap_slot(index)
+
+    def _free_swap_slot(self, page_index: int) -> None:
+        slot = self._swapped.pop(page_index, None)
+        if slot is not None and self._swap is not None:
+            self._swap.free_slot(slot)
 
     @property
     def resident_pages(self) -> int:

@@ -105,4 +105,6 @@ class TestEmpiricalGate:
             "pbm",
             "vfs",
             "zeroing",
+            "kernel",
+            "syscalls",
         } <= prefixes

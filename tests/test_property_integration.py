@@ -70,9 +70,14 @@ class TestAddressSpaceProperties:
                 sys.munmap(va, pages * PAGE_SIZE)
         for va, pages in live:
             sys.munmap(va, pages * PAGE_SIZE)
-        # All data frames returned; only page-table node frames remain out.
+        # All data frames returned; page-table node frames may stay out
+        # (still linked in the live tree) or come back early (extent
+        # unmaps free exclusively-owned window subtrees), never leak
+        # beyond the node count nor over-free past the baseline.
         assert (
-            kernel.dram_buddy.free_frames == baseline_free - node_frames
+            baseline_free - node_frames
+            <= kernel.dram_buddy.free_frames
+            <= baseline_free
         )
 
     @given(st.data())

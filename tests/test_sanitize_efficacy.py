@@ -18,6 +18,7 @@ import pytest
 
 from repro.sanitize import DETECTORS, SanitizerError, SanitizerSuite
 from repro.units import KIB, PAGE_SIZE
+from repro.vm.vma import MapFlags
 
 
 def _only_violation(suite):
@@ -47,6 +48,31 @@ class TestTransSanMutant:
         assert violation.detector == "trans"
         assert violation.kind == "stale-tlb-entry"
 
+    def test_cow_break_bypassed_by_stale_tlb_entry(self, kernel, monkeypatch):
+        # The COW fork replaces per-PTE downgrades with one write-protect
+        # bit per shared window; the fork-time shootdown is what forces
+        # the parent's next store through the fault path where
+        # _cow_break_window runs.  Mutant: drop the shootdown — the stale
+        # writable TLB entry lets the store bypass the window
+        # write-protect, silently scribbling on frames the child shares.
+        suite = kernel.arm_sanitizers()
+        parent = kernel.spawn("parent")
+        sys = kernel.syscalls(parent)
+        va = sys.mmap(16 * KIB)
+        kernel.access(parent, va, write=True)  # TLB caches writable entry
+        monkeypatch.setattr(
+            kernel.cpu, "invalidate_space_range", lambda *a, **kw: None
+        )
+        sys.fork()
+        with pytest.raises(SanitizerError, match="stale-tlb-entry"):
+            kernel.access(parent, va, write=True)
+        violation = _only_violation(suite)
+        assert violation.detector == "trans"
+        assert violation.kind == "stale-tlb-entry"
+        # The store never faulted: the share was still intact when the
+        # sanitizer caught the bypass at the TLB hit itself.
+        assert kernel.counters.get("cow_break") == 0
+
     def test_correct_shootdown_is_clean(self, kernel):
         suite = kernel.arm_sanitizers()
         parent = kernel.spawn("parent")
@@ -68,6 +94,27 @@ class TestFrameSanMutant:
         violation = _only_violation(suite)
         assert violation.detector == "frame"
         assert violation.kind == "double-free"
+
+    def test_forgotten_fork_user_trips_use_after_free(self, kernel):
+        # A fork-shared anonymous backing defers frame frees until its
+        # last user detaches.  Mutant: the share "forgets" the child user
+        # (the donor-refcount bug class), so the parent's unmap frees
+        # frames the child's subtree-shared page table still translates.
+        # FrameSan alone must catch the child's next access — arm only
+        # the frame detector so TransSan cannot mask it at free time.
+        suite = kernel.arm_sanitizers(SanitizerSuite(detectors=("frame",)))
+        parent = kernel.spawn("parent")
+        sys = kernel.syscalls(parent)
+        va = sys.mmap(16 * KIB, flags=MapFlags.PRIVATE | MapFlags.POPULATE)
+        child = sys.fork()
+        vma = parent.space.find_vma(va)
+        vma.backing._users = 1  # mutant: drop the child's reference
+        sys.munmap(va, 16 * KIB)
+        with pytest.raises(SanitizerError, match="use-after-free"):
+            kernel.access(child, va)
+        violation = _only_violation(suite)
+        assert violation.detector == "frame"
+        assert violation.kind == "use-after-free"
 
     def test_single_free_is_clean(self, kernel):
         suite = kernel.arm_sanitizers()
