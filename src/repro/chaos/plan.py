@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.chaos.sites import ACTIONS, SITE_ACTIONS, actions_for, is_site
 from repro.errors import SimulatedCrashError
+from repro.lint.decorators import o1
 
 
 @dataclass(frozen=True)
@@ -166,6 +167,7 @@ class FaultPlan:
     # ------------------------------------------------------------------
     # Hot-path API
     # ------------------------------------------------------------------
+    @o1(note="per-visit fault check; spec list is a test-config constant")
     def hit(self, site: str) -> Optional[str]:
         """Record a visit to ``site`` and maybe inject a fault.
 
@@ -209,7 +211,9 @@ class FaultPlan:
     # ------------------------------------------------------------------
     # Decision
     # ------------------------------------------------------------------
+    @o1(note="scan of the registered fault specs, a test-config constant")
     def _decide(self, site: str, index: int, site_count: int) -> Optional[str]:
+        # o1: allow(o1-size-loop) -- specs is the configured fault list, not operand-sized
         for spec_index, spec in enumerate(self.specs):
             if spec_index in self._fired_specs:
                 continue

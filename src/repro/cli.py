@@ -14,6 +14,8 @@ Installed as ``repro-o1`` (see pyproject.toml)::
     repro-o1 ras --sweep 10   # ... across workload seeds 0..9
     repro-o1 lint        # O(1) conformance: AST cost-shape check
     repro-o1 lint --fit  # ... plus the empirical complexity fitter
+    repro-o1 lint --interproc   # ... plus call-graph cost summaries
+    repro-o1 lint --interproc --dot callgraph.dot   # ... and the graph
     repro-o1 bench       # tier-1 wall-clock microbenchmarks
     repro-o1 bench --quick --compare BENCH_tier1.json   # CI regression gate
     repro-o1 profile     # wall-clock profile of the demo workload
@@ -341,8 +343,33 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 2
     result = lint_tree(root)
     baseline_path = Path(args.baseline) if args.baseline else DEFAULT_BASELINE
-    baseline = load_baseline(baseline_path) if baseline_path.exists() else {}
+    baseline = load_baseline(baseline_path) if baseline_path.exists() else []
     outcome = apply_baseline(result.violations, baseline)
+
+    flow = None
+    flow_outcome = None
+    if args.interproc:
+        from repro.lint.flow import (
+            ALLOWABLE_RULES,
+            DEFAULT_FLOW_BASELINE,
+            run_flow,
+        )
+
+        flow = run_flow(root, intra_used=result.used_allows)
+        flow_baseline_path = (
+            Path(args.flow_baseline)
+            if args.flow_baseline
+            else DEFAULT_FLOW_BASELINE
+        )
+        flow_baseline = load_baseline(
+            flow_baseline_path, known_rules=ALLOWABLE_RULES
+        )
+        flow_outcome = apply_baseline(flow.findings, flow_baseline)
+        if args.dot is not None:
+            dot_path = Path(args.dot)
+            dot_path.parent.mkdir(parents=True, exist_ok=True)
+            dot_path.write_text(flow.graph.to_dot(), encoding="utf-8")
+            print(f"wrote call graph to {args.dot}")
 
     fits = None
     sizes = None
@@ -352,13 +379,24 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         sizes = HEAVY_SIZES if args.sizes == "heavy" else LIGHT_SIZES
         fits = fit_all(sizes, names=args.op or None)
 
-    print(render_text(result, outcome, fits))
+    print(render_text(result, outcome, fits, flow=flow, flow_outcome=flow_outcome))
     if args.json is not None:
-        report = build_report(result, outcome, fits, sizes=sizes)
+        report = build_report(
+            result, outcome, fits, sizes=sizes,
+            flow=flow, flow_outcome=flow_outcome,
+        )
         write_json(Path(args.json), report)
         print(f"wrote machine-readable report to {args.json}")
 
     failed = bool(outcome.new) or bool(outcome.stale)
+    if flow_outcome is not None:
+        assert flow is not None
+        failed = (
+            failed
+            or bool(flow_outcome.new)
+            or bool(flow_outcome.stale)
+            or bool(flow.stale_suppressions)
+        )
     if fits is not None:
         failed = failed or any(not f.ok for f in fits)
     return 1 if failed else 0
@@ -567,6 +605,22 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--json", metavar="PATH", default=None,
         help="write the machine-readable lint_report.json here",
+    )
+    lint.add_argument(
+        "--interproc", action="store_true",
+        help="also run the interprocedural pass: call-graph cost "
+             "summaries, declaration coverage from hot-path entries, "
+             "must-call protocols, stale-suppression detection",
+    )
+    lint.add_argument(
+        "--flow-baseline", default=None,
+        help="baseline file for --interproc findings "
+             "(default: the checked-in repro/lint/flow_baseline.json)",
+    )
+    lint.add_argument(
+        "--dot", metavar="PATH", default=None,
+        help="with --interproc, write the call graph in Graphviz DOT "
+             "format here",
     )
     lint.set_defaults(func=_cmd_lint)
     bench = sub.add_parser(

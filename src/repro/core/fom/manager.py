@@ -153,9 +153,11 @@ class FileOnlyMemory:
         strategy = strategy or self.default_strategy
         path = name or f"/.fom/anon{next(self._anon_ids)}"
         extent_bytes = self.policy.extent_bytes_for(size)
+        # o1: allow(flow-bounded) -- path depth, not region size
         inode = self._create_aligned(path, extent_bytes)
         inode.persistent = persistent
         inode.discardable = discardable
+        # o1: allow(flow-bounded) -- constant-shape map; PREMAP first touch builds the donor once
         region = self._map_inode(
             process, path, inode, extent_bytes, prot, strategy,
             persistent=persistent, discardable=discardable,
@@ -178,6 +180,7 @@ class FileOnlyMemory:
         length = inode.page_count * PAGE_SIZE
         if length == 0:
             raise MappingError(f"{path!r} has no allocated storage to map")
+        # o1: allow(flow-bounded) -- constant-shape map; PREMAP first touch builds the donor once
         region = self._map_inode(
             process, path, inode, length, prot, strategy,
             persistent=inode.persistent, discardable=inode.discardable,
@@ -185,15 +188,18 @@ class FileOnlyMemory:
         self._kernel.counters.bump("fom_open")
         return region
 
+    @complexity("n", note="one lookup per path component, not per region byte")
     def _ensure_parent_dirs(self, path: str) -> None:
         """Create missing parent directories for ``path``."""
         parts = [part for part in path.split("/") if part][:-1]
         prefix = ""
         for part in parts:
             prefix += "/" + part
+            # o1: allow(flow-bounded) -- one walk per component, within the declared n
             if not self._fs.exists(prefix):
-                self._fs.mkdir(prefix)
+                self._fs.mkdir(prefix)  # o1: allow(flow-bounded) -- ditto: per component
 
+    @complexity("n", note="path walk plus one extent-granular create")
     def _create_aligned(self, path: str, extent_bytes: int) -> Inode:
         """Create the file with policy-chosen physical alignment."""
         self._ensure_parent_dirs(path)
@@ -314,6 +320,7 @@ class FileOnlyMemory:
             )
         grown_bytes = self.policy.extent_bytes_for(new_size)
         old_pages = region.inode.page_count
+        # o1: allow(flow-bounded) -- the extent policy adds whole extents, not pages
         self._fs.truncate(region.inode, grown_bytes)
         added = grown_bytes - old_pages * PAGE_SIZE
         space = region.process.space
@@ -374,14 +381,17 @@ class FileOnlyMemory:
         elif region.attachment is not None:
             self.ptcache.detach(region.attachment)
         else:
+            # o1: allow(flow-bounded) -- extent-granular teardown; the per-page walk is the baseline under comparison
             region.process.space.munmap(region.vaddr, region.length)
         region.inode.refcount -= 1
         if unlink is None:
             unlink = not region.persistent
+        # o1: allow(flow-bounded) -- path depth, not region size
         if unlink and self._fs.exists(region.path):
             # Cached premapped subtrees hold donor translations into the
             # file's blocks; drop them before the unlink frees the blocks
             # so no translation outlives the storage.
+            # o1: allow(flow-bounded) -- a handful of cached donor variants per file
             self.ptcache.invalidate(region.inode.ino)
             self._fs.unlink(region.path)
         regions = self._regions_by_pid.get(region.process.pid, [])

@@ -156,6 +156,7 @@ class PageTableCache:
         independent of how many *pages* the file holds.
         """
         writable = bool(prot & Protection.WRITE)
+        # o1: allow(flow-bounded) -- first-touch donor build; cached reattach is O(1)
         premapped = self.premap(inode, writable=writable)
         span = premapped.window_span
         if vaddr is None:
@@ -213,6 +214,7 @@ class PageTableCache:
         premapped.persistent = True
         self._counters.bump("premap_persist")
 
+    @complexity("n", note="one dropped donor per cached variant of the file")
     def invalidate(self, ino: int) -> int:
         """Drop cached subtrees for ``ino`` (the file is being deleted).
 
@@ -222,7 +224,8 @@ class PageTableCache:
         valid until those attachments detach.  Returns entries dropped.
         """
         dropped = 0
-        for key in [key for key in self._cache if key[0] == ino]:
+        doomed = [key for key in self._cache if key[0] == ino]
+        for key in doomed:
             premapped = self._cache.pop(key)
             premapped.donor.clear()
             dropped += 1

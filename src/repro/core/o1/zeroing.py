@@ -31,6 +31,7 @@ from repro.mem.zeropool import ZeroPool
 from repro.units import PAGE_SIZE
 
 
+@complexity("log n", note="one buddy alloc; the retry cap is a small constant")
 def _alloc_with_retry(
     buddy: BuddyAllocator,
     order: int,
@@ -44,6 +45,7 @@ def _alloc_with_retry(
     fault) is retried a bounded number of times before propagating.
     """
     last_error: Optional[Exception] = None
+    # o1: allow(o1-size-loop, o1-charge-in-loop) -- attempts is a constant retry budget
     for attempt in range(attempts):
         if attempt and counters is not None:
             counters.bump("zero_alloc_retry")
@@ -96,6 +98,7 @@ class EagerZeroing(ZeroingStrategy):
         if chaos is not None:
             chaos.hit("zeroing.take")
         pfns = [
+            # o1: allow(flow-bounded) -- order-0 allocs hit the exact free list; the log tail is the split chain
             _alloc_with_retry(self._buddy, 0, self._counters)
             for _ in range(count)
         ]
@@ -181,6 +184,7 @@ class CryptoErase(ZeroingStrategy):
         if chaos is not None:
             chaos.hit("zeroing.take")
         pfns = [
+            # o1: allow(flow-bounded) -- order-0 allocs hit the exact free list; the log tail is the split chain
             _alloc_with_retry(self._buddy, 0, self._counters)
             for _ in range(count)
         ]

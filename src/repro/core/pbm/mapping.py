@@ -147,6 +147,7 @@ class PbmManager:
             san = getattr(self._kernel.counters, "sanitize", None)
             if san is not None:
                 san.on_pbm_claim(inode.ino, pfn, run)
+            # o1: allow(flow-bounded) -- the extents partition the declared n windows
             windows = self._subtrees.windows_for_extent(vaddr, pfn, run, writable)
             if windows is not None:
                 # o1: allow(o1-nested-size-loop) -- per 2 MiB window

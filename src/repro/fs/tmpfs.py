@@ -18,6 +18,7 @@ from typing import Dict, Iterator, Tuple
 from repro.errors import FileSystemError
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel, MemoryTechnology
+from repro.lint import complexity, o1
 from repro.mem.buddy import BuddyAllocator
 from repro.fs.vfs import FileSystem, Inode
 from repro.units import PAGE_SIZE
@@ -72,6 +73,7 @@ class Tmpfs(FileSystem):
     def _cache_of(self, inode: Inode) -> Dict[int, int]:
         return self._pages.setdefault(inode.ino, {})
 
+    @o1(note="one radix probe; the cold alloc is the miss path")
     def _page_in(self, inode: Inode, page_index: int) -> int:
         """Find-or-allocate one page-cache page (charged per page)."""
         self._clock.advance(self._costs.pagecache_op_ns)
@@ -79,6 +81,7 @@ class Tmpfs(FileSystem):
         cache = self._cache_of(inode)
         pfn = cache.get(page_index)
         if pfn is None:
+            # o1: allow(flow-bounded) -- cold page-in; order-0 allocs hit the exact free list
             pfn = self._buddy.alloc(0)
             self._clock.advance(self._costs.zero_page_ns(PAGE_SIZE))
             cache[page_index] = pfn
@@ -88,6 +91,7 @@ class Tmpfs(FileSystem):
     # ------------------------------------------------------------------
     # FileSystem storage interface
     # ------------------------------------------------------------------
+    @complexity("n", note="one page-cache insert per block — the per-page baseline")
     def allocate_blocks(self, inode: Inode, nblocks: int) -> None:
         cache = self._cache_of(inode)
         start = inode.page_count
@@ -95,12 +99,15 @@ class Tmpfs(FileSystem):
             if page_index not in cache:
                 self._page_in(inode, page_index)
 
+    @complexity("n", note="one free per dropped page-cache page")
     def shrink_blocks(self, inode: Inode, keep_blocks: int) -> None:
         cache = self._cache_of(inode)
-        for page_index in [p for p in cache if p >= keep_blocks]:
+        doomed = [p for p in cache if p >= keep_blocks]
+        for page_index in doomed:
             self._buddy.free(cache.pop(page_index))
             self._counters.bump("pagecache_free")
 
+    @complexity("n", note="one free per cached page — per-page reclamation")
     def free_blocks(self, inode: Inode) -> None:
         cache = self._pages.pop(inode.ino, {})
         for pfn in cache.values():
@@ -108,6 +115,7 @@ class Tmpfs(FileSystem):
             self._counters.bump("pagecache_free")
         inode.payload.clear()
 
+    @o1(note="one page-cache probe per block")
     def charge_block_lookup(self, inode: Inode, page_index: int) -> int:
         return self._page_in(inode, page_index)
 

@@ -108,6 +108,7 @@ class FileSystem(abc.ABC):
     # Path operations
     # ------------------------------------------------------------------
     @staticmethod
+    @complexity("n", note="one part per path component")
     def _split(path: str) -> List[str]:
         if not path.startswith("/"):
             raise FileSystemError(f"paths must be absolute, got {path!r}")
@@ -138,6 +139,7 @@ class FileSystem(abc.ABC):
             raise FileNotFoundError_(f"{self.name}: {path!r} does not exist")
         return child
 
+    @complexity("n", note="one path lookup")
     def exists(self, path: str) -> bool:
         """True if ``path`` resolves."""
         try:
@@ -146,6 +148,7 @@ class FileSystem(abc.ABC):
         except FileNotFoundError_:
             return False
 
+    @complexity("n", note="one walk per missing ancestor, within the path length")
     def makedirs(self, path: str) -> Inode:
         """Create a directory and any missing ancestors (mkdir -p)."""
         parts = self._split(path)
@@ -155,12 +158,14 @@ class FileSystem(abc.ABC):
             prefix += "/" + part
             child = node.children.get(part)
             if child is None:
+                # o1: allow(flow-bounded) -- the ancestors partition the declared n components
                 child = self.mkdir(prefix)
             elif child.kind is not InodeKind.DIR:
                 raise FileSystemError(f"{self.name}: {prefix!r} is not a directory")
             node = child
         return node
 
+    @complexity("n", note="one path walk")
     def mkdir(self, path: str) -> Inode:
         """Create one directory."""
         parent, name = self._walk_to_parent(path)
@@ -205,6 +210,7 @@ class FileSystem(abc.ABC):
             self.free_blocks(inode)
             self._counters.bump("inode_unlink")
 
+    @complexity("n", note="block allocation/release for the size delta")
     def truncate(self, inode: Inode, size: int) -> None:
         """Grow (or shrink) a file's allocated storage to ``size`` bytes."""
         if size < 0:
@@ -217,6 +223,7 @@ class FileSystem(abc.ABC):
             self.shrink_blocks(inode, new_pages)
         inode.size = size
 
+    @complexity("n", note="one path lookup (plus create's walk on miss)")
     def open(self, path: str, create: bool = False, size: int = 0) -> "FileHandle":
         """Open (optionally creating) a file."""
         try:
@@ -234,11 +241,13 @@ class FileSystem(abc.ABC):
         inode.refcount += 1
         return FileHandle(inode, self._clock, self._costs, self._counters)
 
+    @complexity("n", note="one visit per directory entry")
     def iter_files(self) -> Iterator[Tuple[str, Inode]]:
         """All (path, inode) file pairs, depth-first."""
         stack: List[Tuple[str, Inode]] = [("", self.root)]
         while stack:
             prefix, node = stack.pop()
+            # o1: allow(o1-size-loop, o1-charge-in-loop, o1-nested-size-loop) -- each entry is visited once; entries are the declared n
             for name, child in sorted(node.children.items()):
                 path = f"{prefix}/{name}"
                 if child.kind is InodeKind.DIR:
@@ -269,10 +278,13 @@ class FileSystem(abc.ABC):
     def backing_for(self, inode: Inode) -> MemoryBacking:
         """A mmap backing for ``inode``."""
 
+    @complexity("n", note="volatile reset: every file's storage freed once")
     def crash(self) -> None:
         """Power failure: volatile file systems lose everything."""
         if not self.persistent:
-            for _, inode in list(self.iter_files()):
+            files = list(self.iter_files())
+            for _, inode in files:
+                # o1: allow(flow-bounded) -- the files partition the declared n blocks
                 self.free_blocks(inode)
             self.root = Inode(self, InodeKind.DIR, mode=0o755)
 
@@ -336,12 +348,14 @@ class FileHandle:
         self._check_open()
         self.pos = pos
 
+    @complexity("n", note="one positioned pread")
     def read(self, length: int) -> bytes:
         """Read up to ``length`` bytes from the current offset."""
         data = self.pread(self.pos, length)
         self.pos += len(data)
         return data
 
+    @complexity("n", note="one positioned pwrite")
     def write(self, data: bytes) -> int:
         """Write ``data`` at the current offset."""
         written = self.pwrite(self.pos, data)
@@ -393,6 +407,7 @@ class FileHandle:
         self._store(offset, data)
         return len(data)
 
+    @complexity("n", note="one payload splice per page written")
     def _store(self, offset: int, data: bytes) -> None:
         """Splice ``data`` into the per-page payload at ``offset``."""
         position = offset
@@ -408,6 +423,7 @@ class FileHandle:
             position += chunk
             index += chunk
 
+    @complexity("n", note="one block lookup and one copy per page touched")
     def _charge_copy(self, offset: int, length: int, write: bool) -> None:
         """Kernel-copy cost: per-page lookup + per-line copy + media access."""
         if length <= 0:

@@ -25,6 +25,7 @@ from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel
 from repro.hw.rtlb import RangeEntry, RangeTlb
 from repro.hw.tlb import Tlb, TlbEntry
+from repro.lint.decorators import complexity, o1
 from repro.units import CACHE_LINE
 
 
@@ -100,6 +101,7 @@ class Cpu:
     # ------------------------------------------------------------------
     # Access path
     # ------------------------------------------------------------------
+    @o1(note="TLB hit or one fault round-trip; the retry cap is a constant")
     def access(self, space: TranslationContext, vaddr: int, write: bool = False) -> int:
         """Perform one 1-line memory access at ``vaddr``.
 
@@ -114,6 +116,7 @@ class Cpu:
         if traced:
             tracer.begin("access", "cpu")
         try:
+            # o1: allow(o1-size-loop, o1-charge-in-loop) -- fault retries capped at _MAX_FAULT_RETRIES
             for _ in range(self._MAX_FAULT_RETRIES):
                 paddr = self._translate(space, vaddr, write)
                 if paddr is not None:
@@ -147,6 +150,7 @@ class Cpu:
             if traced:
                 tracer.end()
 
+    @complexity("n", note="one access per stride step across the range")
     def access_range(
         self,
         space: TranslationContext,
@@ -164,6 +168,7 @@ class Cpu:
             raise ValueError(f"size must be non-negative, got {size}")
         if stride <= 0:
             raise ValueError(f"stride must be positive, got {stride}")
+        # o1: allow(o1-size-loop) -- the stride walk is the declared n
         for offset in range(0, size, stride):
             self.access(space, vaddr + offset, write=write)
 
@@ -223,10 +228,12 @@ class Cpu:
     # ------------------------------------------------------------------
     # TLB maintenance entry points used by the OS
     # ------------------------------------------------------------------
+    @o1(note="one IPI broadcast; the retry cap is a constant")
     def _broadcast_shootdown(self, attempts: int = 4) -> None:
         if self.remote_cpus <= 0:
             return
         chaos = getattr(self._counters, "chaos", None)
+        # o1: allow(o1-size-loop, o1-charge-in-loop) -- broadcast retries capped at `attempts`
         for _attempt in range(attempts):
             if chaos is not None and chaos.hit("cpu.shootdown") == "error":
                 # Interrupted broadcast: part of the IPI fan-out went out
@@ -255,6 +262,7 @@ class Cpu:
             self._clock.advance(self._costs.tlb_invalidate_ns * dropped)
         self._broadcast_shootdown()
 
+    @o1(note="one range drop plus one broadcast, however large the range")
     def invalidate_space_range(self, vaddr: int, length: int, asid: int = 0) -> None:
         """Drop all translations overlapping a virtual range.
 

@@ -208,9 +208,11 @@ class Tlb:
                     dropped += 1
         return dropped
 
+    @o1(note="clears a fixed-geometry hardware array")
     def flush_all(self) -> int:
         """Drop everything (CR3 write without PCID); returns count dropped."""
         dropped = self.resident_count()
+        # o1: allow(o1-size-loop) -- the TLB arrays have fixed hardware geometry
         for sets in self._arrays.values():
             sets.clear()
         self._trace_invalidate("tlb_flush_all", dropped)
@@ -229,11 +231,13 @@ class Tlb:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @o1(note="counts a fixed-geometry hardware array")
     def resident_count(self, page_size: Optional[int] = None) -> int:
         """Number of valid entries (optionally for one page size)."""
         sizes: Iterable[int] = (
             [page_size] if page_size is not None else self._arrays.keys()
         )
+        # o1: allow(o1-size-loop) -- the TLB arrays have fixed hardware geometry
         return sum(
             len(entry_set)
             for size in sizes

@@ -223,6 +223,7 @@ class Kernel:
     # ------------------------------------------------------------------
     # Processes
     # ------------------------------------------------------------------
+    @o1(note="empty address space; table frames come from a deferred source")
     def spawn(self, name: str, track_lru: bool = False) -> Process:
         """Create a process with an empty address space."""
         asid = next(self._asids)
@@ -231,6 +232,7 @@ class Kernel:
             clock=self.clock,
             costs=self.costs,
             counters=self.counters,
+            # o1: allow(flow-bounded) -- deferred frame source; charged to the faulting access
             frame_source=lambda: self.dram_buddy.alloc(0),
             frame_sink=self.dram_buddy.free_many,
         )
@@ -275,7 +277,9 @@ class Kernel:
         if not parent.alive:
             raise ConfigurationError(f"cannot fork dead pid {parent.pid}")
         if self.config.fork_policy == "eager":
+            # o1: allow(flow-bounded) -- eager mode is the measured baseline; COW is the O(1) claim
             return self._fork_eager(parent)
+        # o1: allow(flow-bounded) -- per VMA and per 2 MiB window, 512x coarser than pages
         return self._fork_cow(parent)
 
     def _fork_begin(self, parent: Process):
@@ -287,6 +291,7 @@ class Kernel:
             tracer.begin("fork", "kernel", pid=parent.pid)
         return child, tracer, traced
 
+    @complexity("n", note="one dup per open descriptor")
     def _fork_finish(self, parent: Process, child: Process, tracer, traced) -> None:
         # Duplicate the descriptor table (shared offsets are not modeled).
         for _fd, handle in parent.fds():
@@ -296,6 +301,7 @@ class Kernel:
         if traced:
             tracer.end(args={"child_pid": child.pid})
 
+    @complexity("n", note="one duplicate frame per pre-fork private copy (rare)")
     def _fork_clone_vma(self, child: Process, vma) -> tuple:
         """Shared per-VMA fork work; returns (child_vma, cow)."""
         from repro.vm.vma import Protection, Vma
@@ -320,20 +326,24 @@ class Kernel:
         # Eagerly duplicate the parent's existing private copies for
         # the child (rare; keeps sharing bookkeeping simple).
         for page_index, _src_pfn in vma.private_copies.items():
+            # o1: allow(flow-bounded) -- order-0 allocs hit the exact free list
             copy_pfn = self.dram_buddy.alloc(0)
             self.clock.advance(self.costs.copy_line_ns * 128)
             child_vma.private_copies[page_index] = copy_pfn
         return child_vma, cow
 
+    @complexity("n", note="the per-resident-PTE baseline the paper fixes")
     def _fork_eager(self, parent: Process) -> Process:
         """Per-resident-PTE fork: the baseline the paper fixes."""
         child, tracer, traced = self._fork_begin(parent)
         for vma in parent.space.vmas:
+            # o1: allow(flow-bounded) -- the VMAs partition the declared n pages
             child_vma, cow = self._fork_clone_vma(child, vma)
             # Copy resident translations, downgrading COW pages.
-            for page_va, pte in list(
-                self._leaves_in_range(parent.space, vma.start, vma.end)
-            ):
+            # o1: allow(flow-bounded) -- the VMAs partition the declared n leaves
+            leaves = list(self._leaves_in_range(parent.space, vma.start, vma.end))
+            # o1: allow(o1-nested-size-loop) -- the VMAs partition the declared n leaves
+            for page_va, pte in leaves:
                 self.clock.advance(self.costs.fork_page_copy_ns)
                 page_index = vma.backing_page(page_va)
                 child_pfn = child_vma.private_copies.get(page_index, pte.pfn)
@@ -353,6 +363,7 @@ class Kernel:
         self._fork_finish(parent, child, tracer, traced)
         return child
 
+    @complexity("n", note="per VMA and per resident 2 MiB window, not per page")
     def _fork_cow(self, parent: Process) -> Process:
         """Subtree-sharing fork: O(#vmas + #resident 2 MiB windows).
 
@@ -373,6 +384,7 @@ class Kernel:
         child_pt = child.space.page_table
         window_span = parent_pt.span_at(parent_pt.bottom_depth - 1)
         for vma in parent.space.vmas:
+            # o1: allow(flow-bounded) -- the VMAs partition the declared n windows
             child_vma, cow = self._fork_clone_vma(child, vma)
             child_vmas[id(vma)] = child_vma
             if cow:
@@ -382,10 +394,12 @@ class Kernel:
             # duplicates, or the parent freeing its copy would leave the
             # child translating a dead frame.  Those windows take the
             # eager per-leaf path below (rare; see _fork_clone_vma).
+            # o1: allow(o1-nested-size-loop) -- pre-fork private copies are rare
             for page_index in vma.private_copies:
                 pc_va = vma.start + (page_index - vma.backing_offset) * PAGE_SIZE
                 pc_windows.add(pc_va - pc_va % window_span)
-        for window_va, entry in list(parent_pt.iter_bottom_subtrees()):
+        windows = list(parent_pt.iter_bottom_subtrees())
+        for window_va, entry in windows:
             if isinstance(entry, Pte):
                 # Huge leaf above the bottom level: copy it directly.
                 vma = parent.space.find_vma(window_va)
@@ -401,11 +415,13 @@ class Kernel:
                     )
                 continue
             if window_va in pc_windows:
+                # o1: allow(flow-bounded) -- unshareable windows are rare and disjoint
                 self._fork_copy_window(
                     parent, child, child_vmas, window_va,
                     window_va + window_span,
                 )
                 continue
+            # o1: allow(o1-nested-size-loop) -- a handful of COW VMAs per test
             wp = any(
                 vma.overlaps(window_va, window_va + window_span)
                 for vma in cow_vmas
@@ -422,6 +438,7 @@ class Kernel:
         self._fork_finish(parent, child, tracer, traced)
         return child
 
+    @complexity("n", note="per-leaf copy of one unshareable window")
     def _fork_copy_window(
         self, parent: Process, child: Process, child_vmas: dict,
         window_va: int, window_end: int,
@@ -434,9 +451,8 @@ class Kernel:
         """
         parent_pt = parent.space.page_table
         child_pt = child.space.page_table
-        for page_va, pte in list(
-            self._leaves_in_range(parent.space, window_va, window_end)
-        ):
+        leaves = list(self._leaves_in_range(parent.space, window_va, window_end))
+        for page_va, pte in leaves:
             vma = parent.space.find_vma(page_va)
             if vma is None:
                 continue
@@ -455,7 +471,9 @@ class Kernel:
                 )
 
     @staticmethod
+    @complexity("n", note="one leaf walk; the range filter subsets it")
     def _leaves_in_range(space: AddressSpace, start: int, end: int):
+        # o1: allow(flow-bounded) -- one pass over the declared n leaves
         for page_va, pte in space.page_table.iter_leaves():
             if start <= page_va < end:
                 yield page_va, pte
@@ -647,6 +665,7 @@ class Kernel:
     # ------------------------------------------------------------------
     # Whole-machine events
     # ------------------------------------------------------------------
+    @complexity("n", note="one-time whole-machine teardown; not a hot path")
     def crash(self) -> None:
         """Power failure: volatile state vanishes, persistent FS survives.
 

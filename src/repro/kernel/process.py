@@ -11,6 +11,7 @@ from typing import Dict, Optional
 
 from repro.errors import BadFileDescriptorError, ProcessError
 from repro.fs.vfs import FileHandle
+from repro.lint import complexity
 from repro.vm.addrspace import AddressSpace
 
 
@@ -61,6 +62,7 @@ class Process:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @complexity("n", note="one-time teardown: every fd closed, every VMA unmapped")
     def exit(self) -> None:
         """Terminate: close every fd and tear down the address space.
 
@@ -73,6 +75,7 @@ class Process:
         for fd in list(self._fds):
             self._fds.pop(fd).close()
         for vma in self.space.vmas:
+            # o1: allow(flow-bounded) -- the VMAs partition the declared n pages
             self.space.munmap(vma.start, vma.length)
         # Return the page-table node frames themselves (one batched free),
         # so both fork policies leave an identical frame census behind.

@@ -54,6 +54,7 @@ class Syscalls:
     # ------------------------------------------------------------------
     # Files
     # ------------------------------------------------------------------
+    @complexity("n", note="path walk, plus the extent preallocation on create")
     def open(
         self,
         fs: FileSystem,
@@ -87,6 +88,7 @@ class Syscalls:
         finally:
             self._exit()
 
+    @complexity("n", note="per page copied through the kernel")
     def write(self, fd: int, data: bytes) -> int:
         """Write at the descriptor's offset."""
         self._enter("write")
@@ -96,6 +98,7 @@ class Syscalls:
         finally:
             self._exit()
 
+    @complexity("n", note="per page copied through the kernel")
     def pread(self, fd: int, offset: int, length: int) -> bytes:
         """Positioned read."""
         self._enter("pread")
@@ -105,6 +108,7 @@ class Syscalls:
         finally:
             self._exit()
 
+    @complexity("n", note="per page copied through the kernel")
     def pwrite(self, fd: int, offset: int, data: bytes) -> int:
         """Positioned write."""
         self._enter("pwrite")
@@ -119,6 +123,7 @@ class Syscalls:
         """Remove a file — whole-file reclamation."""
         self._enter("unlink")
         try:
+            # o1: allow(flow-bounded) -- path depth, not file size; the free is one extent op
             fs.unlink(path)
         finally:
             self._exit()
@@ -208,10 +213,12 @@ class Syscalls:
         """Unmap a range."""
         self._enter("munmap")
         try:
+            # o1: allow(flow-bounded) -- extent teardown; the per-page walk is the selectable baseline
             self._process.space.munmap(addr, length)
         finally:
             self._exit()
 
+    @complexity("n", note="per page in the protected range")
     def mprotect(self, addr: int, length: int, prot: Protection) -> None:
         """Change a mapping's protection."""
         self._enter("mprotect")

@@ -1,8 +1,8 @@
-"""Order(1) conformance checking: declarations, AST linter, empirical fitter.
+"""Order(1) conformance: declarations, AST linter, flow analysis, fitter.
 
 The paper's thesis is that every memory-management operation should cost
 constant time regardless of operand size.  This package turns that claim
-into a machine-checked invariant, in two prongs:
+into a machine-checked invariant, in three prongs:
 
 * :mod:`repro.lint.decorators` — the :func:`o1` / :func:`complexity`
   decorators hot paths use to *declare* their cost class.  Declaring is
@@ -13,13 +13,26 @@ into a machine-checked invariant, in two prongs:
   class.  Known-O(n)-by-design paths carry inline ``# o1: allow(...)``
   suppressions or live in the checked-in baseline
   (``src/repro/lint/o1_baseline.json``).
+* :mod:`repro.lint.flow` (with :mod:`repro.lint.callgraph`,
+  :mod:`repro.lint.summaries`, :mod:`repro.lint.protocols`,
+  :mod:`repro.lint.controls`) — an interprocedural analysis that builds a
+  syntactic call graph of the whole package, propagates transitive cost
+  summaries bottom-up over SCCs so a declaration is judged against
+  everything it can reach, requires every function reachable from a
+  hot-path entry to be declared or constant-shaped, and checks two
+  must-call protocols across call boundaries (page-table mutation must
+  reach a TLB invalidation before the syscall returns; journal commit
+  must precede apply).  Its baseline
+  (``src/repro/lint/flow_baseline.json``) is empty by policy, and stale
+  ``# o1: allow`` suppressions are themselves findings.
 * :mod:`repro.lint.fit` + :mod:`repro.lint.ops` — an empirical complexity
   fitter that runs registered operations at geometrically spaced operand
   sizes on the simulated clock and fits cost-vs-size to
   constant/log/linear/linearithmic, catching dynamic O(n) behaviour the
   AST cannot see.
 
-Run both via ``repro-o1 lint [--fit]``; CI gates on a clean run.
+Run them via ``repro-o1 lint [--interproc] [--fit]``; CI gates on a
+clean run.
 
 Only the declaration half is imported here: the checker and fitter pull in
 the whole simulator, and annotated modules (buddy, TLB, syscalls, ...)

@@ -17,7 +17,8 @@ declared class:
 ``o1-nested-size-loop``   nested size-dependent loops in a declared-linear
                           function
 ``persist-outside-txn``   a journaled-write apply (``_apply_alloc`` /
-                          ``_apply_shrink`` / ``_apply_free``) in a function
+                          ``_apply_shrink`` / ``_apply_free`` /
+                          ``_apply_migrate``) in a function
                           that never issued ``_journal_commit`` first — the
                           static half of PersistSan's ordering check; applies
                           to *every* function, declared or not
@@ -34,10 +35,12 @@ file
 from __future__ import annotations
 
 import ast
+import io
 import re
-from dataclasses import dataclass
+import tokenize
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.lint.decorators import ComplexityClass
 
@@ -58,7 +61,9 @@ ALL_RULES = (
 #: Journal *apply* methods: each mutates durable metadata and must be
 #: ordered after a commit (PersistSan checks this dynamically; the rule
 #: below is the static half).
-_PERSIST_APPLY_ATTRS = frozenset({"_apply_alloc", "_apply_shrink", "_apply_free"})
+_PERSIST_APPLY_ATTRS = frozenset(
+    {"_apply_alloc", "_apply_shrink", "_apply_free", "_apply_migrate"}
+)
 
 #: The call that makes a journal record durable.
 _PERSIST_COMMIT_ATTR = "_journal_commit"
@@ -145,6 +150,10 @@ class LintResult:
     inline_suppressed: int
     files_checked: int
     functions_checked: int
+    #: path -> line numbers of ``# o1: allow`` comments that suppressed
+    #: (or bounded) something; the stale-suppression detector subtracts
+    #: these (plus the flow pass's set) from every allow comment found.
+    used_allows: Dict[str, Set[int]] = field(default_factory=dict)
 
 
 # ---------------------------------------------------------------------------
@@ -162,14 +171,69 @@ def _allowed_lines(source: str) -> Dict[int, Set[str]]:
     return allowed
 
 
-def _is_allowed(
-    allowed: Dict[int, Set[str]], lines: Sequence[int], rule: str
-) -> bool:
-    for lineno in lines:
-        rules = allowed.get(lineno)
-        if rules is not None and (rule in rules or "*" in rules):
-            return True
-    return False
+def allow_comment_lines(source: str) -> Dict[int, Set[str]]:
+    """Like :func:`_allowed_lines`, but only *real* comments count.
+
+    The plain line scan also matches ``o1: allow(...)`` text inside
+    docstrings (this module's own header, for one); staleness reporting
+    must not flag those, so it works from the token stream instead.
+    Falls back to the line scan if the file does not tokenize.
+    """
+    allowed: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(token.string)
+            if match is None:
+                continue
+            rules = {
+                part.strip()
+                for part in match.group(1).split(",")
+                if part.strip()
+            }
+            allowed[token.start[0]] = rules or {"*"}
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return _allowed_lines(source)
+    return allowed
+
+
+class AllowMap:
+    """Inline-suppression map for one file, with usage tracking.
+
+    ``allow()`` is the query both lint passes use: it returns True when
+    one of the candidate lines carries an ``# o1: allow`` comment naming
+    the rule (or ``*``), and records the matched line so unused comments
+    can be reported as stale afterwards.  ``match()`` is the same lookup
+    without the usage side effect, for callers that only commit to the
+    suppression later (e.g. a ``flow-bounded`` call-site allow is *used*
+    only if the callee was actually non-constant).
+    """
+
+    def __init__(self, source: str) -> None:
+        self.rules_by_line = _allowed_lines(source)
+        self.comment_lines = allow_comment_lines(source)
+        self.used: Set[int] = set()
+
+    def match(self, lines: Iterable[int], rule: str) -> Optional[int]:
+        """First candidate line allowing ``rule``, or None; no marking."""
+        for lineno in lines:
+            rules = self.rules_by_line.get(lineno)
+            if rules is not None and (rule in rules or "*" in rules):
+                return lineno
+        return None
+
+    def allow(self, lines: Iterable[int], rule: str) -> bool:
+        """True (and mark the comment used) if any line allows ``rule``."""
+        lineno = self.match(lines, rule)
+        if lineno is None:
+            return False
+        self.used.add(lineno)
+        return True
+
+    def mark_used(self, lineno: int) -> None:
+        self.used.add(lineno)
 
 
 # ---------------------------------------------------------------------------
@@ -286,7 +350,7 @@ class _FunctionChecker:
         module: str,
         qualname: str,
         path: str,
-        allowed: Dict[int, Set[str]],
+        allowed: AllowMap,
     ) -> None:
         self._func = func
         self._declared = declared
@@ -356,9 +420,7 @@ class _FunctionChecker:
 
     def _flag(self, node: ast.AST, rule: str, message: str) -> bool:
         line = getattr(node, "lineno", self._func.lineno)
-        if _is_allowed(
-            self._allowed, (line, line - 1, self._func.lineno), rule
-        ):
+        if self._allowed.allow((line, line - 1, self._func.lineno), rule):
             self.suppressed += 1
             return False
         self.violations.append(
@@ -406,7 +468,7 @@ def _check_persist_ordering(
     module: str,
     qualname: str,
     path: str,
-    allowed: Dict[int, Set[str]],
+    allowed: AllowMap,
 ) -> Tuple[List[Violation], int]:
     """Flag journaled-write applies with no preceding commit in scope.
 
@@ -443,8 +505,7 @@ def _check_persist_ordering(
     for call in applies:
         if commit_line is not None and commit_line < call.lineno:
             continue
-        if _is_allowed(
-            allowed,
+        if allowed.allow(
             (call.lineno, call.lineno - 1, func.lineno),
             RULE_PERSIST_OUTSIDE_TXN,
         ):
@@ -471,10 +532,21 @@ def _check_persist_ordering(
 # ---------------------------------------------------------------------------
 # Module / tree walking
 # ---------------------------------------------------------------------------
-def lint_source(source: str, module: str, path: str = "<string>") -> LintResult:
-    """Lint one module's source text (exposed for tests)."""
+def lint_source(
+    source: str,
+    module: str,
+    path: str = "<string>",
+    allowed: Optional[AllowMap] = None,
+) -> LintResult:
+    """Lint one module's source text (exposed for tests).
+
+    ``allowed`` lets a caller share one :class:`AllowMap` between this
+    pass and the flow pass so suppression *usage* accumulates in one
+    place; by default a private map is built from ``source``.
+    """
     tree = ast.parse(source, filename=path)
-    allowed = _allowed_lines(source)
+    if allowed is None:
+        allowed = AllowMap(source)
     violations: List[Violation] = []
     suppressed = 0
     functions = 0
@@ -515,6 +587,7 @@ def lint_source(source: str, module: str, path: str = "<string>") -> LintResult:
         inline_suppressed=suppressed,
         files_checked=1,
         functions_checked=functions,
+        used_allows={path: set(allowed.used)},
     )
 
 
@@ -542,5 +615,7 @@ def lint_tree(root: Path, package: str = "repro") -> LintResult:
         total.inline_suppressed += result.inline_suppressed
         total.files_checked += 1
         total.functions_checked += result.functions_checked
+        for used_path, lines in result.used_allows.items():
+            total.used_allows.setdefault(used_path, set()).update(lines)
     total.violations.sort(key=lambda v: (v.path, v.line, v.rule))
     return total

@@ -29,9 +29,19 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Generic,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+)
 
-from repro.lint.astcheck import ALL_RULES, Violation
+from repro.lint.astcheck import ALL_RULES
 
 DEFAULT_BASELINE = Path(__file__).with_name("o1_baseline.json")
 
@@ -49,17 +59,42 @@ class BaselineEntry:
         return (self.function, self.rule)
 
 
+class Finding(Protocol):
+    """Anything addressable by a (function, rule) baseline key.
+
+    Both the intra-procedural :class:`~repro.lint.astcheck.Violation` and
+    the interprocedural :class:`~repro.lint.flow.FlowFinding` satisfy it.
+    """
+
+    @property
+    def function(self) -> str: ...
+
+    @property
+    def rule(self) -> str: ...
+
+
+F = TypeVar("F", bound=Finding)
+
+
 @dataclass
-class BaselineOutcome:
+class BaselineOutcome(Generic[F]):
     """Findings partitioned against the baseline."""
 
-    new: List[Violation]
-    suppressed: List[Violation]
+    new: List[F]
+    suppressed: List[F]
     stale: List[BaselineEntry]
 
 
-def load_baseline(path: Path) -> List[BaselineEntry]:
-    """Parse a baseline file; a missing file is an empty baseline."""
+def load_baseline(
+    path: Path, known_rules: Optional[Sequence[str]] = None
+) -> List[BaselineEntry]:
+    """Parse a baseline file; a missing file is an empty baseline.
+
+    ``known_rules`` is the vocabulary the file may use (defaults to the
+    intra-procedural rule set; the flow baseline passes its own).
+    """
+    if known_rules is None:
+        known_rules = ALL_RULES
     if not path.exists():
         return []
     data = json.loads(path.read_text(encoding="utf-8"))
@@ -73,7 +108,7 @@ def load_baseline(path: Path) -> List[BaselineEntry]:
             rule=str(raw["rule"]),
             reason=str(raw.get("reason", "")),
         )
-        if entry.rule not in ALL_RULES:
+        if entry.rule not in known_rules:
             raise ValueError(f"{path}: unknown rule {entry.rule!r}")
         if not entry.reason.strip():
             raise ValueError(
@@ -84,14 +119,14 @@ def load_baseline(path: Path) -> List[BaselineEntry]:
 
 
 def apply_baseline(
-    violations: Sequence[Violation], entries: Sequence[BaselineEntry]
-) -> BaselineOutcome:
+    violations: Sequence[F], entries: Sequence[BaselineEntry]
+) -> BaselineOutcome[F]:
     """Split findings into new / baseline-suppressed, and spot stale entries."""
     by_key: Dict[Tuple[str, str], BaselineEntry] = {
         entry.key: entry for entry in entries
     }
-    new: List[Violation] = []
-    suppressed: List[Violation] = []
+    new: List[F] = []
+    suppressed: List[F] = []
     used: Set[Tuple[str, str]] = set()
     for violation in violations:
         key = (violation.function, violation.rule)

@@ -1,0 +1,51 @@
+"""Planted mislabeled controls for the interprocedural flow pass.
+
+Mirrors the empirical fitter's ``fom.demand_touch`` control: each
+function below is *deliberately* wrong in a way only whole-program
+analysis can see, and :mod:`repro.lint.flow` must flag it on every run
+— a flow pass that comes back clean on these is broken, and the gate
+fails on the missing finding rather than on the finding itself.
+
+Nothing imports this module at runtime and nothing here is reachable
+from a hot-path entry point; the functions exist purely as lint
+fixtures inside the real tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.lint.decorators import o1
+
+
+@o1(note="control: deliberately mislabeled; the flow pass must flag this")
+def control_undeclared_callee_loop(pages: Iterable[int]) -> int:
+    """Declared O(1), but the undeclared helper walks every page.
+
+    Intraprocedurally this body is a single call — clean.  The flow
+    pass must report ``flow-cost-exceeds-declared`` with the chain down
+    to the loop in :func:`_control_touch_all`.
+    """
+    return _control_touch_all(pages)
+
+
+def _control_touch_all(pages: Iterable[int]) -> int:
+    total = 0
+    for page in pages:
+        total += page
+    return total
+
+
+def control_persist_commit_elsewhere(fs: Any) -> None:
+    """Applies a journaled mutation through a helper; nobody commits.
+
+    The helper's apply site carries the *intra*-rule allow (the classic
+    "caller commits" justification), so the old pass is silent — and no
+    caller on this path ever commits.  The flow pass must report
+    ``flow-persist-outside-txn`` here, at the protocol root.
+    """
+    _control_apply(fs)
+
+
+def _control_apply(fs: Any) -> None:
+    fs._apply_alloc(None)  # o1: allow(persist-outside-txn) -- control: caller commits

@@ -10,21 +10,46 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from repro.lint.astcheck import LintResult
+from repro.lint.astcheck import LintResult, Violation
 from repro.lint.baseline import BaselineOutcome
 from repro.lint.ops import OperationFit
 
-REPORT_VERSION = 1
+if TYPE_CHECKING:
+    from repro.lint.flow import FlowFinding, FlowResult
+
+#: v2 added the ``flow`` section (``lint --interproc``).
+REPORT_VERSION = 2
+
+
+def _flow_finding_dict(finding: "FlowFinding") -> Dict[str, object]:
+    return {
+        "function": finding.function,
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "message": finding.message,
+        "chain": [
+            {
+                "function": hop.fid,
+                "path": hop.path,
+                "line": hop.line,
+                "note": hop.note,
+            }
+            for hop in finding.chain
+        ],
+    }
 
 
 def build_report(
     lint: LintResult,
-    outcome: BaselineOutcome,
+    outcome: BaselineOutcome[Violation],
     fits: Optional[Sequence[OperationFit]] = None,
     *,
     sizes: Optional[Sequence[int]] = None,
+    flow: Optional["FlowResult"] = None,
+    flow_outcome: Optional["BaselineOutcome[FlowFinding]"] = None,
 ) -> Dict[str, object]:
     """Assemble the machine-readable conformance report."""
     report: Dict[str, object] = {
@@ -60,6 +85,41 @@ def build_report(
             ],
         },
     }
+    if flow is not None:
+        flow_new = flow_outcome.new if flow_outcome is not None else flow.findings
+        flow_suppressed = (
+            flow_outcome.suppressed if flow_outcome is not None else []
+        )
+        flow_stale = flow_outcome.stale if flow_outcome is not None else []
+        report["flow"] = {
+            "entries": list(flow.entries),
+            "files": flow.files,
+            "functions": flow.functions,
+            "call_sites": {
+                "total": flow.sites_total,
+                "resolved": flow.sites_resolved,
+            },
+            "findings": [_flow_finding_dict(f) for f in flow_new],
+            "baseline_suppressed": [
+                _flow_finding_dict(f) for f in flow_suppressed
+            ],
+            "stale_baseline_entries": [
+                {"function": e.function, "rule": e.rule, "reason": e.reason}
+                for e in flow_stale
+            ],
+            "controls_verified": [
+                {"function": f.function, "rule": f.rule}
+                for f in flow.controls_verified
+            ],
+            "stale_suppressions": [
+                {
+                    "path": s.path,
+                    "line": s.line,
+                    "rules": list(s.rules),
+                }
+                for s in flow.stale_suppressions
+            ],
+        }
     if fits is not None:
         report["fit"] = {
             "sizes": list(sizes) if sizes is not None else None,
@@ -91,8 +151,11 @@ def write_json(path: Path, report: Dict[str, object]) -> None:
 
 def render_text(
     lint: LintResult,
-    outcome: BaselineOutcome,
+    outcome: BaselineOutcome[Violation],
     fits: Optional[Sequence[OperationFit]] = None,
+    *,
+    flow: Optional["FlowResult"] = None,
+    flow_outcome: Optional["BaselineOutcome[FlowFinding]"] = None,
 ) -> str:
     """Human-readable conformance summary."""
     lines: List[str] = []
@@ -114,6 +177,37 @@ def render_text(
             f"  STALE baseline entry {entry.function} [{entry.rule}] — "
             "finding no longer occurs; remove it"
         )
+    if flow is not None:
+        from repro.lint.flow import CONTROLS
+
+        flow_new = flow_outcome.new if flow_outcome is not None else flow.findings
+        flow_suppressed = (
+            flow_outcome.suppressed if flow_outcome is not None else []
+        )
+        flow_stale = flow_outcome.stale if flow_outcome is not None else []
+        lines.append("")
+        lines.append(
+            f"o1 flow: {flow.functions} functions across {flow.files} files, "
+            f"{flow.sites_resolved}/{flow.sites_total} call sites resolved, "
+            f"{len(flow.entries)} hot-path entries"
+        )
+        lines.append(
+            f"  {len(flow_new)} finding(s), "
+            f"{len(flow_suppressed)} baseline-suppressed, "
+            f"{len(flow_stale)} stale baseline entr"
+            f"{'y' if len(flow_stale) == 1 else 'ies'}, "
+            f"{len(flow.controls_verified)}/{len(CONTROLS)} controls verified, "
+            f"{len(flow.stale_suppressions)} stale suppression(s)"
+        )
+        for finding in flow_new:
+            lines.append(f"  FINDING {finding.format()}")
+        for entry in flow_stale:
+            lines.append(
+                f"  STALE flow baseline entry {entry.function} "
+                f"[{entry.rule}] — finding no longer occurs; remove it"
+            )
+        for suppression in flow.stale_suppressions:
+            lines.append(f"  STALE {suppression.format()}")
     if fits is not None:
         lines.append("")
         lines.append(f"o1 fit: {len(fits)} operation(s)")

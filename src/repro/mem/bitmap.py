@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.lint.decorators import complexity
+
 
 class Bitmap:
     """Fixed-size bitmap; bit i set means block i is allocated."""
@@ -94,6 +96,7 @@ class Bitmap:
         mask = (1 << length) - 1 << start
         return not self._bits & mask
 
+    @complexity("n", note="next-fit scan across the bitmap")
     def find_clear_run(self, length: int, start_hint: int = 0) -> Optional[int]:
         """First index of ``length`` consecutive clear bits, or None.
 
@@ -110,6 +113,7 @@ class Bitmap:
             found = self._scan(0, hint + length - 1, length)
         return found
 
+    @complexity("n", note="skips whole clear/set runs, worst case one pass")
     def _scan(self, lo: int, hi: int, length: int) -> Optional[int]:
         """Find a clear run of ``length`` within ``[lo, min(hi, size))``."""
         hi = min(hi, self._size)

@@ -123,6 +123,7 @@ class BuddyAllocator:
                 f"chaos: injected exhaustion in region {self._describe()}"
             )
         source = order
+        # o1: allow(flow-bounded) -- climbs at most max_order orders, the declared log factor
         while source <= self._max_order and not self._free_lists[source]:
             source += 1
         if source > self._max_order:
@@ -135,6 +136,7 @@ class BuddyAllocator:
         self._charge(costs.frame_alloc_ns if costs else 0, "buddy_alloc")
         pfn = self._free_lists[source].pop()
         # Split down to the requested order, freeing the upper halves.
+        # o1: allow(flow-bounded) -- at most max_order splits, the declared log factor
         while source > order:
             source -= 1
             self._free_lists[source].add(pfn + (1 << source))
@@ -190,6 +192,7 @@ class BuddyAllocator:
             self._free_block(pfn, charge)
             charge = 0
 
+    @o1(note="coalescing climbs at most max_order orders, a config constant")
     def _free_block(self, pfn: int, charge_ns: int) -> None:
         """Uncharged-core free: ledger pop, coalesce, free-list insert."""
         if pfn in self._retired:
@@ -200,6 +203,7 @@ class BuddyAllocator:
         self._charge(charge_ns, "buddy_free")
         self._free_frames += 1 << order
         first = self._region.first_pfn
+        # o1: allow(o1-size-loop, o1-charge-in-loop) -- merge chain is capped at max_order steps
         while order < self._max_order:
             buddy = first + ((pfn - first) ^ (1 << order))
             if buddy not in self._free_lists[order]:
@@ -231,12 +235,14 @@ class BuddyAllocator:
             )
         if pfn in self._retired:
             return True
+        # o1: allow(flow-bounded) -- probes max_order + 1 orders, the declared log factor
         for order in range(self._max_order + 1):
             start = first + (((pfn - first) >> order) << order)
             if start not in self._free_lists[order]:
                 continue
             self._free_lists[order].remove(start)
             # Split down, keeping every half that does not contain pfn.
+            # o1: allow(flow-bounded) -- at most max_order splits, the declared log factor
             while order > 0:
                 order -= 1
                 half = 1 << order

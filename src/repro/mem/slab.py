@@ -103,6 +103,7 @@ class SlabCache:
         """Allocate one object; returns its physical address."""
         self._charge("slab_alloc")
         if not self._partial:
+            # o1: allow(flow-bounded) -- slow path runs once per slab of allocations
             self._grow()
         base_pfn = self._partial[-1]
         slab = self._slabs[base_pfn]
@@ -139,6 +140,7 @@ class SlabCache:
         """
         chaos = getattr(self._counters, "chaos", None)
         last_error: Optional[OutOfMemoryError] = None
+        # o1: allow(flow-bounded) -- retry cap is a small constant, not operand-sized
         for attempt in range(attempts):
             if attempt and self._counters is not None:
                 self._counters.bump("slab_grow_retry")

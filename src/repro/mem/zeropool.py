@@ -81,6 +81,7 @@ class ZeroPool:
             return pfn
         if self._counters is not None:
             self._counters.bump("zeropool_miss")
+        # o1: allow(flow-bounded) -- pool-miss fallback; the stocked fast path never gets here
         pfn = self._buddy.alloc(0)
         zero_ns = self._zero_cost()
         if self._clock is not None:
@@ -114,6 +115,7 @@ class ZeroPool:
             if max_frames is not None and added >= max_frames:
                 break
             try:
+                # o1: allow(flow-bounded) -- order-0 alloc per refilled frame; the loop is the declared n
                 pfn = self._buddy.alloc(0)
             except OutOfMemoryError:
                 break

@@ -12,12 +12,14 @@ from __future__ import annotations
 
 from typing import Iterator, List, Sequence, Tuple
 
+from repro.lint.decorators import complexity, o1
 from repro.units import HUGE_PAGE_1G, HUGE_PAGE_2M, PAGE_SIZE
 
 #: All page sizes of the simulated processor, descending.
 SUPPORTED_PAGE_SIZES: Tuple[int, ...] = (HUGE_PAGE_1G, HUGE_PAGE_2M, PAGE_SIZE)
 
 
+@o1(note="the processor offers exactly three page sizes")
 def largest_page_for(
     vaddr: int,
     paddr: int,
@@ -31,6 +33,7 @@ def largest_page_for(
     """
     if remaining < PAGE_SIZE:
         raise ValueError(f"remaining {remaining} is smaller than a base page")
+    # o1: allow(o1-size-loop) -- `allowed` is the hardware page-size menu (three entries)
     for size in sorted(allowed, reverse=True):
         if remaining >= size and vaddr % size == 0 and paddr % size == 0:
             return size
@@ -40,6 +43,7 @@ def largest_page_for(
     )
 
 
+@complexity("n", note="one yielded run per tile of the region")
 def choose_page_runs(
     vaddr: int,
     paddr: int,

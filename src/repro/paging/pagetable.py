@@ -31,7 +31,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 from repro.errors import AlignmentError, ConfigurationError, MappingError
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel
-from repro.lint import o1
+from repro.lint import complexity, o1
 from repro.units import HUGE_PAGE_1G, HUGE_PAGE_2M, PAGE_SIZE, PTES_PER_TABLE
 
 #: Bits translated per level and by the page offset.
@@ -164,8 +164,10 @@ class PageTable:
         grafted in via :meth:`link_subtree` are not counted)."""
         return self._node_count
 
+    @o1(note="scan of the three supported leaf sizes")
     def _leaf_depth_for(self, page_size: int) -> int:
         """Tree depth at which a leaf of ``page_size`` sits."""
+        # o1: allow(o1-size-loop) -- _LEAF_SIZES is the hardware page-size menu
         for up, size in enumerate(_LEAF_SIZES):
             if size == page_size:
                 depth = self._levels - 1 - up
@@ -244,8 +246,10 @@ class PageTable:
             san.on_pte_map(pte)
         return pte
 
+    @o1(note="fixed-depth radix descent")
     def _descend_creating(self, vaddr: int, leaf_depth: int) -> PageTableNode:
         node = self._root
+        # o1: allow(o1-size-loop) -- leaf_depth is bounded by the table's level count
         for depth in range(leaf_depth):
             index = self.index_at(vaddr, depth)
             child = node.entries.get(index)
@@ -265,6 +269,7 @@ class PageTable:
             node = child
         return node
 
+    @o1(note="one node clone plus one pointer write")
     def _unshare_child(
         self, parent: PageTableNode, index: int, child: PageTableNode
     ) -> PageTableNode:
@@ -275,6 +280,7 @@ class PageTable:
         self._charge_pte_write()
         return clone
 
+    @o1(note="copies one fixed 512-entry node")
     def _clone_node(self, node: PageTableNode) -> PageTableNode:
         """A private copy of one node (fixed 4 KiB of entries).
 
@@ -286,6 +292,7 @@ class PageTable:
         clone.entries = dict(node.entries)
         clone.wp_slots = set(node.wp_slots)
         san = getattr(self._counters, "sanitize", None)
+        # o1: allow(o1-size-loop) -- one page-table node holds at most 512 entries
         for entry in clone.entries.values():
             if isinstance(entry, PageTableNode):
                 entry.refs += 1
@@ -334,6 +341,7 @@ class PageTable:
     # ------------------------------------------------------------------
     # Lookup (uncharged; the walker prices hardware walks)
     # ------------------------------------------------------------------
+    @o1(note="fixed-depth radix descent")
     def lookup(self, vaddr: int) -> Optional[Pte]:
         """Leaf PTE covering ``vaddr``, or None.  Pure data-structure op.
 
@@ -344,6 +352,7 @@ class PageTable:
         """
         node = self._root
         write_protected = False
+        # o1: allow(o1-size-loop) -- the level count is a hardware constant
         for depth in range(self._levels):
             index = self.index_at(vaddr, depth)
             entry = node.entries.get(index)
@@ -371,6 +380,7 @@ class PageTable:
             node = entry
         return False
 
+    @o1(note="fixed-depth radix descent")
     def path_nodes(self, vaddr: int) -> List[PageTableNode]:
         """Nodes visited translating ``vaddr`` (for the walker), root first.
 
@@ -378,6 +388,7 @@ class PageTable:
         exists, if the translation is absent)."""
         nodes = [self._root]
         node = self._root
+        # o1: allow(o1-size-loop) -- the level count is a hardware constant
         for depth in range(self._levels - 1):
             entry = node.entries.get(self.index_at(vaddr, depth))
             if not isinstance(entry, PageTableNode):
@@ -389,11 +400,13 @@ class PageTable:
     # ------------------------------------------------------------------
     # Subtree sharing — the O(1) mapping primitive
     # ------------------------------------------------------------------
+    @o1(note="fixed-depth radix descent")
     def subtree_at(self, vaddr: int, depth: int) -> Optional[PageTableNode]:
         """Interior node rooted at ``vaddr``'s slot chain down to ``depth``."""
         if depth < 1 or depth >= self._levels:
             raise ValueError(f"depth must be in 1..{self._levels - 1}, got {depth}")
         node = self._root
+        # o1: allow(o1-size-loop) -- depth is bounded by the table's level count
         for d in range(depth):
             entry = node.entries.get(self.index_at(vaddr, d))
             if not isinstance(entry, PageTableNode):
@@ -461,6 +474,7 @@ class PageTable:
         """Depth of the lowest interior node (one 2 MiB window each)."""
         return self._levels - 1
 
+    @complexity("n", note="one yield per resident 2 MiB window")
     def iter_bottom_subtrees(
         self,
     ) -> Iterator[Tuple[int, Union[PageTableNode, Pte]]]:
@@ -473,6 +487,7 @@ class PageTable:
         """
         yield from self._iter_windows(self._root, 0, 0)
 
+    @complexity("n", note="one visit per resident entry above the bottom level")
     def _iter_windows(
         self, node: PageTableNode, depth: int, base: int
     ) -> Iterator[Tuple[int, Union[PageTableNode, Pte]]]:
@@ -483,6 +498,7 @@ class PageTable:
             if isinstance(entry, Pte) or entry.depth == self.bottom_depth:
                 yield vaddr, entry
             else:
+                # o1: allow(flow-bounded) -- recursion depth is the fixed radix level count
                 yield from self._iter_windows(entry, depth + 1, vaddr)
 
     @o1(note="one permission-bit write on the window's parent slot")
@@ -577,10 +593,12 @@ class PageTable:
         self._root = PageTableNode(depth=0)  # defensive: table stays valid
         return removed
 
+    @complexity("n", note="one yield per installed leaf PTE")
     def iter_leaves(self) -> Iterator[Tuple[int, Pte]]:
         """All (vaddr, Pte) pairs, ascending by vaddr."""
         yield from self._iter_node(self._root, 0, 0)
 
+    @complexity("n", note="one visit per resident node entry")
     def _iter_node(
         self, node: PageTableNode, depth: int, base: int
     ) -> Iterator[Tuple[int, Pte]]:
@@ -591,6 +609,7 @@ class PageTable:
             if isinstance(entry, Pte):
                 yield vaddr, entry
             else:
+                # o1: allow(flow-bounded) -- recursion depth is the fixed radix level count
                 yield from self._iter_node(entry, depth + 1, vaddr)
 
     def leaf_count(self) -> int:

@@ -78,12 +78,14 @@ class PageWalker:
                 tracer.end()
         return self._walk(table, vaddr, asid)
 
+    @o1(note="visits the fixed radix levels, nested or not")
     def _walk(self, table: PageTable, vaddr: int, asid: int) -> Optional[TlbEntry]:
         self._counters.bump("walk_start")
         nodes = table.path_nodes(vaddr)
         host_levels = self._nested_levels or table.levels
         pte: Optional[Pte] = None
         write_protected = False
+        # o1: allow(o1-size-loop, o1-charge-in-loop) -- path_nodes is at most the level count
         for node in nodes:
             index = table.index_at(vaddr, node.depth)
             if index in node.wp_slots:
@@ -93,6 +95,7 @@ class PageWalker:
                 # translated: one reference per host level against the
                 # nested tables, modeled as distinct synthetic lines so
                 # locality behaves (hot nested nodes cache like real ones).
+                # o1: allow(o1-size-loop, o1-charge-in-loop) -- host level count is a hardware constant
                 for host_depth in range(host_levels):
                     host_line = (
                         self._ept_base
@@ -114,6 +117,7 @@ class PageWalker:
         if self._virtualized:
             # The final data address is guest-physical too: one more host
             # walk before the access proper.
+            # o1: allow(o1-size-loop, o1-charge-in-loop) -- host level count is a hardware constant
             for host_depth in range(host_levels):
                 host_line = self._ept_base + (pte.paddr >> 12 << 6) + host_depth * 8
                 self._cache.reference(host_line)

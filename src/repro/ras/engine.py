@@ -131,6 +131,7 @@ class RasEngine:
             pfn=pfn,
         )
 
+    @o1(note="retry budget is a small constant")
     def _retry_transient(self, pfn: int) -> bool:
         """Bounded retry-with-backoff on the simulated clock.
 
@@ -138,12 +139,11 @@ class RasEngine:
         budget is exhausted.
         """
         attempt = 0
-        # o1: allow(o1-size-loop) -- bounded by _MAX_MEDIA_RETRIES
+        # o1: allow(o1-size-loop, o1-charge-in-loop) -- bounded by _MAX_MEDIA_RETRIES
         while attempt < self._MAX_MEDIA_RETRIES:
             if not self.model.transient_fails(pfn, attempt):
                 return True
             # Linear backoff, charged where the waiting happens.
-            # o1: allow(o1-charge-in-loop) -- bounded retry budget
             self._clock.advance(self._costs.ras_backoff_ns * (attempt + 1))
             self._counters.bump("ras_io_retry")
             attempt += 1
@@ -169,7 +169,6 @@ class RasEngine:
         if vma is not None and pmfs is not None and pfn is not None:
             backing_fs = getattr(vma.backing, "_fs", None)
             backing_inode = getattr(vma.backing, "_inode", None)
-            # o1: allow(o1-size-loop) -- private COW copies are rare
             is_private_copy = pfn in set(vma.private_copies.values())
             if (
                 backing_fs is pmfs
@@ -179,10 +178,12 @@ class RasEngine:
                 # File-backed NVM: the file system owns a durable home
                 # for the data — migrate it off the failing media, then
                 # let the caller re-fault onto the fresh frame.
+                # o1: allow(flow-bounded) -- media repair is the rare slow path, not the retried access
                 if self.retire_frame(pfn):
                     return True
         return self._sigbus(process, pfn)
 
+    @o1(note="fatal path: the kill tears down at most one process")
     def _sigbus(self, process: "Process", pfn: Optional[int]) -> bool:
         """Kill only the faulting process; quarantine its bad frame."""
         self._counters.bump("ras_sigbus_kill")
@@ -192,6 +193,7 @@ class RasEngine:
                 "ras_sigbus", "ras", pid=process.pid, args={"pfn": pfn}
             )
         if process.alive:
+            # o1: allow(flow-bounded) -- one-time teardown of the killed process's mappings
             process.exit()
         self._kernel.processes.pop(process.pid, None)
         if pfn is not None:
@@ -199,6 +201,7 @@ class RasEngine:
             # never be handed out again.  A frame still shared with
             # another live process stays busy — the patrol scrubber
             # retires it once the last user exits.
+            # o1: allow(flow-bounded) -- media repair slow path after a fatal kill
             self.retire_frame(pfn)
         return False
 
@@ -229,13 +232,16 @@ class RasEngine:
             self.model.clear_poison(pfn)
             self._counters.bump("ras_poison_cleared")
             return
+        # o1: allow(flow-bounded) -- retirement is the rare repair path; probes stay O(1)
         if not self.retire_frame(pfn):
             self._counters.bump("ras_scrub_busy")
 
     # ------------------------------------------------------------------
     # Retirement — frames leave service permanently
     # ------------------------------------------------------------------
-    @o1(note="one retirement; NVM migration charges its own journaled path")
+    @complexity(
+        "n", note="NVM repair may migrate one block and sweep the file's mappings"
+    )
     def retire_frame(self, pfn: int) -> bool:
         """Retire one frame; False when it must wait (busy DRAM frame)."""
         chaos = getattr(self._counters, "chaos", None)
@@ -258,11 +264,13 @@ class RasEngine:
         region = self._kernel.dram_region
         return region.first_pfn <= pfn < region.first_pfn + region.frame_count
 
+    @complexity("log n", note="one buddy retirement")
     def _retire_dram(self, pfn: int) -> bool:
         if not self._kernel.dram_buddy.retire(pfn):
             return False
         return True
 
+    @complexity("n", note="badblock adoption or one-block migration + mapping sweep")
     def _retire_nvm(self, pfn: int) -> bool:
         pmfs = self._kernel.pmfs
         if pmfs is None:
@@ -313,6 +321,7 @@ class RasEngine:
         the PMFS extent-invalidation callbacks at apply time.
         """
         end_pfn = first_pfn + count
+        # o1: allow(o1-size-loop) -- process-table sweep; migration is the slow path
         for process in self._kernel.processes.values():
             space = process.space
             # o1: allow(o1-nested-size-loop) -- migration is the slow path
@@ -339,6 +348,7 @@ class RasEngine:
     # ------------------------------------------------------------------
     # Badblock list — PMFS-persisted, journaled, survives crashes
     # ------------------------------------------------------------------
+    @complexity("n", note="one path lookup (or first-time create) of the badblock file")
     def badblock_inode(self) -> "Inode":
         """The badblock list file, created on first retirement."""
         pmfs = self._kernel.pmfs

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Set, Tuple
 
+from repro.lint.decorators import complexity, o1
 from repro.units import PAGE_SIZE
 
 Report = Callable[[str, str, Dict[str, Any]], None]
@@ -70,10 +71,12 @@ class FrameSan:
             )
         return ledger
 
+    @o1(note="probes the retired set, not the block")
     def on_dram_alloc(self, allocator: Any, pfn: int, order: int) -> None:
         """Buddy handed out a block."""
         end = pfn + (1 << order)
         # Iterate the (small) retired set, not the (possibly huge) block.
+        # o1: allow(o1-size-loop) -- the retired set holds the few frames RAS pulled, not operand data
         if any(pfn <= retired < end for retired in self._retired):
             self._report(
                 "retired-frame-realloc",
@@ -104,6 +107,7 @@ class FrameSan:
             return
         del ledger[pfn]
 
+    @o1(note="probes max_order + 1 candidate block starts")
     def dram_block_allocated(self, allocator_key: int, frame: int) -> bool:
         """Is the 4 KiB ``frame`` inside some outstanding buddy block?"""
         ledger = self._dram.get(allocator_key)
@@ -112,6 +116,7 @@ class FrameSan:
             return True
         first, _, max_order = region
         offset = frame - first
+        # o1: allow(o1-size-loop) -- max_order is a config constant
         for order in range(max_order + 1):
             start = first + ((offset >> order) << order)
             if ledger.get(start) == order:
@@ -132,9 +137,11 @@ class FrameSan:
             self._nvm_regions[key] = (region.first_pfn, region.frame_count)
         return allocated, self._nvm_freed[key]
 
+    @complexity("n", note="one ledger update per block of the extent")
     def on_nvm_alloc(self, allocator: Any, first_block: int, block_count: int) -> None:
         """PMFS allocated an extent of blocks."""
         end = first_block + block_count
+        # o1: allow(o1-size-loop) -- the retired set holds the few frames RAS pulled, not operand data
         if any(first_block <= retired < end for retired in self._retired):
             self._report(
                 "retired-frame-realloc",
@@ -147,6 +154,7 @@ class FrameSan:
             freed.discard(block)
             allocated.add(block)
 
+    @complexity("n", note="one ledger update per block of the extent")
     def on_nvm_free(
         self, allocator: Any, first_block: int, block_count: int, check: bool
     ) -> None:
@@ -167,6 +175,7 @@ class FrameSan:
     # ------------------------------------------------------------------
     # Use-after-free at access time
     # ------------------------------------------------------------------
+    @o1(note="scans the machine's handful of memory regions")
     def check_access(self, paddr: int) -> None:
         """A CPU data access resolved to ``paddr``: the frame must be live."""
         frame = paddr // PAGE_SIZE
@@ -178,6 +187,7 @@ class FrameSan:
                 {"paddr": paddr, "pfn": frame},
             )
             return
+        # o1: allow(o1-size-loop) -- region list is machine topology, a config constant
         for key, (first, count, _) in self._dram_regions.items():
             if first <= frame < first + count:
                 if not self.dram_block_allocated(key, frame):
@@ -188,6 +198,7 @@ class FrameSan:
                         {"paddr": paddr, "pfn": frame},
                     )
                 return
+        # o1: allow(o1-size-loop) -- region list is machine topology, a config constant
         for key, (first, count) in self._nvm_regions.items():
             if first <= frame < first + count:
                 if frame in self._nvm_freed.get(key, set()):
@@ -209,6 +220,7 @@ class FrameSan:
         self._dram_ledger(allocator)[pfn] = 0
         self._retired.add(pfn)
 
+    @complexity("n", note="one ledger update per retired block")
     def on_nvm_retired(self, allocator: Any, first_block: int, block_count: int) -> None:
         """RAS retired NVM blocks (badblock adoption or migration): the
         bitmap keeps them allocated forever; mark them unusable."""

@@ -28,6 +28,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.lint.decorators import o1
 from repro.sanitize.framesan import FrameSan
 from repro.sanitize.persistsan import PersistSan
 from repro.sanitize.transsan import TransSan
@@ -107,19 +108,25 @@ class SanitizerSuite:
     # ------------------------------------------------------------------
     # TransSan hooks (paging / hw / pbm)
     # ------------------------------------------------------------------
+    @o1(note="clock-neutral shadow audit, compiled out when unarmed")
     def on_pte_map(self, pte: Any) -> None:
         """A PTE was installed in some page table (incl. donor tables)."""
         if self._trans is not None:
+            # o1: allow(flow-bounded) -- shadow refcount walk; audit work is off the charged path
             self._trans.register_pte(pte)
 
+    @o1(note="clock-neutral shadow audit, compiled out when unarmed")
     def on_pte_unmap(self, pte: Any) -> None:
         """A PTE was removed."""
         if self._trans is not None:
+            # o1: allow(flow-bounded) -- shadow refcount walk; audit work is off the charged path
             self._trans.unregister_pte(pte)
 
+    @o1(note="clock-neutral shadow audit, compiled out when unarmed")
     def on_subtree_dead(self, node: Any) -> None:
         """A shared subtree's last reference was unlinked."""
         if self._trans is not None:
+            # o1: allow(flow-bounded) -- shadow teardown of a dead subtree; audit work is off the charged path
             self._trans.unregister_subtree(node)
 
     def check_tlb_hit(self, space: Any, vaddr: int, entry: Any, write: bool) -> None:
@@ -134,25 +141,31 @@ class SanitizerSuite:
             self._count("rtlb_hit")
             self._trans.check_rtlb_hit(space, vaddr, entry, write)
 
+    @o1(note="clock-neutral shadow audit, compiled out when unarmed")
     def on_pbm_claim(self, ino: int, first_frame: int, frame_count: int) -> None:
         """A PBM mapping claimed a physical extent for ``ino``."""
         if self._trans is not None:
             self._count("pbm_claim")
+            # o1: allow(flow-bounded) -- shadow claim walk; audit work is off the charged path
             self._trans.claim_frames(ino, first_frame, frame_count)
 
+    @o1(note="clock-neutral shadow audit, compiled out when unarmed")
     def on_pbm_release(self, ino: int, first_frame: int, frame_count: int) -> None:
         """A PBM mapping released a physical extent."""
         if self._trans is not None:
+            # o1: allow(flow-bounded) -- shadow release walk; audit work is off the charged path
             self._trans.release_frames(ino, first_frame, frame_count)
 
     # ------------------------------------------------------------------
     # FrameSan hooks (mem / zeroing / cpu)
     # ------------------------------------------------------------------
+    @o1(note="clock-neutral shadow audit, compiled out when unarmed")
     def on_frame_alloc(self, allocator: Any, pfn: int, order: int) -> None:
         """The buddy allocator handed out a block."""
         if self._frame is not None:
             self._frame.on_dram_alloc(allocator, pfn, order)
 
+    @o1(note="clock-neutral shadow audit, compiled out when unarmed")
     def on_frame_free(self, allocator: Any, pfn: int) -> None:
         """The buddy allocator is freeing a block."""
         if self._frame is not None:
@@ -161,13 +174,17 @@ class SanitizerSuite:
         if self._trans is not None:
             order = allocator._allocated.get(pfn)
             frames = 1 << order if order is not None else 1
+            # o1: allow(flow-bounded) -- dangling-translation audit; off the charged path
             self._trans.check_frames_freed(pfn, frames, "buddy")
 
+    @o1(note="clock-neutral shadow audit, compiled out when unarmed")
     def on_nvm_alloc(self, allocator: Any, first_block: int, block_count: int) -> None:
         """The PMFS block allocator carved out an extent."""
         if self._frame is not None:
+            # o1: allow(flow-bounded) -- shadow ledger walk; audit work is off the charged path
             self._frame.on_nvm_alloc(allocator, first_block, block_count)
 
+    @o1(note="clock-neutral shadow audit, compiled out when unarmed")
     def on_nvm_free(
         self,
         allocator: Any,
@@ -183,21 +200,26 @@ class SanitizerSuite:
         """
         if self._frame is not None:
             self._count("nvm_free")
+            # o1: allow(flow-bounded) -- shadow ledger walk; audit work is off the charged path
             self._frame.on_nvm_free(allocator, first_block, block_count, check)
         if self._trans is not None and check:
+            # o1: allow(flow-bounded) -- dangling-translation audit; off the charged path
             self._trans.check_frames_freed(first_block, block_count, "pmfs")
 
+    @o1(note="clock-neutral shadow audit, compiled out when unarmed")
     def on_frame_access(self, paddr: int) -> None:
         """A CPU data access resolved to ``paddr``."""
         if self._frame is not None:
             self._count("frame_access")
             self._frame.check_access(paddr)
 
+    @o1(note="clock-neutral shadow audit, compiled out when unarmed")
     def on_frames_tainted(self, frames: Sequence[int]) -> None:
         """These frames now hold non-zero (or unrecoverable) contents."""
         if self._frame is not None:
             self._frame.taint(frames)
 
+    @o1(note="clock-neutral shadow audit, compiled out when unarmed")
     def on_frames_zeroed(self, frames: Sequence[int]) -> None:
         """These frames were zeroed."""
         if self._frame is not None:
@@ -209,6 +231,7 @@ class SanitizerSuite:
             self._count("zeropool_take")
             self._frame.check_zeroed_handout(pfn)
 
+    @o1(note="clock-neutral shadow audit, compiled out when unarmed")
     def on_frame_retired(self, allocator: Any, pfn: int) -> None:
         """RAS permanently retired a DRAM frame from the buddy allocator.
 
@@ -220,14 +243,18 @@ class SanitizerSuite:
             self._count("frame_retired")
             self._frame.on_dram_retired(allocator, pfn)
         if self._trans is not None:
+            # o1: allow(flow-bounded) -- single-frame dangling-translation audit; off the charged path
             self._trans.check_frames_freed(pfn, 1, "ras")
 
+    @o1(note="clock-neutral shadow audit, compiled out when unarmed")
     def on_nvm_retired(self, allocator: Any, first_block: int, block_count: int) -> None:
         """RAS retired NVM blocks onto the persisted badblock list."""
         if self._frame is not None:
             self._count("nvm_retired")
+            # o1: allow(flow-bounded) -- shadow ledger walk; audit work is off the charged path
             self._frame.on_nvm_retired(allocator, first_block, block_count)
         if self._trans is not None:
+            # o1: allow(flow-bounded) -- dangling-translation audit; off the charged path
             self._trans.check_frames_freed(first_block, block_count, "ras")
 
     # ------------------------------------------------------------------

@@ -27,6 +27,7 @@ from __future__ import annotations
 import bisect
 from typing import Any, Callable, Dict, Tuple
 
+from repro.lint.decorators import complexity
 from repro.units import PAGE_SIZE
 
 #: Signature of the suite's violation sink: (kind, message, details).
@@ -46,12 +47,14 @@ class TransSan:
     # ------------------------------------------------------------------
     # Shadow maintenance (PTE installs / removals)
     # ------------------------------------------------------------------
+    @complexity("n", note="one shadow ref per 4 KiB frame of the PTE")
     def register_pte(self, pte: Any) -> None:
         """A PTE was installed: count its frames as translated."""
         first = pte.paddr // PAGE_SIZE
         for frame in range(first, first + pte.page_size // PAGE_SIZE):
             self._refs[frame] = self._refs.get(frame, 0) + 1
 
+    @complexity("n", note="one shadow ref per 4 KiB frame of the PTE")
     def unregister_pte(self, pte: Any) -> None:
         """A PTE was removed.
 
@@ -68,6 +71,7 @@ class TransSan:
             else:
                 self._refs[frame] = count - 1
 
+    @complexity("n", note="one visit per live entry under the dead subtree")
     def unregister_subtree(self, node: Any) -> None:
         """A shared subtree's last reference dropped: unregister its leaves.
 
@@ -78,8 +82,10 @@ class TransSan:
         for entry in node.entries.values():
             if hasattr(entry, "entries"):
                 if getattr(entry, "refs", 1) <= 1:
+                    # o1: allow(flow-bounded) -- recursion depth is the fixed radix level count
                     self.unregister_subtree(entry)
             else:
+                # o1: allow(flow-bounded) -- per-leaf unregister; the subtree walk is the declared n
                 self.unregister_pte(entry)
 
     def reset(self) -> None:
@@ -157,6 +163,7 @@ class TransSan:
     # ------------------------------------------------------------------
     # Frame-free coherence
     # ------------------------------------------------------------------
+    @complexity("n", note="one shadow check per freed frame")
     def check_frames_freed(self, first_frame: int, frame_count: int, origin: str) -> None:
         """Frames are being freed: no live translation may reach them."""
         for frame in range(first_frame, first_frame + frame_count):
@@ -173,6 +180,7 @@ class TransSan:
     # ------------------------------------------------------------------
     # PBM aliasing
     # ------------------------------------------------------------------
+    @complexity("n", note="one shadow claim per frame of the extent")
     def claim_frames(self, ino: int, first_frame: int, frame_count: int) -> None:
         """A PBM mapping of file ``ino`` claims these frames."""
         for frame in range(first_frame, first_frame + frame_count):
@@ -188,6 +196,7 @@ class TransSan:
                 return
             self._claims[frame] = (ino, count + 1)
 
+    @complexity("n", note="one shadow release per frame of the extent")
     def release_frames(self, ino: int, first_frame: int, frame_count: int) -> None:
         """A PBM mapping of file ``ino`` released these frames."""
         for frame in range(first_frame, first_frame + frame_count):

@@ -29,9 +29,10 @@ from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel
 from repro.hw.rtlb import RangeEntry
 from repro.hw.tlb import TlbEntry
+from repro.lint import complexity, o1
 from repro.mem.frame_meta import FrameTable, PageFlags
 from repro.paging.fault import FaultType
-from repro.paging.hugepages import choose_page_runs
+from repro.paging.hugepages import SUPPORTED_PAGE_SIZES, choose_page_runs
 from repro.paging.pagetable import PageTable, Pte
 from repro.paging.walker import PageWalker
 from repro.units import CACHE_LINE, PAGE_SIZE, align_up
@@ -74,6 +75,7 @@ class AddressSpace:
         self.munmap_policy = "page"
         #: Optional LRU registry for the reclaim baseline.
         self.lru = None
+        # o1: allow(o1-size-loop) -- FaultType is a fixed enum, not operand data
         self.fault_stats: Dict[FaultType, int] = {kind: 0 for kind in FaultType}
 
     # ------------------------------------------------------------------
@@ -129,14 +131,26 @@ class AddressSpace:
             return False
         return True
 
+    @o1(note="sorted-neighbour probes; no scan of the VMA list")
     def _insert_vma(self, vma: Vma) -> Vma:
-        """Insert, merging with neighbours when Linux would."""
+        """Insert, merging with neighbours when Linux would.
+
+        Because ``_vmas`` is sorted and non-overlapping, only the
+        predecessor and successor of the insertion point can conflict
+        with (or merge into) the new VMA — two probes replace the old
+        whole-list overlap scan.
+        """
         self._clock.advance(self._costs.vma_insert_ns)
         self._counters.bump("vma_insert")
         index = bisect.bisect_left(self._starts, vma.start)
-        for other in self._vmas:
-            if other.overlaps(vma.start, vma.end):
-                raise MappingError(f"{vma!r} overlaps existing {other!r}")
+        if index > 0 and self._vmas[index - 1].end > vma.start:
+            raise MappingError(
+                f"{vma!r} overlaps existing {self._vmas[index - 1]!r}"
+            )
+        if index < len(self._vmas) and self._vmas[index].start < vma.end:
+            raise MappingError(
+                f"{vma!r} overlaps existing {self._vmas[index]!r}"
+            )
         # Merge with predecessor / successor when compatible.
         if index > 0 and self._vmas[index - 1].can_merge_with(vma):
             prev = self._vmas[index - 1]
@@ -170,6 +184,7 @@ class AddressSpace:
     # ------------------------------------------------------------------
     # mmap / munmap / mprotect
     # ------------------------------------------------------------------
+    @o1(note="constant map cost; MAP_POPULATE opts into the linear fill")
     def mmap(
         self,
         length: int,
@@ -204,9 +219,11 @@ class AddressSpace:
         )
         vma = self._insert_vma(vma)
         if flags & MapFlags.POPULATE:
+            # o1: allow(flow-bounded) -- MAP_POPULATE is explicit caller opt-in to the linear fill
             self.populate(addr, length)
         return vma
 
+    @complexity("n", note="one PTE write per page — the baseline's linear curve")
     def populate(self, addr: int, length: int) -> int:
         """Pre-fault ``[addr, addr+length)``; returns PTEs written.
 
@@ -225,6 +242,7 @@ class AddressSpace:
                 tracer.end()
         return self._populate(addr, length)
 
+    @complexity("n", note="one frame run, PTE write, and metadata touch per page")
     def _populate(self, addr: int, length: int) -> int:
         vma = self.find_vma(addr)
         if vma is None or addr + length > vma.end:
@@ -241,16 +259,12 @@ class AddressSpace:
         ):
             run_va = vma.start + (page_index - vma.backing_offset) * PAGE_SIZE
             run_pa = first_pfn * PAGE_SIZE
-            sizes = (
-                None if allow_huge else (PAGE_SIZE,)
-            )  # None = all supported sizes
-            runs = (
-                choose_page_runs(run_va, run_pa, run_pages * PAGE_SIZE)
-                if sizes is None
-                else choose_page_runs(
-                    run_va, run_pa, run_pages * PAGE_SIZE, allowed=sizes
-                )
+            sizes = SUPPORTED_PAGE_SIZES if allow_huge else (PAGE_SIZE,)
+            # o1: allow(flow-bounded) -- the runs partition the declared n pages
+            runs = choose_page_runs(
+                run_va, run_pa, run_pages * PAGE_SIZE, allowed=sizes
             )
+            # o1: allow(o1-size-loop, o1-charge-in-loop, o1-nested-size-loop) -- runs partition the declared n pages
             for va, pa, size in runs:
                 self._pt.map(va, pa // size, page_size=size, writable=writable)
                 self._clock.advance(self._costs.populate_page_ns)
@@ -261,6 +275,7 @@ class AddressSpace:
             if self._frame_table is not None and getattr(
                 vma.backing, "tracks_frame_meta", True
             ):
+                # o1: allow(o1-size-loop, o1-charge-in-loop, o1-nested-size-loop) -- frames of one run; runs partition the declared n
                 for pfn in range(first_pfn, first_pfn + run_pages):
                     meta = self._frame_table.get_ref(pfn)
                     meta.mapcount += 1
@@ -280,6 +295,7 @@ class AddressSpace:
             return False
         return True
 
+    @complexity("n", note="per-PTE baseline; extent policy pays per window instead")
     def munmap(self, addr: int, length: int) -> int:
         """Unmap ``[addr, addr+length)``; returns pages unmapped.
 
@@ -297,13 +313,21 @@ class AddressSpace:
                 tracer.end()
         return self._munmap(addr, length)
 
+    @complexity("n", note="teardown of every page (or window) the cut covers")
     def _munmap(self, addr: int, length: int) -> int:
         length = align_up(length, PAGE_SIZE)
         end = addr + length
         self._clock.advance(self._costs.mmap_lock_ns)
         self._counters.bump("munmap_call")
         unmapped = 0
-        for vma in [v for v in self._vmas if v.overlaps(addr, end)]:
+        # The overlapping VMAs form one contiguous run of the sorted
+        # list: bisect its bounds instead of scanning every VMA.
+        first = bisect.bisect_right(self._starts, addr) - 1
+        if first < 0 or self._vmas[first].end <= addr:
+            first += 1
+        last = bisect.bisect_left(self._starts, end)
+        # o1: allow(o1-size-loop) -- the overlapped VMAs partition the declared n pages
+        for vma in self._vmas[first:last]:
             if addr > vma.start and end < vma.end:
                 raise MappingError(
                     "punching a hole inside a VMA is not supported; unmap "
@@ -316,6 +340,7 @@ class AddressSpace:
             self.cpu.invalidate_space_range(addr, length, asid=self._asid)
         return unmapped
 
+    @complexity("n", note="page (or window) teardown plus COW-copy returns")
     def _unmap_vma_range(self, vma: Vma, start: int, end: int) -> int:
         """Tear down PTEs and backing for ``[start, end)`` of ``vma``."""
         extent = self.munmap_policy == "extent"
@@ -333,6 +358,7 @@ class AddressSpace:
         # COW copies for the range were order-0 frames the VMA owns;
         # return them to their allocator so they do not leak.
         allocator = getattr(vma.backing, "_allocator", None)
+        # o1: allow(o1-size-loop) -- one pop per private copy in the cut, within the declared n
         doomed = [
             vma.private_copies.pop(page_index)
             for page_index in list(vma.private_copies)
@@ -360,6 +386,7 @@ class AddressSpace:
             vma.end = start
         return pages
 
+    @complexity("n", note="one PTE visit per page — the baseline's linear loop")
     def _teardown_pages(self, vma: Vma, start: int, end: int) -> int:
         """Per-PTE teardown — the baseline's linear loop."""
         tracks_meta = getattr(vma.backing, "tracks_frame_meta", True)
@@ -371,6 +398,7 @@ class AddressSpace:
                 page_base = va - va % pte.page_size
                 self._pt.unmap(page_base, page_size=pte.page_size)
                 if self._frame_table is not None and tracks_meta:
+                    # o1: allow(o1-size-loop, o1-charge-in-loop, o1-nested-size-loop) -- 4 KiB frames of one PTE; pages partition the declared n
                     for pfn4k in range(
                         pte.paddr // PAGE_SIZE,
                         (pte.paddr + pte.page_size) // PAGE_SIZE,
@@ -385,6 +413,7 @@ class AddressSpace:
                 va += PAGE_SIZE
         return pages
 
+    @complexity("n", note="one pointer drop per window; packed windows fall back per-PTE")
     def _teardown_extent(self, vma: Vma, start: int, end: int) -> int:
         """Extent-granularity teardown: drop whole bottom-level subtrees.
 
@@ -405,6 +434,7 @@ class AddressSpace:
         while window_va < end:
             window_end = window_va + window_span
             if not self._window_droppable(vma, window_va, window_end, start, end):
+                # o1: allow(flow-bounded) -- fallback is capped by the fixed window span
                 pages += self._teardown_pages(
                     vma, max(start, window_va), min(end, window_end)
                 )
@@ -421,6 +451,7 @@ class AddressSpace:
             else:
                 entry = self._pt.subtree_at(window_va, bottom)
                 if entry is not None:
+                    # o1: allow(o1-size-loop, o1-charge-in-loop, o1-nested-size-loop) -- one fixed 512-entry node
                     pages += sum(
                         e.page_size // PAGE_SIZE
                         for e in entry.entries.values()
@@ -435,6 +466,7 @@ class AddressSpace:
         self._pt.sink_node_frames(dead_nodes)
         return pages
 
+    @o1(note="sorted-neighbour probes decide the window, no VMA scan")
     def _window_droppable(
         self, vma: Vma, window_va: int, window_end: int, start: int, end: int
     ) -> bool:
@@ -448,13 +480,17 @@ class AddressSpace:
             prev = self._vmas[index]
             if prev is not vma and prev.end > window_va:
                 return False
-        for probe in self._vmas[index + 1 :]:
+        # ``vma`` appears at most once among the successors, so the first
+        # two starting before window_end decide the question — no scan.
+        # o1: allow(o1-size-loop) -- two-element slice of the sorted VMA list
+        for probe in self._vmas[index + 1 : index + 3]:
             if probe.start >= window_end:
                 break
             if probe is not vma:
                 return False
         return True
 
+    @o1(note="one ordered VMA insert; fork duplicates per-VMA, not per-page")
     def adopt_vma(self, vma: Vma) -> Vma:
         """Insert an externally built VMA (the fork duplication path).
 
@@ -466,6 +502,7 @@ class AddressSpace:
         self._mmap_cursor = max(self._mmap_cursor, vma.end)
         return self._insert_vma(vma)
 
+    @o1(note="one VMA removal and one range invalidation — the O(1) unmap")
     def detach_vma(self, vma: Vma) -> None:
         """Remove a VMA *without* per-page PTE teardown.
 
@@ -478,6 +515,7 @@ class AddressSpace:
         if self.cpu is not None:
             self.cpu.invalidate_space_range(vma.start, vma.length, asid=self._asid)
 
+    @complexity("n", note="rewrites every resident PTE of the VMA")
     def mprotect(self, addr: int, length: int, prot: Protection) -> None:
         """Change protection; rewrites every resident PTE (linear)."""
         length = align_up(length, PAGE_SIZE)

@@ -16,10 +16,11 @@ class TestLintCommand:
         path = tmp_path / "lint_report.json"
         assert main(["lint", "--json", str(path)]) == 0
         report = json.loads(path.read_text())
-        assert report["version"] == 1
+        assert report["version"] == 2
         assert report["lint"]["violations"] == []
         assert report["lint"]["functions_checked"] >= 50
         assert report.get("fit") is None
+        assert report.get("flow") is None
 
     def test_lint_fit_single_op(self, capsys, tmp_path):
         path = tmp_path / "lint_report.json"
@@ -59,3 +60,42 @@ class TestLintCommand:
 
     def test_missing_root_exits_two(self, capsys, tmp_path):
         assert main(["lint", "--root", str(tmp_path / "nope")]) == 2
+
+    def test_interproc_clean_with_artifacts(self, capsys, tmp_path):
+        report_path = tmp_path / "lint_report.json"
+        dot_path = tmp_path / "callgraph.dot"
+        assert main(
+            ["lint", "--interproc", "--json", str(report_path),
+             "--dot", str(dot_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "o1 flow:" in out
+        assert "0 finding(s)" in out
+        assert "2/2 controls verified" in out
+        assert "0 stale suppression(s)" in out
+        assert dot_path.read_text().startswith("digraph")
+        report = json.loads(report_path.read_text())
+        assert report["version"] == 2
+        assert report["flow"]["findings"] == []
+        assert len(report["flow"]["controls_verified"]) == 2
+        assert report["flow"]["stale_suppressions"] == []
+
+    def test_interproc_dirty_tree_exits_one(self, capsys, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(
+            "from repro.lint import o1\n\n"
+            "@o1\ndef entry(pages):\n    return helper(pages)\n\n"
+            "def helper(pages):\n"
+            "    total = 0\n"
+            "    for p in pages:\n        total += p\n"
+            "    return total\n"
+        )
+        empty = tmp_path / "baseline.json"
+        empty.write_text('{"version": 1, "entries": []}')
+        assert main(
+            ["lint", "--interproc", "--root", str(pkg),
+             "--baseline", str(empty), "--flow-baseline", str(empty)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "flow-cost-exceeds-declared" in out

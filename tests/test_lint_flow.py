@@ -1,0 +1,518 @@
+"""Interprocedural O(1) conformance: repro.lint.flow and friends.
+
+Covers the call-graph builder, the transitive cost summaries, the
+must-call protocol checks, the planted controls, stale-suppression
+detection, the flow section of ``lint_report.json``, the flow baseline
+round-trip — and the two intraprocedural false negatives this pass
+exists to close, pinned as regression tests.
+"""
+
+import json
+import re
+import shutil
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint.astcheck import lint_tree
+from repro.lint.baseline import apply_baseline, load_baseline
+from repro.lint.callgraph import build_callgraph
+from repro.lint.flow import ALLOWABLE_RULES, CONTROLS, run_flow
+from repro.lint.protocols import (
+    RULE_FLOW_PERSIST,
+    RULE_STALE_TRANSLATION,
+    compute_protocols,
+)
+from repro.lint.report import REPORT_VERSION, build_report, render_text
+from repro.lint.summaries import (
+    RULE_COST_EXCEEDS,
+    RULE_UNDECLARED,
+    Cost,
+    SummaryTable,
+)
+
+REPRO_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def make_pkg(tmp_path: Path, files: dict) -> Path:
+    """Materialise a throwaway package for the analyses to chew on."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir(exist_ok=True)
+    (pkg / "__init__.py").write_text("")
+    for name, source in files.items():
+        path = pkg / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return pkg
+
+
+def flow(pkg: Path, with_intra: bool = False):
+    intra_used = None
+    if with_intra:
+        intra_used = {
+            p: set(lines)
+            for p, lines in lint_tree(pkg).used_allows.items()
+        }
+    return run_flow(pkg, package="pkg", intra_used=intra_used)
+
+
+# ---------------------------------------------------------------------------
+# Call graph
+# ---------------------------------------------------------------------------
+class TestCallGraph:
+    def test_module_function_resolution(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"mod.py": """
+            def caller(x):
+                return helper(x)
+
+            def helper(x):
+                return x
+        """})
+        graph = build_callgraph(pkg, package="pkg")
+        assert "pkg.mod.helper" in list(graph.callees("pkg.mod.caller"))
+
+    def test_self_method_resolution(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"mod.py": """
+            class Thing:
+                def outer(self):
+                    return self.inner()
+
+                def inner(self):
+                    return 1
+        """})
+        graph = build_callgraph(pkg, package="pkg")
+        assert "pkg.mod.Thing.inner" in list(
+            graph.callees("pkg.mod.Thing.outer")
+        )
+
+    def test_annotated_attribute_dispatch(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"mod.py": """
+            class Dep:
+                def run(self):
+                    return 1
+
+            class Owner:
+                def __init__(self, dep: Dep) -> None:
+                    self._dep = dep
+
+                def go(self):
+                    return self._dep.run()
+        """})
+        graph = build_callgraph(pkg, package="pkg")
+        assert "pkg.mod.Dep.run" in list(graph.callees("pkg.mod.Owner.go"))
+
+    def test_cross_module_resolution(self, tmp_path):
+        pkg = make_pkg(tmp_path, {
+            "a.py": """
+                from pkg.b import worker
+
+                def caller(x):
+                    return worker(x)
+            """,
+            "b.py": """
+                def worker(x):
+                    return x
+            """,
+        })
+        graph = build_callgraph(pkg, package="pkg")
+        assert "pkg.b.worker" in list(graph.callees("pkg.a.caller"))
+
+    def test_dot_export_mentions_edges(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"mod.py": """
+            def caller(x):
+                return helper(x)
+
+            def helper(x):
+                return x
+        """})
+        graph = build_callgraph(pkg, package="pkg")
+        dot = graph.to_dot()
+        assert dot.startswith("digraph")
+        assert "pkg.mod.caller" in dot
+        assert "->" in dot
+
+
+# ---------------------------------------------------------------------------
+# Cost summaries
+# ---------------------------------------------------------------------------
+class TestSummaries:
+    def test_linear_helper_propagates_to_o1_caller(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"mod.py": """
+            from repro.lint import o1
+
+            @o1
+            def entry(pages):
+                return helper(pages)
+
+            def helper(pages):
+                total = 0
+                for page in pages:
+                    total += page
+                return total
+        """})
+        graph = build_callgraph(pkg, package="pkg")
+        table = SummaryTable(graph)
+        assert table.summaries["pkg.mod.helper"].cost is Cost.LINEAR
+        assert table.summaries["pkg.mod.entry"].cost is Cost.LINEAR
+        chain = table.witness_chain("pkg.mod.entry")
+        assert chain, "exceeding summary must carry a witness chain"
+
+    def test_constant_callee_in_loop_scales_to_linear(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"mod.py": """
+            from repro.lint import o1
+
+            @o1
+            def tick():
+                return 1
+
+            def walk(pages):
+                for page in pages:
+                    tick()
+        """})
+        graph = build_callgraph(pkg, package="pkg")
+        table = SummaryTable(graph)
+        assert table.summaries["pkg.mod.walk"].cost is Cost.LINEAR
+
+    def test_log_callee_in_loop_scales_to_linearithmic(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"mod.py": """
+            from repro.lint import complexity
+
+            @complexity("log n")
+            def probe(x):
+                return x
+
+            def walk(pages):
+                for page in pages:
+                    probe(page)
+        """})
+        graph = build_callgraph(pkg, package="pkg")
+        table = SummaryTable(graph)
+        assert table.summaries["pkg.mod.walk"].cost is Cost.LINEARITHMIC
+
+    def test_mutual_recursion_is_unbounded(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"mod.py": """
+            def ping(x):
+                return pong(x)
+
+            def pong(x):
+                return ping(x)
+        """})
+        graph = build_callgraph(pkg, package="pkg")
+        table = SummaryTable(graph)
+        assert table.summaries["pkg.mod.ping"].cost is Cost.UNBOUNDED
+        assert table.summaries["pkg.mod.pong"].cost is Cost.UNBOUNDED
+
+
+# ---------------------------------------------------------------------------
+# Regression: the intraprocedural false negatives this pass closes
+# ---------------------------------------------------------------------------
+class TestIntraFalseNegatives:
+    def test_loop_in_undeclared_callee(self, tmp_path):
+        """Intra sees a single call in the @o1 body and stays silent; the
+        flow pass walks into the helper and finds the loop."""
+        pkg = make_pkg(tmp_path, {"mod.py": """
+            from repro.lint import o1
+
+            @o1
+            def entry(pages):
+                return helper(pages)
+
+            def helper(pages):
+                total = 0
+                for page in pages:
+                    total += page
+                return total
+        """})
+        intra = lint_tree(pkg)
+        assert intra.violations == []
+        result = flow(pkg)
+        findings = [f for f in result.findings if f.rule == RULE_COST_EXCEEDS]
+        assert [f.function for f in findings] == ["pkg.mod.entry"]
+        assert any("helper" in hop.fid for hop in findings[0].chain)
+
+    def test_commit_in_helper_persist(self, tmp_path):
+        """The apply site carries the classic "caller commits" allow, so
+        intra is silent — and no caller on the path ever commits."""
+        pkg = make_pkg(tmp_path, {"mod.py": """
+            def root_op(fs):
+                _helper_apply(fs)
+
+            def _helper_apply(fs):
+                fs._apply_alloc(None)  # o1: allow(persist-outside-txn) -- caller commits
+        """})
+        intra = lint_tree(pkg)
+        assert intra.violations == []
+        result = flow(pkg)
+        findings = [f for f in result.findings if f.rule == RULE_FLOW_PERSIST]
+        assert any(f.function == "pkg.mod.root_op" for f in findings)
+
+    def test_commit_on_path_stays_clean(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"mod.py": """
+            def root_op(fs):
+                fs._journal_commit()
+                _helper_apply(fs)
+
+            def _helper_apply(fs):
+                fs._apply_alloc(None)  # o1: allow(persist-outside-txn) -- caller commits
+        """})
+        result = flow(pkg)
+        assert [f for f in result.findings if f.rule == RULE_FLOW_PERSIST] == []
+
+
+# ---------------------------------------------------------------------------
+# Must-call protocol: page-table mutation vs TLB invalidation
+# ---------------------------------------------------------------------------
+_SYSCALL_FIXTURE = """
+    class PageTable:
+        def unmap(self, va):
+            return va
+
+    class Tlb:
+        def flush_all(self):
+            return 0
+
+    class Syscalls:
+        def __init__(self, pt: PageTable, tlb: Tlb) -> None:
+            self._pt = pt
+            self._tlb = tlb
+
+        def munmap(self, va):
+            self._pt.unmap(va)
+            {epilogue}
+"""
+
+
+class TestStaleTranslationProtocol:
+    def test_mutation_without_invalidation_flagged(self, tmp_path):
+        pkg = make_pkg(tmp_path, {
+            "mod.py": _SYSCALL_FIXTURE.format(epilogue="return va"),
+        })
+        result = flow(pkg)
+        findings = [
+            f for f in result.findings if f.rule == RULE_STALE_TRANSLATION
+        ]
+        assert [f.function for f in findings] == ["pkg.mod.Syscalls.munmap"]
+        assert findings[0].chain, "protocol finding must show the mutation"
+
+    def test_mutation_with_invalidation_clean(self, tmp_path):
+        pkg = make_pkg(tmp_path, {
+            "mod.py": _SYSCALL_FIXTURE.format(
+                epilogue="self._tlb.flush_all()\n            return va"
+            ),
+        })
+        result = flow(pkg)
+        assert [
+            f for f in result.findings if f.rule == RULE_STALE_TRANSLATION
+        ] == []
+
+    def test_protocol_effects_computed_per_function(self, tmp_path):
+        pkg = make_pkg(tmp_path, {
+            "mod.py": _SYSCALL_FIXTURE.format(epilogue="return va"),
+        })
+        graph = build_callgraph(pkg, package="pkg")
+        protocols = compute_protocols(graph)
+        effect = protocols.tlb["pkg.mod.Syscalls.munmap"]
+        assert effect.gen and not effect.kill
+
+
+# ---------------------------------------------------------------------------
+# The real tree: clean gate, verified controls, mutant detection
+# ---------------------------------------------------------------------------
+class TestRealTree:
+    @pytest.fixture(scope="class")
+    def real_flow(self):
+        intra = lint_tree(REPRO_ROOT)
+        used = {p: set(lines) for p, lines in intra.used_allows.items()}
+        return intra, run_flow(REPRO_ROOT, intra_used=used)
+
+    def test_tree_is_clean_with_empty_baseline(self, real_flow):
+        intra, result = real_flow
+        assert intra.violations == []
+        assert result.findings == []
+
+    def test_no_stale_suppressions(self, real_flow):
+        _, result = real_flow
+        assert result.stale_suppressions == []
+
+    def test_planted_controls_fire_with_chains(self, real_flow):
+        _, result = real_flow
+        fired = {(f.function, f.rule) for f in result.controls_verified}
+        assert fired == set(CONTROLS)
+        for finding in result.controls_verified:
+            assert finding.chain, (
+                f"control {finding.function} must carry its call chain"
+            )
+
+    def test_entries_cover_syscalls_and_kernel(self, real_flow):
+        _, result = real_flow
+        names = set(result.entries)
+        assert "repro.kernel.kernel.Kernel.fork" in names
+        assert "repro.kernel.syscalls.Syscalls.mmap" in names
+
+    def test_munmap_without_invalidation_caught(self, tmp_path):
+        """Mutant: drop the TLB shootdown from AddressSpace._munmap and
+        the stale-translation protocol must go red statically."""
+        mutant_root = tmp_path / "repro"
+        shutil.copytree(REPRO_ROOT, mutant_root)
+        target = mutant_root / "vm" / "addrspace.py"
+        source = target.read_text()
+        mutated = re.sub(
+            r"\n        if self\.cpu is not None:\n"
+            r"            self\.cpu\.invalidate_space_range\("
+            r"addr, length, asid=self\._asid\)\n",
+            "\n",
+            source,
+        )
+        assert mutated != source, "mutation target not found"
+        target.write_text(mutated)
+        result = run_flow(mutant_root)
+        stale = [
+            f for f in result.findings if f.rule == RULE_STALE_TRANSLATION
+        ]
+        assert any(
+            f.function == "repro.kernel.syscalls.Syscalls.munmap"
+            for f in stale
+        ), f"expected Syscalls.munmap flagged, got {[f.function for f in stale]}"
+
+
+# ---------------------------------------------------------------------------
+# Stale-suppression detection
+# ---------------------------------------------------------------------------
+class TestStaleSuppressions:
+    def test_dead_allow_reported(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"mod.py": """
+            from repro.lint import o1
+
+            @o1
+            def fine():
+                # o1: allow(o1-size-loop) -- obsolete: the loop is long gone
+                return 1
+        """})
+        result = flow(pkg, with_intra=True)
+        assert len(result.stale_suppressions) == 1
+        stale = result.stale_suppressions[0]
+        assert stale.rules == ("o1-size-loop",)
+        assert stale.path.endswith("mod.py")
+
+    def test_used_allow_not_reported(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"mod.py": """
+            from repro.lint import o1
+
+            @o1
+            def clamp(entries):
+                total = 0
+                # o1: allow(o1-size-loop) -- bounded table by construction
+                for entry in entries:
+                    total += entry
+                return total
+        """})
+        result = flow(pkg, with_intra=True)
+        assert result.stale_suppressions == []
+
+
+# ---------------------------------------------------------------------------
+# Report schema and baseline round-trip
+# ---------------------------------------------------------------------------
+class TestFlowReport:
+    def _fixture_result(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"mod.py": """
+            from repro.lint import o1
+
+            @o1
+            def entry(pages):
+                return helper(pages)
+
+            def helper(pages):
+                total = 0
+                for page in pages:
+                    total += page
+                return total
+        """})
+        return lint_tree(pkg), flow(pkg)
+
+    def test_flow_section_schema(self, tmp_path):
+        intra, result = self._fixture_result(tmp_path)
+        outcome = apply_baseline(intra.violations, [])
+        flow_outcome = apply_baseline(result.findings, [])
+        report = build_report(
+            intra, outcome, flow=result, flow_outcome=flow_outcome
+        )
+        assert report["version"] == REPORT_VERSION == 2
+        section = report["flow"]
+        assert set(section) == {
+            "entries", "files", "functions", "call_sites", "findings",
+            "baseline_suppressed", "stale_baseline_entries",
+            "controls_verified", "stale_suppressions",
+        }
+        assert section["call_sites"]["resolved"] <= section["call_sites"]["total"]
+        (finding,) = [
+            f for f in section["findings"]
+            if f["rule"] == RULE_COST_EXCEEDS
+        ]
+        assert finding["function"] == "pkg.mod.entry"
+        assert finding["chain"], "chain must be serialised"
+        hop = finding["chain"][-1]
+        assert set(hop) == {"function", "path", "line", "note"}
+
+    def test_render_text_shows_chain(self, tmp_path):
+        intra, result = self._fixture_result(tmp_path)
+        outcome = apply_baseline(intra.violations, [])
+        flow_outcome = apply_baseline(result.findings, [])
+        text = render_text(
+            intra, outcome, flow=result, flow_outcome=flow_outcome
+        )
+        assert "o1 flow:" in text
+        assert "FINDING" in text
+        assert "pkg.mod.helper" in text  # the witness hop, not just the root
+
+    def test_baseline_round_trip(self, tmp_path):
+        _, result = self._fixture_result(tmp_path)
+        exceed = [
+            f for f in result.findings if f.rule == RULE_COST_EXCEEDS
+        ]
+        baseline_path = tmp_path / "flow_baseline.json"
+        baseline_path.write_text(json.dumps({
+            "version": 1,
+            "entries": [
+                {
+                    "function": f.function,
+                    "rule": f.rule,
+                    "reason": "pinned for the round-trip test",
+                }
+                for f in exceed
+            ],
+        }))
+        entries = load_baseline(baseline_path, known_rules=ALLOWABLE_RULES)
+        outcome = apply_baseline(result.findings, entries)
+        assert outcome.suppressed == exceed
+        assert outcome.stale == []
+        assert all(f.rule != RULE_COST_EXCEEDS for f in outcome.new)
+
+    def test_baseline_stale_entry_detected(self, tmp_path):
+        _, result = self._fixture_result(tmp_path)
+        baseline_path = tmp_path / "flow_baseline.json"
+        baseline_path.write_text(json.dumps({
+            "version": 1,
+            "entries": [{
+                "function": "pkg.mod.gone",
+                "rule": RULE_UNDECLARED,
+                "reason": "the function this pinned was deleted",
+            }],
+        }))
+        entries = load_baseline(baseline_path, known_rules=ALLOWABLE_RULES)
+        outcome = apply_baseline(result.findings, entries)
+        assert [e.function for e in outcome.stale] == ["pkg.mod.gone"]
+
+    def test_baseline_rejects_unknown_rule(self, tmp_path):
+        baseline_path = tmp_path / "flow_baseline.json"
+        baseline_path.write_text(json.dumps({
+            "version": 1,
+            "entries": [{
+                "function": "pkg.mod.f",
+                "rule": "flow-not-a-rule",
+                "reason": "typo",
+            }],
+        }))
+        with pytest.raises(ValueError, match="unknown rule"):
+            load_baseline(baseline_path, known_rules=ALLOWABLE_RULES)
