@@ -371,6 +371,33 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             dot_path.write_text(flow.graph.to_dot(), encoding="utf-8")
             print(f"wrote call graph to {args.dot}")
 
+    alloc = None
+    alloc_outcome = None
+    allocfit_results = None
+    if args.alloc:
+        from repro.lint.alloc import (
+            DEFAULT_ALLOC_BASELINE,
+            load_alloc_baseline,
+            run_alloc,
+        )
+        from repro.lint.allocfit import run_allocfit
+
+        alloc = run_alloc(
+            root, graph=flow.graph if flow is not None else None
+        )
+        alloc_baseline_path = (
+            Path(args.alloc_baseline)
+            if args.alloc_baseline
+            else DEFAULT_ALLOC_BASELINE
+        )
+        alloc_baseline = (
+            load_alloc_baseline(alloc_baseline_path)
+            if alloc_baseline_path.exists()
+            else []
+        )
+        alloc_outcome = apply_baseline(alloc.findings, alloc_baseline)
+        allocfit_results = run_allocfit()
+
     fits = None
     sizes = None
     if args.fit:
@@ -379,11 +406,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         sizes = HEAVY_SIZES if args.sizes == "heavy" else LIGHT_SIZES
         fits = fit_all(sizes, names=args.op or None)
 
-    print(render_text(result, outcome, fits, flow=flow, flow_outcome=flow_outcome))
+    print(render_text(
+        result, outcome, fits,
+        flow=flow, flow_outcome=flow_outcome,
+        alloc=alloc, alloc_outcome=alloc_outcome,
+        allocfit_results=allocfit_results,
+    ))
     if args.json is not None:
         report = build_report(
             result, outcome, fits, sizes=sizes,
             flow=flow, flow_outcome=flow_outcome,
+            alloc=alloc, alloc_outcome=alloc_outcome,
+            allocfit_results=allocfit_results,
         )
         write_json(Path(args.json), report)
         print(f"wrote machine-readable report to {args.json}")
@@ -397,6 +431,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             or bool(flow_outcome.stale)
             or bool(flow.stale_suppressions)
         )
+    if alloc_outcome is not None:
+        assert alloc is not None
+        failed = (
+            failed
+            or bool(alloc_outcome.new)
+            or bool(alloc_outcome.stale)
+            or bool(alloc.stale_suppressions)
+        )
+    if allocfit_results is not None:
+        failed = failed or any(not r.ok for r in allocfit_results)
     if fits is not None:
         failed = failed or any(not f.ok for f in fits)
     return 1 if failed else 0
@@ -621,6 +665,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--dot", metavar="PATH", default=None,
         help="with --interproc, write the call graph in Graphviz DOT "
              "format here",
+    )
+    lint.add_argument(
+        "--alloc", action="store_true",
+        help="also run AllocSan: allocation-shape analysis certifying "
+             "@allocfree/@allocbound declarations over the hot-path "
+             "closure, plus the tracemalloc empirical cross-check",
+    )
+    lint.add_argument(
+        "--alloc-baseline", default=None,
+        help="baseline file for --alloc findings "
+             "(default: the checked-in repro/lint/alloc_baseline.json; "
+             "hot-closure findings can never be baselined)",
     )
     lint.set_defaults(func=_cmd_lint)
     bench = sub.add_parser(

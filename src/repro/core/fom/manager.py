@@ -176,6 +176,7 @@ class FileOnlyMemory:
         """Map an *existing* file (named persistent data, or re-open after
         a crash)."""
         strategy = strategy or self.default_strategy
+        # o1: allow(flow-bounded) -- path depth, not region size
         inode = self._fs.lookup(path)
         length = inode.page_count * PAGE_SIZE
         if length == 0:
@@ -393,6 +394,7 @@ class FileOnlyMemory:
             # so no translation outlives the storage.
             # o1: allow(flow-bounded) -- a handful of cached donor variants per file
             self.ptcache.invalidate(region.inode.ino)
+            # o1: allow(flow-bounded) -- path depth, not region size
             self._fs.unlink(region.path)
         regions = self._regions_by_pid.get(region.process.pid, [])
         if region in regions:

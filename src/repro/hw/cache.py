@@ -20,6 +20,7 @@ from typing import Callable, Optional
 
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel, MemoryTechnology
+from repro.lint.decorators import allocfree
 from repro.units import CACHE_LINE
 
 
@@ -63,6 +64,7 @@ class CacheModel:
     # ------------------------------------------------------------------
     # Core operation
     # ------------------------------------------------------------------
+    @allocfree(note="mask, probe, move-to-end: no per-reference objects")
     def reference(self, paddr: int, write: bool = False) -> int:
         """Reference one cache line at physical address ``paddr``.
 

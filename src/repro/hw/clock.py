@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, Iterator, Tuple
 
+from repro.lint.decorators import allocfree
+
 
 class SimClock:
     """Monotonic simulated clock, in integer nanoseconds.
@@ -31,6 +33,7 @@ class SimClock:
         """Current simulated time in nanoseconds since boot."""
         return self._now
 
+    @allocfree(note="one int add on the accumulator")
     def advance(self, ns: int) -> None:
         """Move time forward by ``ns`` nanoseconds (must be non-negative)."""
         if ns < 0:
@@ -80,6 +83,7 @@ class EventCounters:
     def __init__(self) -> None:
         self._counts: Counter = Counter()
 
+    @allocfree(note="one Counter increment on an existing key")
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount``."""
         self._counts[name] += amount

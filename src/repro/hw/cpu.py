@@ -17,7 +17,7 @@ in without circular imports.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
 
 from repro.errors import ProtectionError
 from repro.hw.cache import CacheModel
@@ -25,8 +25,11 @@ from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel
 from repro.hw.rtlb import RangeEntry, RangeTlb
 from repro.hw.tlb import Tlb, TlbEntry
-from repro.lint.decorators import complexity, o1
+from repro.lint.decorators import allocbound, allocfree, complexity, o1
 from repro.units import CACHE_LINE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.trace import Tracer
 
 
 @runtime_checkable
@@ -102,6 +105,7 @@ class Cpu:
     # Access path
     # ------------------------------------------------------------------
     @o1(note="TLB hit or one fault round-trip; the retry cap is a constant")
+    @allocfree(note="the hit path constructs nothing; traced and fault worlds are cold")
     def access(self, space: TranslationContext, vaddr: int, write: bool = False) -> int:
         """Perform one 1-line memory access at ``vaddr``.
 
@@ -112,45 +116,92 @@ class Cpu:
         if vaddr < 0:
             raise ProtectionError(f"negative virtual address {vaddr:#x}")
         tracer = self._counters.tracer
-        traced = tracer is not None and tracer.enabled
-        if traced:
-            tracer.begin("access", "cpu")
+        if tracer is not None and tracer.enabled:
+            # alloc: allow(cold-call) -- tracer-armed runs only
+            return self._access_traced(space, vaddr, write, tracer)
+        paddr = self._translate(space, vaddr, write)
+        if paddr is not None:
+            return self._finish_access(paddr, write)
+        # alloc: allow(cold-call) -- fault path; the trap world charges itself
+        return self._access_fault(space, vaddr, write)
+
+    @o1(note="traced mirror of access(); same bounded retry and charges")
+    def _access_traced(
+        self, space: TranslationContext, vaddr: int, write: bool, tracer: "Tracer"
+    ) -> int:
+        """Access with span bookkeeping; charge sequence matches access()."""
+        tracer.begin("access", "cpu")
         try:
-            # o1: allow(o1-size-loop, o1-charge-in-loop) -- fault retries capped at _MAX_FAULT_RETRIES
+            # o1: allow(o1-size-loop) -- fault retries capped at _MAX_FAULT_RETRIES
             for _ in range(self._MAX_FAULT_RETRIES):
                 paddr = self._translate(space, vaddr, write)
                 if paddr is not None:
-                    san = getattr(self._counters, "sanitize", None)
-                    if san is not None:
-                        san.on_frame_access(paddr)
-                    ras = getattr(self._counters, "ras", None)
-                    if ras is not None:
-                        # Media check: retries transient errors on the
-                        # simulated clock; consuming poison raises the
-                        # machine-check trap to the kernel.
-                        ras.check_access(paddr, write=write)
-                    self._cache.reference(paddr, write=write)
-                    return paddr
+                    return self._finish_access(paddr, write)
                 # No translation (or a permission upgrade needed): fault to OS.
-                if traced:
-                    tracer.begin("fault", "fault", args={"vaddr": hex(vaddr)})
+                tracer.begin("fault", "fault", args={"vaddr": hex(vaddr)})
                 try:
-                    self._clock.advance(self._costs.fault_trap_ns)
-                    self._counters.bump("fault_trap")
-                    space.handle_fault(vaddr, write)
-                    self._clock.advance(self._costs.fault_return_ns)
+                    self._fault_round_trip(space, vaddr, write)
                 finally:
-                    if traced:
-                        tracer.end()
+                    tracer.end()
             raise ProtectionError(
                 f"fault handler failed to map {vaddr:#x} after "
                 f"{self._MAX_FAULT_RETRIES} retries"
             )
         finally:
-            if traced:
-                tracer.end()
+            tracer.end()
+
+    @o1(note="bounded fault retry; every charge lives in the round-trip helper")
+    @allocbound(1, note="fault world: handler-side state is charged to the OS path")
+    def _access_fault(self, space: TranslationContext, vaddr: int, write: bool) -> int:
+        """Untraced slow path, entered after one failed translation.
+
+        The charge sequence is identical to the pre-split retry loop:
+        success after ``k`` faults costs ``k + 1`` translations and ``k``
+        round trips; exhaustion costs ``_MAX_FAULT_RETRIES`` of each.
+        """
+        # o1: allow(o1-size-loop) -- fault retries capped at _MAX_FAULT_RETRIES
+        for _ in range(self._MAX_FAULT_RETRIES - 1):
+            self._fault_round_trip(space, vaddr, write)
+            paddr = self._translate(space, vaddr, write)
+            if paddr is not None:
+                return self._finish_access(paddr, write)
+        self._fault_round_trip(space, vaddr, write)
+        raise ProtectionError(
+            f"fault handler failed to map {vaddr:#x} after "
+            f"{self._MAX_FAULT_RETRIES} retries"
+        )
+
+    @o1(note="one trap, one handler invocation, one return — fixed charges")
+    @allocbound(2, note="the OS handler may build bounded per-fault state")
+    def _fault_round_trip(
+        self, space: TranslationContext, vaddr: int, write: bool
+    ) -> None:
+        """One fault trap: enter the OS, resolve (or not), return."""
+        self._clock.advance(self._costs.fault_trap_ns)
+        self._counters.bump("fault_trap")
+        space.handle_fault(vaddr, write)
+        self._clock.advance(self._costs.fault_return_ns)
+
+    @o1(note="hook checks plus one cache reference")
+    @allocfree(note="sanitizer/RAS worlds are cold; the reference is shape-free")
+    def _finish_access(self, paddr: int, write: bool) -> int:
+        """Post-translation tail: hooks, then the data reference itself."""
+        san = getattr(self._counters, "sanitize", None)
+        if san is not None:
+            # alloc: allow(cold-call) -- sanitized runs only
+            san.on_frame_access(paddr)
+        ras = getattr(self._counters, "ras", None)
+        if ras is not None:
+            # Media check: retries transient errors on the simulated
+            # clock; consuming poison raises the machine-check trap.
+            # (The untyped handle keeps this edge out of the certified
+            # closure; RAS-armed runs pay for their own checks.)
+            ras.check_access(paddr, write=write)
+        self._cache.reference(paddr, write=write)
+        return paddr
 
     @complexity("n", note="one access per stride step across the range")
+    @allocbound(1, note="one range object for the stride walk")
     def access_range(
         self,
         space: TranslationContext,
@@ -175,6 +226,7 @@ class Cpu:
     # ------------------------------------------------------------------
     # Translation machinery
     # ------------------------------------------------------------------
+    @allocfree(note="probe-and-bump only; miss-path fills are cold")
     def _translate(
         self, space: TranslationContext, vaddr: int, write: bool
     ) -> Optional[int]:
@@ -197,6 +249,7 @@ class Cpu:
             if range_entry is not None:
                 self._counters.bump("rtlb_miss")
                 self._clock.advance(self._costs.rtlb_fill_ns)
+                # alloc: allow(cold-call) -- miss fill; the hit certificate excludes refills
                 self._rtlb.insert(range_entry)
                 if write and not range_entry.writable:
                     return None
@@ -222,6 +275,7 @@ class Cpu:
         if write and not walked.writable:
             return None
         self._clock.advance(self._costs.tlb_fill_ns)
+        # alloc: allow(cold-call) -- miss fill; the hit certificate excludes refills
         self._tlb.insert(walked)
         return walked.paddr + vaddr % walked.page_size
 

@@ -18,7 +18,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.lint import o1
+from repro.lint import allocbound, allocfree, o1
 
 
 @dataclass(frozen=True)
@@ -65,6 +65,7 @@ class RangeTlb:
         return self._capacity
 
     @o1(note="fully associative probe bounded by fixed capacity (<= 32)")
+    @allocfree(note="scan and move-to-end: no per-probe objects")
     def lookup(self, vaddr: int, asid: int = 0) -> Optional[RangeEntry]:
         """Entry covering ``vaddr`` for ``asid``, or None on miss."""
         # o1: allow(o1-size-loop) -- associative scan capped at capacity
@@ -75,6 +76,7 @@ class RangeTlb:
         return None
 
     @o1(note="one associative fill + possible LRU eviction")
+    @allocbound(1, note="one association per fill; eviction hands the entry back")
     def insert(self, entry: RangeEntry) -> Optional[RangeEntry]:
         """Install ``entry``; returns the LRU entry evicted, if any."""
         if entry.limit <= 0:

@@ -9,6 +9,11 @@ flush.
 
 The TLB stores *translations only*; costs for lookups and fills are charged
 by the CPU front-end (:mod:`repro.hw.cpu`) using the shared cost model.
+
+Every set of every array is preallocated at construction and tags are
+packed into a single int key (``vpn << 16 | asid``), so the lookup and
+invalidate paths construct no Python objects per probe — the property
+AllocSan certifies and ``lint --alloc`` cross-checks empirically.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
-from repro.lint import o1
+from repro.lint import allocbound, allocfree, o1
 from repro.units import HUGE_PAGE_1G, HUGE_PAGE_2M, PAGE_SIZE
 
 
@@ -55,6 +60,12 @@ DEFAULT_GEOMETRY: Dict[int, Tuple[int, int]] = {
     HUGE_PAGE_1G: (1, 4),
 }
 
+#: Tag packing: entries are keyed by ``(vpn << _ASID_BITS) | asid``, one
+#: int instead of an (asid, vpn) tuple per probe.  x86 PCID is 12 bits;
+#: 16 leaves headroom for synthetic test ASIDs.
+_ASID_BITS = 16
+_ASID_MASK = (1 << _ASID_BITS) - 1
+
 
 class Tlb:
     """Split, set-associative TLB with LRU replacement per set.
@@ -76,10 +87,21 @@ class Tlb:
         for size, (sets, ways) in self._geometry.items():
             if sets <= 0 or ways <= 0:
                 raise ValueError(f"bad TLB geometry for page size {size}")
-        # arrays[page_size][set_index] = OrderedDict[(asid, vpn) -> TlbEntry]
-        self._arrays: Dict[int, Dict[int, "OrderedDict[Tuple[int, int], TlbEntry]"]] = {
-            size: {} for size in self._geometry
+        # arrays[page_size][set_index] = OrderedDict[packed key -> TlbEntry].
+        # Every set exists from construction so the insert path never
+        # builds a container.
+        self._arrays: Dict[int, Dict[int, "OrderedDict[int, TlbEntry]"]] = {
+            size: {index: OrderedDict() for index in range(sets)}
+            for size, (sets, _ways) in self._geometry.items()
         }
+        #: Probe order for the hit path, smallest page size first; the
+        #: tuple is built once so lookups only unpack it.
+        self._probe: Tuple[
+            Tuple[int, int, Dict[int, "OrderedDict[int, TlbEntry]"]], ...
+        ] = tuple(
+            (size, self._geometry[size][0], self._arrays[size])
+            for size in sorted(self._geometry)
+        )
 
     @property
     def page_sizes(self) -> Tuple[int, ...]:
@@ -90,25 +112,27 @@ class Tlb:
     # Lookup / insert
     # ------------------------------------------------------------------
     @o1(note="parallel probe of three fixed page-size arrays")
+    @allocfree(note="int-keyed probe of preallocated sets; constructs nothing")
     def lookup(self, vaddr: int, asid: int = 0) -> Optional[TlbEntry]:
         """Translation covering ``vaddr`` for ``asid``, or None on miss.
 
         Probes every page-size array, as hardware does in parallel.
         """
         # o1: allow(o1-size-loop) -- the geometry has exactly 3 arrays
-        for size, sets in self._arrays.items():
+        for size, nsets, sets in self._probe:
             vpn = vaddr // size
-            nsets, _ = self._geometry[size]
-            entry_set = sets.get(vpn % nsets)
-            if entry_set is None:
+            entry_set = sets[vpn % nsets]
+            if not entry_set:
                 continue
-            entry = entry_set.get((asid, vpn))
+            key = (vpn << _ASID_BITS) | asid
+            entry = entry_set.get(key)
             if entry is not None:
-                entry_set.move_to_end((asid, vpn))
+                entry_set.move_to_end(key)
                 return entry
         return None
 
     @o1(note="one set update + possible LRU eviction")
+    @allocbound(2, note="one association per fill; the evicted entry is handed back")
     def insert(self, entry: TlbEntry) -> Optional[TlbEntry]:
         """Install ``entry``, returning any entry evicted by LRU."""
         if entry.page_size not in self._geometry:
@@ -117,19 +141,14 @@ class Tlb:
                 f"supported: {sorted(self._geometry)}"
             )
         nsets, ways = self._geometry[entry.page_size]
-        sets = self._arrays[entry.page_size]
-        entry_set = sets.setdefault(entry.vpn % nsets, OrderedDict())
-        key = (entry.asid, entry.vpn)
+        entry_set = self._arrays[entry.page_size][entry.vpn % nsets]
+        key = (entry.vpn << _ASID_BITS) | entry.asid
         entry_set[key] = entry
         entry_set.move_to_end(key)
         if len(entry_set) > ways:
             _, evicted = entry_set.popitem(last=False)
-            if self.tracer is not None and self.tracer.enabled:
-                self.tracer.instant(
-                    "tlb_evict",
-                    "cpu",
-                    args={"vaddr": hex(evicted.vaddr), "page_size": evicted.page_size},
-                )
+            # alloc: allow(cold-call) -- tracer-armed runs only
+            self._trace_evict(evicted)
             return evicted
         return None
 
@@ -137,16 +156,17 @@ class Tlb:
     # Invalidation
     # ------------------------------------------------------------------
     @o1(note="one probe per fixed page-size array")
+    @allocfree(note="int-keyed pops; the trace world is cold")
     def invalidate(self, vaddr: int, asid: int = 0) -> int:
         """Drop any entry covering ``vaddr`` (invlpg); returns count dropped."""
         dropped = 0
         # o1: allow(o1-size-loop) -- the geometry has exactly 3 arrays
-        for size, sets in self._arrays.items():
+        for size, nsets, sets in self._probe:
             vpn = vaddr // size
-            nsets, _ = self._geometry[size]
-            entry_set = sets.get(vpn % nsets)
-            if entry_set and entry_set.pop((asid, vpn), None) is not None:
+            entry_set = sets[vpn % nsets]
+            if entry_set and entry_set.pop((vpn << _ASID_BITS) | asid, None) is not None:
                 dropped += 1
+        # alloc: allow(cold-call) -- tracer-armed runs only
         self._trace_invalidate("tlb_invalidate", dropped, vaddr=vaddr)
         return dropped
 
@@ -169,26 +189,26 @@ class Tlb:
         dropped = 0
         end = vaddr + length
         # o1: allow(o1-size-loop) -- the geometry has exactly 3 arrays
-        for size, sets in self._arrays.items():
+        for size, nsets, sets in self._probe:
             vpn_lo = vaddr // size
             vpn_hi = (end - 1) // size
-            nsets, _ = self._geometry[size]
             span = vpn_hi - vpn_lo + 1
             if span >= nsets:
-                indices: Iterable[int] = list(sets)
+                indices: Iterable[int] = range(nsets)
             else:
                 # o1: allow(o1-size-loop) -- span < sets, a hardware constant
                 indices = {(vpn_lo + i) % nsets for i in range(span)}
             # o1: allow(o1-size-loop) -- at most nsets indices, a constant
             for index in indices:
-                entry_set = sets.get(index)
+                entry_set = sets[index]
                 if not entry_set:
                     continue
                 # o1: allow(o1-size-loop) -- ways per set is fixed
                 stale = [
                     key
-                    for key, entry in entry_set.items()
-                    if key[0] == asid and vpn_lo <= key[1] <= vpn_hi
+                    for key in entry_set
+                    if key & _ASID_MASK == asid
+                    and vpn_lo <= key >> _ASID_BITS <= vpn_hi
                 ]
                 # o1: allow(o1-size-loop) -- at most ways stale keys
                 for key in stale:
@@ -202,7 +222,7 @@ class Tlb:
         dropped = 0
         for sets in self._arrays.values():
             for entry_set in sets.values():
-                stale = [key for key in entry_set if key[0] == asid]
+                stale = [key for key in entry_set if key & _ASID_MASK == asid]
                 for key in stale:
                     del entry_set[key]
                     dropped += 1
@@ -214,10 +234,25 @@ class Tlb:
         dropped = self.resident_count()
         # o1: allow(o1-size-loop) -- the TLB arrays have fixed hardware geometry
         for sets in self._arrays.values():
-            sets.clear()
+            # o1: allow(o1-size-loop) -- sets per array is a hardware constant
+            for entry_set in sets.values():
+                # Clear in place: the preallocated sets (and the probe
+                # tuple that aliases them) must survive a full flush.
+                entry_set.clear()
         self._trace_invalidate("tlb_flush_all", dropped)
         return dropped
 
+    @allocbound(3, note="one instant-event argument dict; tracer-armed runs only")
+    def _trace_evict(self, evicted: TlbEntry) -> None:
+        if self.tracer is None or not self.tracer.enabled:
+            return
+        self.tracer.instant(
+            "tlb_evict",
+            "cpu",
+            args={"vaddr": hex(evicted.vaddr), "page_size": evicted.page_size},
+        )
+
+    @allocbound(3, note="one instant-event argument dict; tracer-armed runs only")
     def _trace_invalidate(
         self, name: str, dropped: int, vaddr: Optional[int] = None
     ) -> None:

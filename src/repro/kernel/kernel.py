@@ -36,7 +36,7 @@ from repro.hw.rtlb import RangeTlb
 from repro.hw.tlb import Tlb
 from repro.kernel.process import Process
 from repro.kernel.syscalls import Syscalls
-from repro.lint import complexity, o1
+from repro.lint import allocbound, allocfree, complexity, o1
 from repro.mem.buddy import BuddyAllocator
 from repro.mem.frame_meta import FrameTable
 from repro.mem.physical import PhysicalMemory
@@ -481,13 +481,16 @@ class Kernel:
     # ------------------------------------------------------------------
     # CPU entry points
     # ------------------------------------------------------------------
+    @allocfree(note="asid compare; the PCID switch fires only on process change")
     def _ensure_current(self, process: Process) -> None:
         if self._current_asid != process.space.asid:
             # PCID-style switch: no flush, but the CR3 write is charged.
+            # alloc: allow(cold-call) -- fires only when the running process changes
             self.cpu.switch_address_space(process.space.asid, flush=False)
             self._current_asid = process.space.asid
 
     @o1(note="one access; any fault charges its own, separate path")
+    @allocfree(note="delegates to the certified CPU path; poison recovery is cold")
     def access(self, process: Process, vaddr: int, write: bool = False) -> int:
         """One user-mode memory access; returns the physical address."""
         self._ensure_current(process)
@@ -507,6 +510,7 @@ class Kernel:
             return self.cpu.access(process.space, vaddr, write=write)
 
     @complexity("n", note="one access per stride step")
+    @allocbound(2, note="one trace-span argument dict when the tracer is armed")
     def access_range(
         self,
         process: Process,
@@ -528,6 +532,7 @@ class Kernel:
             )
             return
         tracer.current_pid = process.pid
+        # alloc: allow(cold-call) -- tracer-armed runs only
         tracer.begin(
             "access_range", "cpu", args={"vaddr": hex(vaddr), "size": size}
         )
@@ -536,6 +541,7 @@ class Kernel:
                 process.space, vaddr, size, write=write, stride=stride
             )
         finally:
+            # alloc: allow(cold-call) -- tracer-armed runs only
             tracer.end()
 
     def warm_file(self, inode) -> None:

@@ -1,12 +1,15 @@
-"""Order(1) conformance: declarations, AST linter, flow analysis, fitter.
+"""Order(1) conformance: declarations, AST linters, flow analysis, fitters.
 
 The paper's thesis is that every memory-management operation should cost
 constant time regardless of operand size.  This package turns that claim
-into a machine-checked invariant, in three prongs:
+into a machine-checked invariant, in four prongs:
 
 * :mod:`repro.lint.decorators` — the :func:`o1` / :func:`complexity`
-  decorators hot paths use to *declare* their cost class.  Declaring is
-  free at runtime (two attributes set at import time, no wrapper).
+  decorators hot paths use to *declare* their simulated-cost class, and
+  the :func:`allocfree` / :func:`allocbound` decorators that declare the
+  orthogonal wall-clock contract (how many Python-level allocations a
+  call may perform).  Declaring is free at runtime (attributes set at
+  import time, no wrapper).
 * :mod:`repro.lint.astcheck` — a static cost-shape linter that parses the
   source of every declared function and flags size-dependent loops,
   charge-inside-loop patterns and recursion that contradict the declared
@@ -25,35 +28,57 @@ into a machine-checked invariant, in three prongs:
   must precede apply).  Its baseline
   (``src/repro/lint/flow_baseline.json``) is empty by policy, and stale
   ``# o1: allow`` suppressions are themselves findings.
+* :mod:`repro.lint.alloc` + :mod:`repro.lint.allocfit` — AllocSan: an
+  AST allocation-shape classifier (displays, comprehensions, f-strings,
+  closures, star-args, materializing builtins) whose per-function shapes
+  propagate over the same call graph as transitive allocation summaries
+  (none < bounded < per-element < unbounded), judged against
+  ``@allocfree`` / ``@allocbound`` declarations; every function
+  reachable from the four hot access entries must be declared or
+  allocation-free.  ``allocfit`` then re-runs the certified hot ops
+  under ``tracemalloc`` / ``gc.get_count()`` deltas, so a static
+  certificate that lies about steady-state allocation fails the gate.
+  Baseline: ``src/repro/lint/alloc_baseline.json`` (hot-closure findings
+  can never be baselined).
 * :mod:`repro.lint.fit` + :mod:`repro.lint.ops` — an empirical complexity
   fitter that runs registered operations at geometrically spaced operand
   sizes on the simulated clock and fits cost-vs-size to
   constant/log/linear/linearithmic, catching dynamic O(n) behaviour the
   AST cannot see.
 
-Run them via ``repro-o1 lint [--interproc] [--fit]``; CI gates on a
-clean run.
+Run them via ``repro-o1 lint [--interproc] [--alloc] [--fit]``; CI gates
+on a clean run.
 
-Only the declaration half is imported here: the checker and fitter pull in
-the whole simulator, and annotated modules (buddy, TLB, syscalls, ...)
+Only the declaration half is imported here: the checkers and fitters pull
+in the whole simulator, and annotated modules (buddy, TLB, syscalls, ...)
 import ``repro.lint`` at module load, so this ``__init__`` must stay
 dependency-free to avoid import cycles.
 """
 
 from repro.lint.decorators import (
+    AllocDeclaration,
     ComplexityClass,
     Declaration,
+    allocbound,
+    allocfree,
     complexity,
+    declared_alloc,
     declared_complexity,
+    iter_alloc_declarations,
     iter_declarations,
     o1,
 )
 
 __all__ = [
+    "AllocDeclaration",
     "ComplexityClass",
     "Declaration",
+    "allocbound",
+    "allocfree",
     "complexity",
+    "declared_alloc",
     "declared_complexity",
+    "iter_alloc_declarations",
     "iter_declarations",
     "o1",
 ]

@@ -89,6 +89,11 @@ _CHARGE_ATTRS = frozenset({"advance", "bump", "_charge", "charge", "observe"})
 
 _ALLOW_RE = re.compile(r"#\s*o1:\s*allow\(([^)]*)\)")
 
+#: The AllocSan spelling; same grammar, separate namespace, so one line
+#: can carry both an ``# o1: allow`` and an ``# alloc: allow`` comment
+#: without the rule vocabularies colliding.
+ALLOC_ALLOW_RE = re.compile(r"#\s*alloc:\s*allow\(([^)]*)\)")
+
 _LoopNode = Union[
     ast.For,
     ast.AsyncFor,
@@ -159,11 +164,13 @@ class LintResult:
 # ---------------------------------------------------------------------------
 # Inline suppressions
 # ---------------------------------------------------------------------------
-def _allowed_lines(source: str) -> Dict[int, Set[str]]:
+def _allowed_lines(
+    source: str, pattern: "re.Pattern[str]" = _ALLOW_RE
+) -> Dict[int, Set[str]]:
     """line number -> rules allowed by an ``# o1: allow(...)`` comment."""
     allowed: Dict[int, Set[str]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _ALLOW_RE.search(line)
+        match = pattern.search(line)
         if match is None:
             continue
         rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
@@ -171,7 +178,9 @@ def _allowed_lines(source: str) -> Dict[int, Set[str]]:
     return allowed
 
 
-def allow_comment_lines(source: str) -> Dict[int, Set[str]]:
+def allow_comment_lines(
+    source: str, pattern: "re.Pattern[str]" = _ALLOW_RE
+) -> Dict[int, Set[str]]:
     """Like :func:`_allowed_lines`, but only *real* comments count.
 
     The plain line scan also matches ``o1: allow(...)`` text inside
@@ -185,7 +194,7 @@ def allow_comment_lines(source: str) -> Dict[int, Set[str]]:
         for token in tokens:
             if token.type != tokenize.COMMENT:
                 continue
-            match = _ALLOW_RE.search(token.string)
+            match = pattern.search(token.string)
             if match is None:
                 continue
             rules = {
@@ -195,25 +204,31 @@ def allow_comment_lines(source: str) -> Dict[int, Set[str]]:
             }
             allowed[token.start[0]] = rules or {"*"}
     except (tokenize.TokenError, IndentationError, SyntaxError):
-        return _allowed_lines(source)
+        return _allowed_lines(source, pattern)
     return allowed
 
 
 class AllowMap:
     """Inline-suppression map for one file, with usage tracking.
 
-    ``allow()`` is the query both lint passes use: it returns True when
-    one of the candidate lines carries an ``# o1: allow`` comment naming
-    the rule (or ``*``), and records the matched line so unused comments
-    can be reported as stale afterwards.  ``match()`` is the same lookup
+    ``allow()`` is the query the lint passes use: it returns True when
+    one of the candidate lines carries an allow comment naming the rule
+    (or ``*``), and records the matched line so unused comments can be
+    reported as stale afterwards.  ``match()`` is the same lookup
     without the usage side effect, for callers that only commit to the
     suppression later (e.g. a ``flow-bounded`` call-site allow is *used*
     only if the callee was actually non-constant).
+
+    The default ``pattern`` reads ``# o1: allow(...)`` comments; the
+    AllocSan pass builds its maps with :data:`ALLOC_ALLOW_RE` so the two
+    suppression namespaces stay disjoint.
     """
 
-    def __init__(self, source: str) -> None:
-        self.rules_by_line = _allowed_lines(source)
-        self.comment_lines = allow_comment_lines(source)
+    def __init__(
+        self, source: str, pattern: "re.Pattern[str]" = _ALLOW_RE
+    ) -> None:
+        self.rules_by_line = _allowed_lines(source, pattern)
+        self.comment_lines = allow_comment_lines(source, pattern)
         self.used: Set[int] = set()
 
     def match(self, lines: Iterable[int], rule: str) -> Optional[int]:

@@ -13,9 +13,10 @@ resolver:
   (in-package bases only) plus every in-package subclass override, so
   virtual dispatch contributes its worst case;
 * ``obj.m()`` resolves when the receiver's class is recoverable from a
-  parameter annotation, an annotated assignment, a constructor call, an
-  attribute whose type was pinned in ``__init__``, or a property/method
-  return annotation;
+  parameter annotation, an annotated assignment, a constructor call, a
+  module-level singleton assignment, a defaulting conditional
+  (``x if x is not None else X()``), an attribute whose type was pinned
+  in ``__init__``, or a property/method return annotation;
 * as a last resort, an attribute call whose method name is defined by
   exactly one class in the package resolves there (never for common
   container-protocol names like ``get`` or ``append``).
@@ -151,6 +152,10 @@ class CallGraph:
         self.calls: Dict[str, List[CallSite]] = {}
         self.allow_maps: Dict[str, AllowMap] = {}
         self.modules: Dict[str, _ModuleInfo] = {}
+        #: module -> {global name -> class id} for module-level singletons
+        #: (``_machine = Machine(...)``); consulted when a local name has
+        #: no binding in the function's own environment.
+        self.module_globals: Dict[str, Dict[str, str]] = {}
         self.files_parsed = 0
         self.sites_total = 0
         self.sites_resolved = 0
@@ -273,6 +278,33 @@ def _render_call(call: ast.Call) -> str:
     return f"{target}(...)"
 
 
+def resolve_class_name(
+    graph: CallGraph, name: str, info: _ModuleInfo
+) -> Optional[str]:
+    """Map a (possibly dotted) source-level name to a class id.
+
+    Shared by the builder's type miner and AllocSan's constructor-call
+    detector (a resolved in-package constructor is an allocation even
+    when the class has no source-level ``__init__`` to call into).
+    """
+    if name in graph.classes:
+        return name
+    head, _, rest = name.partition(".")
+    expanded = info.imports.get(head)
+    if expanded is not None:
+        candidate = f"{expanded}.{rest}" if rest else expanded
+        if candidate in graph.classes:
+            return candidate
+    candidate = f"{info.module}.{name}"
+    if candidate in graph.classes:
+        return candidate
+    if "." not in name:
+        hits = graph._class_by_simple.get(name, [])
+        if len(hits) == 1:
+            return hits[0]
+    return None
+
+
 class _Builder:
     def __init__(self, root: Path, package: str) -> None:
         self.root = root
@@ -393,27 +425,36 @@ class _Builder:
                     )
         for klass in self.graph.classes.values():
             self._mine_class_types(klass)
+        for info in self.graph.modules.values():
+            self._mine_module_globals(info)
+
+    def _mine_module_globals(self, info: _ModuleInfo) -> None:
+        """Pin types of module-level singletons (``x = ClassName(...)``)."""
+        for stmt in info.tree.body:
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            annotation: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value, annotation = stmt.target, stmt.value, stmt.annotation
+            if not isinstance(target, ast.Name):
+                continue
+            cid = self._ann_to_cid(annotation, info)
+            if cid is None and isinstance(value, ast.Call):
+                callee = _dotted(value.func)
+                if callee is not None:
+                    cid = self._resolve_class_name(callee, info)
+            if cid is not None:
+                self.graph.module_globals.setdefault(info.module, {})[
+                    target.id
+                ] = cid
 
     def _resolve_class_name(
         self, name: str, info: _ModuleInfo
     ) -> Optional[str]:
         """Map a (possibly dotted) source-level name to a class id."""
-        if name in self.graph.classes:
-            return name
-        head, _, rest = name.partition(".")
-        expanded = info.imports.get(head)
-        if expanded is not None:
-            candidate = f"{expanded}.{rest}" if rest else expanded
-            if candidate in self.graph.classes:
-                return candidate
-        candidate = f"{info.module}.{name}"
-        if candidate in self.graph.classes:
-            return candidate
-        if "." not in name:
-            hits = self.graph._class_by_simple.get(name, [])
-            if len(hits) == 1:
-                return hits[0]
-        return None
+        return resolve_class_name(self.graph, name, info)
 
     def _ann_to_cid(
         self, ann: Optional[ast.expr], info: _ModuleInfo
@@ -493,14 +534,33 @@ class _Builder:
                 continue
             attr = target.attr
             cid = self._ann_to_cid(annotation, info)
-            if cid is None and isinstance(value, ast.Name):
-                cid = param_types.get(value.id)
-            if cid is None and isinstance(value, ast.Call):
-                callee = _dotted(value.func)
-                if callee is not None:
-                    cid = self._resolve_class_name(callee, info)
+            if cid is None and value is not None:
+                cid = self._init_value_cid(value, param_types, info)
             if cid is not None and attr not in klass.attr_types:
                 klass.attr_types[attr] = cid
+
+    def _init_value_cid(
+        self,
+        value: ast.expr,
+        param_types: Dict[str, Optional[str]],
+        info: _ModuleInfo,
+    ) -> Optional[str]:
+        """Type of an ``__init__`` RHS: param, ctor call, or a defaulting
+        conditional (``tlb if tlb is not None else Tlb()``) over those."""
+        if isinstance(value, ast.Name):
+            return param_types.get(value.id)
+        if isinstance(value, ast.Call):
+            callee = _dotted(value.func)
+            if callee is not None:
+                return self._resolve_class_name(callee, info)
+            return None
+        if isinstance(value, ast.IfExp):
+            body = self._init_value_cid(value.body, param_types, info)
+            orelse = self._init_value_cid(value.orelse, param_types, info)
+            if body is not None and orelse is not None:
+                return body if body == orelse else None
+            return body if body is not None else orelse
+        return None
 
     # -- pass 3: resolve calls ----------------------------------------
     def resolve_calls(self) -> None:
@@ -585,7 +645,16 @@ class _Builder:
         env: Dict[str, str],
     ) -> Optional[str]:
         if isinstance(expr, ast.Name):
-            return env.get(expr.id)
+            hit = env.get(expr.id)
+            if hit is not None:
+                return hit
+            return self.graph.module_globals.get(info.module, {}).get(expr.id)
+        if isinstance(expr, ast.IfExp):
+            body = self._expr_type(expr.body, func, info, env)
+            orelse = self._expr_type(expr.orelse, func, info, env)
+            if body is not None and orelse is not None:
+                return body if body == orelse else None
+            return body if body is not None else orelse
         if isinstance(expr, ast.Attribute):
             base = self._expr_type(expr.value, func, info, env)
             if base is not None:

@@ -1,12 +1,21 @@
-"""Complexity declarations: ``@o1`` and ``@complexity("log n")``.
+"""Complexity and allocation declarations: ``@o1``, ``@complexity``,
+``@allocfree`` and ``@allocbound``.
 
-A declaration is a *contract* about how an operation's simulated cost may
-scale with its operand size (pages, frames, extents, entries — whatever
-the function naturally consumes).  Both the AST linter and the empirical
-fitter enforce the contract; the decorators themselves do no work at call
-time — they set two attributes on the function object at import time and
-record the declaration in a module-level registry, so decorating a hot
-path costs nothing on the hot path (an O(1) checker must itself be O(1)).
+A declaration is a *contract*.  ``@o1`` / ``@complexity("log n")`` bound
+how an operation's *simulated* cost may scale with its operand size
+(pages, frames, extents, entries — whatever the function naturally
+consumes).  ``@allocfree`` / ``@allocbound(n)`` bound how many
+*Python-level allocations* the function may perform per call on the real
+(wall-clock) hot loop — the orthogonal axis AllocSan
+(:mod:`repro.lint.alloc`) checks statically and
+:mod:`repro.lint.allocfit` cross-checks under ``tracemalloc``.
+
+Both the AST linters and the empirical checkers enforce the contracts;
+the decorators themselves do no work at call time — they set attributes
+on the function object at import time and record the declaration in a
+module-level registry, so decorating a hot path costs nothing on the hot
+path (an O(1) checker must itself be O(1), and an allocation checker
+must itself be allocation-free per call).
 """
 
 from __future__ import annotations
@@ -21,6 +30,9 @@ F = TypeVar("F", bound=Callable[..., object])
 #: decorators syntactically, these exist for runtime introspection.
 ATTR_CLASS = "__complexity__"
 ATTR_NOTE = "__complexity_note__"
+#: Allocation-contract attributes (``@allocfree`` / ``@allocbound``).
+ATTR_ALLOC = "__alloc_bound__"
+ATTR_ALLOC_NOTE = "__alloc_note__"
 
 
 class ComplexityClass(enum.Enum):
@@ -163,3 +175,109 @@ def declared_complexity(func: object) -> Optional[ComplexityClass]:
 def iter_declarations() -> Iterator[Declaration]:
     """Every declaration registered by modules imported so far."""
     return iter(list(_REGISTRY))
+
+
+# ---------------------------------------------------------------------------
+# Allocation contracts: @allocfree / @allocbound(n)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AllocDeclaration:
+    """One recorded allocation contract.
+
+    ``bound`` is the number of Python-level allocations the function may
+    perform per call at steady state: 0 for ``@allocfree``, a small
+    constant for ``@allocbound(n)`` (n <= 0 means "bounded, count
+    unspecified").
+    """
+
+    module: str
+    qualname: str
+    bound: int
+    note: str = ""
+
+    @property
+    def function(self) -> str:
+        """Fully qualified dotted name, as the baseline file spells it."""
+        return f"{self.module}.{self.qualname}"
+
+    @property
+    def allocfree(self) -> bool:
+        return self.bound == 0
+
+
+#: Import-order registry of every allocation contract seen this process.
+_ALLOC_REGISTRY: List[AllocDeclaration] = []
+
+
+def _declare_alloc(func: F, bound: int, note: str) -> F:
+    setattr(func, ATTR_ALLOC, bound)
+    setattr(func, ATTR_ALLOC_NOTE, note)
+    _ALLOC_REGISTRY.append(
+        AllocDeclaration(
+            module=func.__module__,
+            qualname=func.__qualname__,
+            bound=bound,
+            note=note,
+        )
+    )
+    return func
+
+
+@overload
+def allocfree(func: F) -> F: ...
+
+
+@overload
+def allocfree(func: None = None, *, note: str = "") -> Callable[[F], F]: ...
+
+
+def allocfree(
+    func: Optional[F] = None, *, note: str = ""
+) -> object:
+    """Declare a function allocation-free per call at steady state.
+
+    Usable bare (``@allocfree``) or with a note.  Transient arithmetic
+    boxing (CPython int objects) is outside the contract; Python-level
+    allocation *shapes* — displays, comprehensions, f-strings, closures,
+    materializing builtins — and net ``tracemalloc`` growth are not.
+    """
+    if func is not None:
+        return _declare_alloc(func, 0, note)
+
+    def wrap(inner: F) -> F:
+        return _declare_alloc(inner, 0, note)
+
+    return wrap
+
+
+def allocbound(n: int = -1, *, note: str = "") -> Callable[[F], F]:
+    """Declare a function's per-call allocations bounded by a constant.
+
+    ``@allocbound(2)`` promises at most two allocations per call however
+    large the operand; plain ``@allocbound()`` promises a constant bound
+    without naming it.  The bound must not scale with operand size —
+    per-element allocation needs no decorator, it needs fixing.
+    """
+
+    def wrap(func: F) -> F:
+        return _declare_alloc(func, n, note)
+
+    return wrap
+
+
+def declared_alloc(func: object) -> Optional[AllocDeclaration]:
+    """The allocation contract of ``func``, or None if undeclared."""
+    bound = getattr(func, ATTR_ALLOC, None)
+    if not isinstance(bound, int) or isinstance(bound, bool):
+        return None
+    return AllocDeclaration(
+        module=getattr(func, "__module__", "?"),
+        qualname=getattr(func, "__qualname__", "?"),
+        bound=bound,
+        note=str(getattr(func, ATTR_ALLOC_NOTE, "")),
+    )
+
+
+def iter_alloc_declarations() -> Iterator[AllocDeclaration]:
+    """Every allocation contract registered by modules imported so far."""
+    return iter(list(_ALLOC_REGISTRY))

@@ -17,13 +17,35 @@ from repro.lint.baseline import BaselineOutcome
 from repro.lint.ops import OperationFit
 
 if TYPE_CHECKING:
+    from repro.lint.alloc import AllocFinding, AllocResult
+    from repro.lint.allocfit import AllocFitResult
     from repro.lint.flow import FlowFinding, FlowResult
 
-#: v2 added the ``flow`` section (``lint --interproc``).
-REPORT_VERSION = 2
+#: v2 added the ``flow`` section (``lint --interproc``); v3 added the
+#: ``alloc`` section (``lint --alloc``: AllocSan + empirical cross-check).
+REPORT_VERSION = 3
 
 
 def _flow_finding_dict(finding: "FlowFinding") -> Dict[str, object]:
+    return {
+        "function": finding.function,
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "message": finding.message,
+        "chain": [
+            {
+                "function": hop.fid,
+                "path": hop.path,
+                "line": hop.line,
+                "note": hop.note,
+            }
+            for hop in finding.chain
+        ],
+    }
+
+
+def _alloc_finding_dict(finding: "AllocFinding") -> Dict[str, object]:
     return {
         "function": finding.function,
         "rule": finding.rule,
@@ -50,6 +72,9 @@ def build_report(
     sizes: Optional[Sequence[int]] = None,
     flow: Optional["FlowResult"] = None,
     flow_outcome: Optional["BaselineOutcome[FlowFinding]"] = None,
+    alloc: Optional["AllocResult"] = None,
+    alloc_outcome: Optional["BaselineOutcome[AllocFinding]"] = None,
+    allocfit_results: Optional[Sequence["AllocFitResult"]] = None,
 ) -> Dict[str, object]:
     """Assemble the machine-readable conformance report."""
     report: Dict[str, object] = {
@@ -120,6 +145,59 @@ def build_report(
                 for s in flow.stale_suppressions
             ],
         }
+    if alloc is not None:
+        alloc_new = (
+            alloc_outcome.new if alloc_outcome is not None else alloc.findings
+        )
+        alloc_suppressed = (
+            alloc_outcome.suppressed if alloc_outcome is not None else []
+        )
+        alloc_stale = alloc_outcome.stale if alloc_outcome is not None else []
+        alloc_section: Dict[str, object] = {
+            "entries": list(alloc.entries),
+            "files": alloc.files,
+            "functions": alloc.functions,
+            "hot_reachable": alloc.hot_reachable,
+            "declared_allocfree": alloc.declared_allocfree,
+            "declared_allocbound": alloc.declared_allocbound,
+            "findings": [_alloc_finding_dict(f) for f in alloc_new],
+            "baseline_suppressed": [
+                _alloc_finding_dict(f) for f in alloc_suppressed
+            ],
+            "stale_baseline_entries": [
+                {"function": e.function, "rule": e.rule, "reason": e.reason}
+                for e in alloc_stale
+            ],
+            "controls_verified": [
+                {"function": f.function, "rule": f.rule}
+                for f in alloc.controls_verified
+            ],
+            "stale_suppressions": [
+                {
+                    "path": s.path,
+                    "line": s.line,
+                    "rules": list(s.rules),
+                }
+                for s in alloc.stale_suppressions
+            ],
+        }
+        if allocfit_results is not None:
+            alloc_section["allocfit"] = [
+                {
+                    "name": r.name,
+                    "calls": r.calls,
+                    "net_bytes": r.net_bytes,
+                    "per_call_bytes": round(r.per_call_bytes, 4),
+                    "gc_delta": list(r.gc_delta),
+                    "expect_growth": r.expect_growth,
+                    "grew": r.grew,
+                    "uncertified": list(r.uncertified),
+                    "ok": r.ok,
+                    "note": r.note,
+                }
+                for r in allocfit_results
+            ]
+        report["alloc"] = alloc_section
     if fits is not None:
         report["fit"] = {
             "sizes": list(sizes) if sizes is not None else None,
@@ -156,6 +234,9 @@ def render_text(
     *,
     flow: Optional["FlowResult"] = None,
     flow_outcome: Optional["BaselineOutcome[FlowFinding]"] = None,
+    alloc: Optional["AllocResult"] = None,
+    alloc_outcome: Optional["BaselineOutcome[AllocFinding]"] = None,
+    allocfit_results: Optional[Sequence["AllocFitResult"]] = None,
 ) -> str:
     """Human-readable conformance summary."""
     lines: List[str] = []
@@ -208,6 +289,47 @@ def render_text(
             )
         for suppression in flow.stale_suppressions:
             lines.append(f"  STALE {suppression.format()}")
+    if alloc is not None:
+        from repro.lint.alloc import ALLOC_CONTROLS
+
+        alloc_new = (
+            alloc_outcome.new if alloc_outcome is not None else alloc.findings
+        )
+        alloc_suppressed = (
+            alloc_outcome.suppressed if alloc_outcome is not None else []
+        )
+        alloc_stale = alloc_outcome.stale if alloc_outcome is not None else []
+        lines.append("")
+        lines.append(
+            f"o1 alloc: {alloc.hot_reachable} functions in the hot closure "
+            f"of {len(alloc.entries)} entries, "
+            f"{alloc.declared_allocfree} @allocfree + "
+            f"{alloc.declared_allocbound} @allocbound declared"
+        )
+        lines.append(
+            f"  {len(alloc_new)} finding(s), "
+            f"{len(alloc_suppressed)} baseline-suppressed, "
+            f"{len(alloc_stale)} stale baseline entr"
+            f"{'y' if len(alloc_stale) == 1 else 'ies'}, "
+            f"{len(alloc.controls_verified)}/{len(ALLOC_CONTROLS)} "
+            f"controls verified, "
+            f"{len(alloc.stale_suppressions)} stale suppression(s)"
+        )
+        for finding in alloc_new:
+            lines.append(f"  FINDING {finding.format()}")
+        for entry in alloc_stale:
+            lines.append(
+                f"  STALE alloc baseline entry {entry.function} "
+                f"[{entry.rule}] — finding no longer occurs; remove it"
+            )
+        for suppression in alloc.stale_suppressions:
+            lines.append(f"  STALE {suppression.format()}")
+        if allocfit_results is not None:
+            lines.append(
+                f"  allocfit: {len(allocfit_results)} op(s) cross-checked"
+            )
+            for result in allocfit_results:
+                lines.append(f"    {result.format()}")
     if fits is not None:
         lines.append("")
         lines.append(f"o1 fit: {len(fits)} operation(s)")

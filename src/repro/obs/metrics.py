@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.hw.clock import EventCounters
+from repro.lint.decorators import allocfree
 from repro.obs.names import CANONICAL_COUNTERS
 
 
@@ -137,6 +138,7 @@ class MetricsRegistry(EventCounters):
         self.strict = strict
 
     # -- counter surface (EventCounters-compatible) --------------------
+    @allocfree(note="set-membership check plus the base increment")
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name``; strict registries validate it."""
         if self.strict and name not in CANONICAL_COUNTERS:

@@ -22,7 +22,7 @@ from repro.hw.cache import CacheModel
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel
 from repro.hw.tlb import TlbEntry
-from repro.lint import o1
+from repro.lint import allocbound, o1
 from repro.paging.pagetable import PageTable, Pte
 
 
@@ -62,6 +62,7 @@ class PageWalker:
         return (levels + 1) * (host + 1) - 1
 
     @o1(note="4-5 fixed levels, independent of mapping size")
+    @allocbound(2, note="one node-path list and one TlbEntry per walk")
     def walk(self, table: PageTable, vaddr: int, asid: int = 0) -> Optional[TlbEntry]:
         """Translate ``vaddr``; None if no valid leaf exists.
 
@@ -79,6 +80,7 @@ class PageWalker:
         return self._walk(table, vaddr, asid)
 
     @o1(note="visits the fixed radix levels, nested or not")
+    @allocbound(2, note="one node-path list and one TlbEntry per walk")
     def _walk(self, table: PageTable, vaddr: int, asid: int) -> Optional[TlbEntry]:
         self._counters.bump("walk_start")
         nodes = table.path_nodes(vaddr)

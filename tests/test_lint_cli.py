@@ -16,7 +16,7 @@ class TestLintCommand:
         path = tmp_path / "lint_report.json"
         assert main(["lint", "--json", str(path)]) == 0
         report = json.loads(path.read_text())
-        assert report["version"] == 2
+        assert report["version"] == 3
         assert report["lint"]["violations"] == []
         assert report["lint"]["functions_checked"] >= 50
         assert report.get("fit") is None
@@ -75,10 +75,46 @@ class TestLintCommand:
         assert "0 stale suppression(s)" in out
         assert dot_path.read_text().startswith("digraph")
         report = json.loads(report_path.read_text())
-        assert report["version"] == 2
+        assert report["version"] == 3
         assert report["flow"]["findings"] == []
         assert len(report["flow"]["controls_verified"]) == 2
         assert report["flow"]["stale_suppressions"] == []
+
+    def test_alloc_clean_with_artifacts(self, capsys, tmp_path):
+        report_path = tmp_path / "lint_report.json"
+        assert main(["lint", "--alloc", "--json", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "o1 alloc:" in out
+        assert "1/1 controls verified" in out
+        assert "allocfit: 3 op(s) cross-checked" in out
+        report = json.loads(report_path.read_text())
+        assert report["version"] == 3
+        section = report["alloc"]
+        assert section["findings"] == []
+        assert section["stale_suppressions"] == []
+        assert len(section["controls_verified"]) == 1
+        fit_rows = section["allocfit"]
+        assert all(row["ok"] for row in fit_rows)
+        assert {row["name"] for row in fit_rows} == {
+            "access.tlb_hit", "access.tlb_miss_walk",
+            "control.allocfree_retaining",
+        }
+
+    def test_alloc_dirty_tree_exits_one(self, capsys, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text(
+            "from repro.lint import allocfree\n\n"
+            "@allocfree\ndef hot(x):\n    return [x]\n"
+        )
+        empty = tmp_path / "baseline.json"
+        empty.write_text('{"version": 1, "entries": []}')
+        assert main(
+            ["lint", "--alloc", "--root", str(pkg),
+             "--baseline", str(empty), "--alloc-baseline", str(empty)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "alloc-exceeds-declared" in out
 
     def test_interproc_dirty_tree_exits_one(self, capsys, tmp_path):
         pkg = tmp_path / "pkg"

@@ -118,6 +118,55 @@ class TestCallGraph:
         graph = build_callgraph(pkg, package="pkg")
         assert "pkg.b.worker" in list(graph.callees("pkg.a.caller"))
 
+    def test_defaulting_ifexp_in_init_resolves(self, tmp_path):
+        """``self._dep = dep if dep is not None else Dep()`` — both arms
+        agree on the type, so the attribute is typed."""
+        pkg = make_pkg(tmp_path, {"mod.py": """
+            class Dep:
+                def run(self):
+                    return 1
+
+            class Owner:
+                def __init__(self, dep=None):
+                    self._dep = dep if dep is not None else Dep()
+
+                def go(self):
+                    return self._dep.run()
+        """})
+        graph = build_callgraph(pkg, package="pkg")
+        assert "pkg.mod.Dep.run" in list(graph.callees("pkg.mod.Owner.go"))
+
+    def test_annotated_ifexp_arm_resolves(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"mod.py": """
+            class Dep:
+                def run(self):
+                    return 1
+
+            class Owner:
+                def __init__(self, dep: Dep, alt: Dep) -> None:
+                    self._dep = alt if alt is not None else dep
+
+                def go(self):
+                    return self._dep.run()
+        """})
+        graph = build_callgraph(pkg, package="pkg")
+        assert "pkg.mod.Dep.run" in list(graph.callees("pkg.mod.Owner.go"))
+
+    def test_module_level_singleton_resolves(self, tmp_path):
+        pkg = make_pkg(tmp_path, {"mod.py": """
+            class Dep:
+                def run(self):
+                    return 1
+
+            SINGLETON = Dep()
+
+            def go():
+                return SINGLETON.run()
+        """})
+        graph = build_callgraph(pkg, package="pkg")
+        assert graph.module_globals["pkg.mod"]["SINGLETON"] == "pkg.mod.Dep"
+        assert "pkg.mod.Dep.run" in list(graph.callees("pkg.mod.go"))
+
     def test_dot_export_mentions_edges(self, tmp_path):
         pkg = make_pkg(tmp_path, {"mod.py": """
             def caller(x):
@@ -344,6 +393,29 @@ class TestRealTree:
                 f"control {finding.function} must carry its call chain"
             )
 
+    def test_resolution_ratio_floor(self, real_flow):
+        """Pin the call-site resolution ratio so regressions in the
+        resolver (attribute typing, module globals, IfExp arms) show up
+        as a number going down, not as silently thinner coverage."""
+        _, result = real_flow
+        ratio = result.sites_resolved / result.sites_total
+        assert ratio >= 0.39, (
+            f"resolution ratio fell to {ratio:.4f} "
+            f"({result.sites_resolved}/{result.sites_total})"
+        )
+
+    def test_cpu_tlb_attributes_are_typed(self, real_flow):
+        """The hot-path certificate depends on these exact attribute
+        types: Cpu._translate's tlb calls must resolve."""
+        _, result = real_flow
+        graph = result.graph
+        cpu = next(
+            cid for cid in graph.classes if cid == "repro.hw.cpu.Cpu"
+        )
+        attrs = graph.classes[cpu].attr_types
+        assert attrs.get("_tlb") == "repro.hw.tlb.Tlb"
+        assert attrs.get("_rtlb") == "repro.hw.rtlb.RangeTlb"
+
     def test_entries_cover_syscalls_and_kernel(self, real_flow):
         _, result = real_flow
         names = set(result.entries)
@@ -438,7 +510,7 @@ class TestFlowReport:
         report = build_report(
             intra, outcome, flow=result, flow_outcome=flow_outcome
         )
-        assert report["version"] == REPORT_VERSION == 2
+        assert report["version"] == REPORT_VERSION == 3
         section = report["flow"]
         assert set(section) == {
             "entries", "files", "functions", "call_sites", "findings",
