@@ -64,6 +64,10 @@ SITE_ACTIONS: Dict[str, FrozenSet[str]] = {
     "ras.retire.frame": frozenset(),
     "ras.badblock.persist": frozenset(),
     "ras.migrate.extent": frozenset(),
+    # QoS: direct-reclaim batches (error = transient reclaim failure,
+    # the throttle absorbs it) and the OOM kill decision point
+    "qos.reclaim": frozenset({"error"}),
+    "qos.oom_kill": frozenset(),
 }
 
 #: Every declared fault site.

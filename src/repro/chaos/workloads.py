@@ -127,6 +127,32 @@ def fig2_workload(seed: int = 0) -> Tuple[Kernel, Callable[[], None]]:
         frames = zeroing.take_frames(2)
         zeroing.return_frames(frames)
 
+        # -- QoS memory controller: two tenants share a tight memcg.
+        #    The bulk filler breaches ``high`` (direct-reclaim batches:
+        #    qos.reclaim crash points), then the spike pushes usage over
+        #    ``max`` with nothing on the LRU to reclaim, so the OOM
+        #    killer fires (qos.oom_kill) and tears down the bulk filler
+        #    — the largest-RSS victim, never the in-flight process.
+        qos = kernel.qos
+        if qos is None:
+            qos = kernel.arm_qos()
+        noisy = qos.cgroup("chaos-noisy", high=12, max_frames=24)
+        bulk = kernel.spawn("qos-bulk", cgroup=noisy)
+        spike = kernel.spawn("qos-spike", cgroup=noisy)
+        bulk_va = kernel.syscalls(bulk).mmap(
+            16 * PAGE_SIZE, flags=MapFlags.PRIVATE
+        )
+        for i in range(12):
+            kernel.access(bulk, bulk_va + i * PAGE_SIZE, write=True)
+        spike_va = kernel.syscalls(spike).mmap(
+            16 * PAGE_SIZE, flags=MapFlags.PRIVATE
+        )
+        for i in range(12):
+            if not spike.alive:
+                break
+            kernel.access(spike, spike_va + i * PAGE_SIZE, write=True)
+        assert not bulk.alive, "OOM killer must reap the bulk tenant"
+
         # -- RAS: inject media faults, patrol-scrub one batch, then
         #    retire a free NVM block (badblock adoption) and a live file
         #    block (extent migration), making retirement and migration

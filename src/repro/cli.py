@@ -327,6 +327,60 @@ def _cmd_ras(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_qos(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.workloads.tenants import run_tenants
+
+    seeds = list(range(args.sweep)) if args.sweep else [args.seed]
+    print(
+        f"qos: {args.tenants}-tenant fleet at {args.oversubscribe:.1f}x "
+        f"DRAM oversubscription, seed(s) {seeds[0]}..{seeds[-1]}"
+    )
+    reports = []
+    for seed in seeds:
+        report = run_tenants(
+            tenants=args.tenants,
+            seed=seed,
+            oversubscribe=args.oversubscribe,
+        )
+        reports.append(report)
+        done = sum(r.requests_done for r in report.results)
+        total = sum(r.requests_total for r in report.results)
+        status = "ok" if report.ok() else "FAILED"
+        print(
+            f"  seed {seed}: {done}/{total} requests, "
+            f"{len(report.kills)} oom kill(s), "
+            f"{report.counters.get('qos_throttle_stall', 0)} throttle "
+            f"stall(s): {status}"
+        )
+        for problem in report.problems():
+            print(f"    PROBLEM {problem}")
+    failed = [r for r in reports if not r.ok()]
+    if len(reports) == 1:
+        print(reports[0].summary())
+    if args.json is not None:
+        payload = {
+            "version": 1,
+            "tool": "repro-o1 qos",
+            "seeds": seeds,
+            "failed_seeds": [r.seed for r in failed],
+            "results": [r.to_json() for r in reports],
+        }
+        path = Path(args.json)
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote qos report to {path}")
+    if failed:
+        print(f"{len(failed)} of {len(reports)} seed(s) FAILED")
+        return 1
+    print(
+        f"all {len(reports)} seed(s) clean: throttled tenants progressed, "
+        "every OOM kill stayed inside the offending cgroup"
+    )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -621,6 +675,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the machine-readable ras_report.json here",
     )
     ras.set_defaults(func=_cmd_ras)
+    qos = sub.add_parser(
+        "qos",
+        help="oversubscribed multi-tenant fleet under memcg pressure",
+    )
+    qos.add_argument(
+        "--tenants", type=int, default=64,
+        help="number of tenant cgroups (default 64)",
+    )
+    qos.add_argument(
+        "--seed", type=int, default=0,
+        help="fleet seed (ignored with --sweep)",
+    )
+    qos.add_argument(
+        "--sweep", type=int, default=None, metavar="N",
+        help="run seeds 0..N-1 instead of a single seed",
+    )
+    qos.add_argument(
+        "--oversubscribe", type=float, default=2.0,
+        help="sum of working sets as a multiple of DRAM (default 2.0)",
+    )
+    qos.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the machine-readable qos_report.json here",
+    )
+    qos.set_defaults(func=_cmd_qos)
     lint = sub.add_parser(
         "lint",
         help="O(1) conformance: AST cost-shape linter + complexity fitter",

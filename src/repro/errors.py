@@ -85,6 +85,16 @@ class ProcessError(ReproError):
     """Invalid process operation (double exit, unknown pid, ...)."""
 
 
+class OomKilledError(ProcessError):
+    """The calling process was killed by the QoS OOM killer.
+
+    Raised at the victim's next syscall/access entry — the sim's analogue
+    of SIGKILL delivery on return to userspace.  The allocation that
+    triggered the kill itself succeeds (memory-reserve semantics), so the
+    killer never tears down a process mid-fault.
+    """
+
+
 class SimulatedCrashError(ReproError):
     """Raised at an injected crash point (power failure mid-operation)."""
 

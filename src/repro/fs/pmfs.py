@@ -104,6 +104,11 @@ class BlockAllocator:
         san = getattr(self._counters, "sanitize", None)
         if san is not None:
             san.on_nvm_alloc(self, self._region.first_pfn + start, nblocks)
+        qos = getattr(self._counters, "qos", None)
+        if qos is not None:
+            # PMFS block charging: billed to the calling tenant's cgroup
+            # (an informational side ledger; no watermark actions).
+            qos.on_nvm_alloc(nblocks)
         return Extent(logical=0, pfn=self._region.first_pfn + start, count=nblocks)
 
     @complexity("n", note="next-fit bitmap scan for an aligned run")
@@ -207,6 +212,9 @@ class BlockAllocator:
             san.on_nvm_free(self, extent.pfn, extent.count)
         self._clock.advance(self._costs.bitmap_run_ns)
         self._counters.bump("extent_free")
+        qos = getattr(self._counters, "qos", None)
+        if qos is not None:
+            qos.on_nvm_free(extent.count)
         self._bitmap.clear_range(extent.pfn - self._region.first_pfn, extent.count)
 
 

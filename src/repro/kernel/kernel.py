@@ -115,6 +115,10 @@ class Kernel:
         #: = no wall-time attribution.
         self.profiler = None
         self.counters.profiler = None
+        #: Armed QoS memory controller (see :meth:`arm_qos`); ``None`` =
+        #: no per-tenant accounting.
+        self.qos = None
+        self.counters.qos = None
         self.costs = costs or CostModel()
 
         cfg = self.config
@@ -224,8 +228,15 @@ class Kernel:
     # Processes
     # ------------------------------------------------------------------
     @o1(note="empty address space; table frames come from a deferred source")
-    def spawn(self, name: str, track_lru: bool = False) -> Process:
-        """Create a process with an empty address space."""
+    def spawn(
+        self, name: str, track_lru: bool = False, cgroup=None
+    ) -> Process:
+        """Create a process with an empty address space.
+
+        ``cgroup`` (a :class:`~repro.qos.memcg.MemCg` or a registered
+        cgroup name) attaches the new process to a QoS memory cgroup;
+        it requires an armed controller (:meth:`arm_qos`).
+        """
         asid = next(self._asids)
         page_table = PageTable(
             levels=self.config.page_table_levels,
@@ -252,6 +263,13 @@ class Kernel:
         process = Process(pid=next(self._pids), name=name, space=space)
         self.processes[process.pid] = process
         self.tracer.process_names[process.pid] = name
+        if cgroup is not None:
+            if self.qos is None:
+                raise ConfigurationError(
+                    "spawn(cgroup=...) needs an armed QoS controller; "
+                    "call kernel.arm_qos() first"
+                )
+            self.qos.attach(process, cgroup)
         return process
 
     def syscalls(self, process: Process) -> Syscalls:
@@ -284,6 +302,11 @@ class Kernel:
 
     def _fork_begin(self, parent: Process):
         child = self.spawn(f"{parent.name}-child")
+        if self.qos is not None:
+            # Children inherit the parent's cgroup, like clone(2).
+            parent_cg = self.qos.cgroup_of(parent.pid)
+            if parent_cg is not None:
+                self.qos.attach(child, parent_cg)
         self.counters.bump("fork_call")
         tracer = self.tracer
         traced = tracer.enabled
@@ -483,6 +506,11 @@ class Kernel:
     # ------------------------------------------------------------------
     @allocfree(note="asid compare; the PCID switch fires only on process change")
     def _ensure_current(self, process: Process) -> None:
+        qos = getattr(self.counters, "qos", None)
+        if qos is not None:
+            # Demand allocations taken on this access path bill the
+            # running process's cgroup.
+            qos.enter_pid(process.pid)
         if self._current_asid != process.space.asid:
             # PCID-style switch: no flush, but the CR3 write is charged.
             # alloc: allow(cold-call) -- fires only when the running process changes
@@ -667,6 +695,36 @@ class Kernel:
         self.profiler = None
         self.counters.profiler = None
         self.tracer.profiler = None
+
+    # ------------------------------------------------------------------
+    # Per-tenant memory QoS
+    # ------------------------------------------------------------------
+    def arm_qos(self, controller=None, config=None):
+        """Arm the per-tenant memory controller (``repro.qos``) here.
+
+        Same back-reference pattern as :meth:`arm_chaos`: the allocator
+        charge sites reach the controller through ``counters.qos``, so
+        an unarmed machine pays one ``getattr`` per site and its golden
+        figures stay bit-identical.  An armed controller with no limits
+        configured (the default root cgroup) accounts usage without ever
+        touching the simulated clock; watermarked cgroups add reclaim
+        backpressure, throttling and the OOM killer — all charged where
+        the pressure happens.
+
+        Returns the armed :class:`~repro.qos.controller.QosController`.
+        """
+        if controller is None:
+            from repro.qos.controller import QosController
+
+            controller = QosController(self, config=config)
+        self.qos = controller
+        self.counters.qos = controller
+        return controller
+
+    def disarm_qos(self) -> None:
+        """Detach the QoS controller (its accounting stops updating)."""
+        self.qos = None
+        self.counters.qos = None
 
     # ------------------------------------------------------------------
     # Whole-machine events

@@ -308,6 +308,37 @@ def _run_crypto_return(n: int) -> int:
     return _measure(kernel, lambda: strategy.return_frames(pfns))
 
 
+def _run_qos_charge(n: int) -> int:
+    kernel = _machine()
+    qos = kernel.arm_qos()
+    process = None
+    for i in range(n):  # n registered tenants, each with its own cgroup
+        process = kernel.spawn(f"t{i}", cgroup=qos.cgroup(f"t{i}"))
+    assert process is not None
+    qos.enter_pid(process.pid)
+    buddy = kernel.dram_buddy
+    first = buddy.alloc(0)
+    buddy.alloc(0)  # first's buddy: keeps the freed block unmerged
+    buddy.free(first)  # exact-order hit: isolates the charge-hook cost
+    return _measure(kernel, lambda: buddy.alloc(0))
+
+
+def _run_qos_reclaim_batch(n: int) -> int:
+    kernel = _machine(swap_pages=16384)
+    qos = kernel.arm_qos()
+    cg = qos.cgroup("fit")  # limitless: setup never breaches
+    process = kernel.spawn("fit", track_lru=True, cgroup=cg)
+    sys = kernel.syscalls(process)
+    # Resident population = scan cap's worth of pages plus n more, so
+    # every measurement scans exactly the 4x-batch bound and evicts one
+    # full batch — however much memory is resident beyond it.
+    pages = 4 * qos.config.reclaim_batch * 4 + n
+    va = sys.mmap(pages * PAGE_SIZE, flags=MapFlags.PRIVATE)
+    # Demand-fault every page: only the fault path feeds the LRU.
+    kernel.access_range(process, va, pages * PAGE_SIZE, write=True)
+    return _measure(kernel, lambda: qos.reclaim_batch(cg))
+
+
 _C = ComplexityClass.CONSTANT
 _N = ComplexityClass.LINEAR
 
@@ -376,6 +407,16 @@ OPERATIONS: List[Operation] = [
              "batched TLB range invalidation; single window here "
              "(n = resident pages)",
         max_size=WINDOW_PAGES,
+    ),
+    Operation(
+        "qos.charge", _C, _run_qos_charge,
+        note="one frame alloc through the armed memcg charge hook "
+             "(n = registered tenant cgroups)",
+    ),
+    Operation(
+        "qos.reclaim_batch", _C, _run_qos_reclaim_batch,
+        note="one direct-reclaim batch: scan capped at 4x batch size "
+             "(n = resident pages beyond the scan cap)",
     ),
     Operation(
         "vfs.lookup", _N, _run_vfs_lookup,

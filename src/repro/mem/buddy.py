@@ -146,6 +146,9 @@ class BuddyAllocator:
         san = getattr(self._counters, "sanitize", None)
         if san is not None:
             san.on_frame_alloc(self, pfn, order)
+        qos = getattr(self._counters, "qos", None)
+        if qos is not None:
+            qos.on_frames_alloc(pfn, 1 << order)
         return pfn
 
     @complexity("log n", note="one power-of-two block, however many pages")
@@ -200,6 +203,9 @@ class BuddyAllocator:
         order = self._allocated.pop(pfn, None)
         if order is None:
             raise ValueError(f"pfn {pfn} was not allocated by this allocator")
+        qos = getattr(self._counters, "qos", None)
+        if qos is not None:
+            qos.on_frames_free(pfn)
         self._charge(charge_ns, "buddy_free")
         self._free_frames += 1 << order
         first = self._region.first_pfn

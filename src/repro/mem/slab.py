@@ -159,12 +159,20 @@ class SlabCache:
             ) from last_error
         self._slabs[base_pfn] = _Slab(base_pfn, self._slab_order, self._slots_per_slab)
         self._partial.append(base_pfn)
+        qos = getattr(self._counters, "qos", None)
+        if qos is not None:
+            # Kernel-memory attribution (cgroup v2 kmem): the buddy
+            # charge above billed the frames; this tags them as slab.
+            qos.on_slab_grow(1 << self._slab_order)
 
     def _reap(self, base_pfn: int) -> None:
         """Return an empty slab to the buddy allocator."""
         del self._slabs[base_pfn]
         self._partial.remove(base_pfn)
         self._buddy.free(base_pfn)
+        qos = getattr(self._counters, "qos", None)
+        if qos is not None:
+            qos.on_slab_reap(1 << self._slab_order)
 
     def stats(self) -> Dict[str, int]:
         """Occupancy statistics (slabinfo-style)."""

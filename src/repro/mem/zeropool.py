@@ -78,6 +78,10 @@ class ZeroPool:
             if san is not None:
                 # The fast path skips zeroing: the frame must be clean.
                 san.on_zeropool_take(pfn)
+            qos = getattr(self._counters, "qos", None)
+            if qos is not None:
+                # The charge moves from the pool (root) to the taker.
+                qos.on_frame_claimed(pfn)
             return pfn
         if self._counters is not None:
             self._counters.bump("zeropool_miss")
@@ -124,6 +128,11 @@ class ZeroPool:
             san = getattr(self._counters, "sanitize", None)
             if san is not None:
                 san.on_frames_zeroed((pfn,))
+            qos = getattr(self._counters, "qos", None)
+            if qos is not None:
+                # Pooled frames park on the root cgroup: background
+                # zeroing is not billed to whoever triggered the refill.
+                qos.on_frame_pooled(pfn)
             added += 1
         if added and self._counters is not None:
             self._counters.bump("zeropool_refill_frames", added)

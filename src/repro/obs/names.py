@@ -64,6 +64,7 @@ COUNTER_PREFIXES: FrozenSet[str] = frozenset(
         "premap",
         "pt",
         "pte",
+        "qos",
         "range",
         "ras",
         "reclaim",
@@ -119,6 +120,7 @@ CANONICAL_COUNTERS: FrozenSet[str] = frozenset(
         "mmap_call",
         "munmap_call",
         "populate_pages",
+        "vm_evict_pinned",
         "vm_page_evict",
         "vma_insert",
         "vma_merge",
@@ -158,6 +160,7 @@ CANONICAL_COUNTERS: FrozenSet[str] = frozenset(
         "pagecache_lookup",
         # RAS: media faults, scrubbing, retirement (repro.ras)
         "ras_badblock_persisted",
+        "ras_dram_badblock_adopted",
         "ras_extent_migrated",
         "ras_frame_retired",
         "ras_io_retry",
@@ -168,6 +171,14 @@ CANONICAL_COUNTERS: FrozenSet[str] = frozenset(
         "ras_scrub_busy",
         "ras_scrub_frame",
         "ras_sigbus_kill",
+        # QoS memory controller (repro.qos): all breach-slow-path only
+        "qos_oom_kill",
+        "qos_oom_victimless",
+        "qos_reclaim_batch",
+        "qos_reclaim_error",
+        "qos_throttle_stall",
+        "qos_watermark_high",
+        "qos_watermark_max",
         # reclaim & swap
         "reclaim_evicted",
         "reclaim_scanned",

@@ -381,6 +381,29 @@ class PageTable:
         return False
 
     @o1(note="fixed-depth radix descent")
+    def path_shared(self, vaddr: int) -> bool:
+        """True when ``vaddr`` translates through a node shared with
+        another table (``refs > 1``) or a write-protected slot.
+
+        Such a translation is visible to a sibling address space (fork's
+        COW subtree sharing), so per-page mutations on it — eviction in
+        particular — cannot be performed from this table alone.
+        """
+        node = self._root
+        # o1: allow(o1-size-loop) -- the level count is a hardware constant
+        for depth in range(self._levels):
+            index = self.index_at(vaddr, depth)
+            if index in node.wp_slots:
+                return True
+            entry = node.entries.get(index)
+            if not isinstance(entry, PageTableNode):
+                return False
+            if entry.refs > 1:
+                return True
+            node = entry
+        return False
+
+    @o1(note="fixed-depth radix descent")
     def path_nodes(self, vaddr: int) -> List[PageTableNode]:
         """Nodes visited translating ``vaddr`` (for the walker), root first.
 

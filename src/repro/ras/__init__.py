@@ -13,12 +13,13 @@ the chaos engine and the sanitizers: unarmed machines pay one
   correctable poison and proactively retires failing frames.
 """
 
-from repro.ras.engine import BADBLOCK_PATH, RasEngine
+from repro.ras.engine import BADBLOCK_PATH, DRAM_BADBLOCK_PATH, RasEngine
 from repro.ras.model import FaultKind, MediaFault, MediaFaultModel
 from repro.ras.scrub import PatrolScrubber
 
 __all__ = [
     "BADBLOCK_PATH",
+    "DRAM_BADBLOCK_PATH",
     "FaultKind",
     "MediaFault",
     "MediaFaultModel",

@@ -37,6 +37,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Where the persisted badblock list lives in the PMFS namespace.
 BADBLOCK_PATH = "/.badblocks"
 
+#: DRAM retirements persist here as file *data* (fixed-width records),
+#: not as adopted extents: adopting a DRAM pfn into the badblock file's
+#: extent tree would claim an NVM block number that conservation audits
+#: check against the NVM bitmap.
+DRAM_BADBLOCK_PATH = "/.badblocks.dram"
+
+#: Bytes per DRAM badblock record: ``pfn + 1`` big-endian, so a torn
+#: tail (prefix of zeros, since sim pfns never reach 2**32) can never be
+#: mistaken for a valid record.
+_DRAM_RECORD_BYTES = 8
+
 
 class RasEngine:
     """Reliability/availability/serviceability policy for one machine."""
@@ -65,6 +76,9 @@ class RasEngine:
                     kernel.nvm_region.first_pfn, kernel.nvm_region.frame_count
                 )
         self.scrubber = PatrolScrubber(self, batch_frames=scrub_batch_frames)
+        # A fresh engine on a recovered machine re-learns DRAM badblocks
+        # from the persisted list before the allocator can reuse them.
+        self._adopt_persisted_dram_badblocks()
 
     # ------------------------------------------------------------------
     # Armed-path hooks (reached through ``counters.ras``)
@@ -264,11 +278,48 @@ class RasEngine:
         region = self._kernel.dram_region
         return region.first_pfn <= pfn < region.first_pfn + region.frame_count
 
-    @complexity("log n", note="one buddy retirement")
+    @complexity("log n", note="one buddy retirement plus one record append")
     def _retire_dram(self, pfn: int) -> bool:
         if not self._kernel.dram_buddy.retire(pfn):
             return False
+        # o1: allow(flow-bounded) -- one 8-byte record append; path depth, not frame count
+        self._persist_dram_badblock(pfn)
         return True
+
+    @complexity("n", note="one fixed-width append through the file API")
+    def _persist_dram_badblock(self, pfn: int) -> None:
+        """Append one record to the DRAM badblock file.
+
+        DRAM retirement state is otherwise volatile (the buddy's retired
+        set dies with the power); the record is what lets a rebooted
+        machine keep the frame out of service.  Torn appends leave an
+        all-zero prefix chunk that the loader skips.
+        """
+        pmfs = self._kernel.pmfs
+        if pmfs is None:
+            return  # no durable home; retirement lasts until power-off
+        chaos = getattr(self._counters, "chaos", None)
+        if chaos is not None:
+            chaos.hit("ras.badblock.persist")
+        inode = self.dram_badblock_inode()
+        record = (pfn + 1).to_bytes(_DRAM_RECORD_BYTES, "big")
+        with pmfs.open_inode(inode) as handle:
+            handle.pwrite(inode.size, record)
+        self._counters.bump("ras_badblock_persisted")
+
+    @complexity("n", note="arming-time sweep of the persisted record file")
+    def _adopt_persisted_dram_badblocks(self) -> None:
+        """Re-retire every persisted DRAM badblock into the buddy.
+
+        Runs once at arming time.  Idempotent: frames the buddy already
+        holds retired (same boot, or duplicate records from a crash
+        between buddy retirement and record append) adopt as no-ops.
+        """
+        # o1: allow(o1-size-loop, o1-charge-in-loop) -- cold arming sweep, one visit per persisted record
+        for pfn in sorted(self.dram_badblock_pfns()):
+            if self._kernel.dram_buddy.retire(pfn):
+                self._counters.bump("ras_dram_badblock_adopted")
+            self.model.retire(pfn)
 
     @complexity("n", note="badblock adoption or one-block migration + mapping sweep")
     def _retire_nvm(self, pfn: int) -> bool:
@@ -371,6 +422,38 @@ class RasEngine:
             for pfn in range(extent.pfn, extent.pfn + extent.count)
         )
 
+    @complexity("n", note="one path lookup (or first-time create) of the record file")
+    def dram_badblock_inode(self) -> "Inode":
+        """The DRAM badblock record file, created on first retirement."""
+        pmfs = self._kernel.pmfs
+        assert pmfs is not None
+        if pmfs.exists(DRAM_BADBLOCK_PATH):
+            return pmfs.lookup(DRAM_BADBLOCK_PATH)
+        inode = pmfs.create(DRAM_BADBLOCK_PATH, size=0)
+        inode.persistent = True
+        return inode
+
+    @complexity("n", note="one visit per persisted record")
+    def dram_badblock_pfns(self) -> frozenset:
+        """DRAM frames on the persisted record list (ground truth: PMFS).
+
+        All-zero chunks — the residue of an append torn by a power cut —
+        are not records and are skipped.
+        """
+        pmfs = self._kernel.pmfs
+        if pmfs is None or not pmfs.exists(DRAM_BADBLOCK_PATH):
+            return frozenset()
+        inode = pmfs.lookup(DRAM_BADBLOCK_PATH)
+        with pmfs.open_inode(inode) as handle:
+            raw = handle.pread(0, inode.size)
+        pfns = set()
+        # o1: allow(o1-size-loop) -- cold audit/recovery sweep over the record file
+        for start in range(0, len(raw) - len(raw) % _DRAM_RECORD_BYTES, _DRAM_RECORD_BYTES):
+            value = int.from_bytes(raw[start : start + _DRAM_RECORD_BYTES], "big")
+            if value:
+                pfns.add(value - 1)
+        return frozenset(pfns)
+
     # ------------------------------------------------------------------
     # Oracle + report
     # ------------------------------------------------------------------
@@ -387,8 +470,16 @@ class RasEngine:
                     f"dead frame {fault.pfn:#x} is still in service"
                 )
         persisted = self.badblock_pfns()
+        persisted_dram = self.dram_badblock_pfns()
+        has_pmfs = self._kernel.pmfs is not None
         for pfn in sorted(self.model.retired):
-            if not self._in_dram(pfn) and pfn not in persisted:
+            if self._in_dram(pfn):
+                if has_pmfs and pfn not in persisted_dram:
+                    problems.append(
+                        f"retired DRAM frame {pfn:#x} missing from the "
+                        f"persisted DRAM badblock records"
+                    )
+            elif pfn not in persisted:
                 problems.append(
                     f"retired NVM frame {pfn:#x} missing from the "
                     f"persisted badblock list"
@@ -409,5 +500,6 @@ class RasEngine:
             ],
             "retired": sorted(self.model.retired),
             "badblock_pfns": sorted(self.badblock_pfns()),
+            "dram_badblock_pfns": sorted(self.dram_badblock_pfns()),
             "problems": self.audit(),
         }

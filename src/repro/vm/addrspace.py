@@ -686,22 +686,58 @@ class AddressSpace:
         pte = self._pt.lookup(page_va)
         if pte is None:
             return False
+        vma = self.find_vma(page_va)
+        if not self._evictable(vma, page_va, pte):
+            # A COW-shared translation (fork's subtree sharing) is pinned:
+            # unmapping here would privatize only this table's path while
+            # the sibling keeps a live PTE to the frame swap-out is about
+            # to free — a cross-space dangling translation.  Without a
+            # reverse map the share cannot be broken from this side, so
+            # the page waits until a write fault breaks the share (or a
+            # sharer exits).
+            self._counters.bump("vm_evict_pinned")
+            return False
         self._pt.unmap(page_va, page_size=pte.page_size)
         if self.cpu is not None:
             self.cpu.invalidate_page(page_va, asid=self._asid)
-        vma = self.find_vma(page_va)
         if vma is not None:
-            swap_out = getattr(vma.backing, "swap_out", None)
+            backing = vma.backing
+            swap_out = getattr(backing, "swap_out", None)
             if swap_out is not None:
-                swap_out(vma.backing_page(page_va))
+                page_index = vma.backing_page(page_va)
+                resident = getattr(backing, "resident_frame", None)
+                if resident is None or resident(page_index) == pte.pfn:
+                    # Only write back the frame we actually unmapped: a
+                    # private COW copy must not push out (and free) the
+                    # backing's original, possibly still-mapped frame.
+                    swap_out(page_index)
         self._counters.bump("vm_page_evict")
+        return True
+
+    @o1(note="one fixed-depth probe plus refcount checks")
+    def _evictable(self, vma, page_va: int, pte) -> bool:
+        """Whether this page can be reclaimed from this space alone."""
+        if self._pt.path_shared(page_va):
+            return False
+        if vma is None:
+            return True
+        backing = vma.backing
+        if getattr(backing, "_users", 1) > 1:
+            # The backing (anon frames after a COW fork) is shared: the
+            # frame may be mapped by a sibling space whose page table we
+            # cannot reach from here.
+            page_index = vma.backing_page(page_va)
+            if vma.private_copies.get(page_index) != pte.pfn:
+                return False
         return True
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @complexity("n", note="one pass over the live leaves; introspection only")
     def resident_pages(self) -> int:
         """Number of 4 KiB pages with live translations."""
+        # o1: allow(flow-bounded) -- the leaves are the declared n, visited once
         return sum(
             pte.page_size // PAGE_SIZE for _, pte in self._pt.iter_leaves()
         )

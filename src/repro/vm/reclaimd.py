@@ -13,10 +13,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.hw.clock import EventCounters, SimClock
 from repro.hw.costmodel import CostModel
+from repro.lint import complexity
 from repro.mem.frame_meta import FrameTable, PageFlags
 
 
@@ -89,25 +90,51 @@ class ClockReclaimer:
         self._frame_table = frame_table
         self._counters = counters
 
-    def reclaim(self, nr_pages: int) -> int:
-        """Try to evict ``nr_pages``; returns pages actually reclaimed."""
+    @complexity("n", note="the scan IS the cost; callers bound it via max_scan")
+    def reclaim(
+        self,
+        nr_pages: int,
+        max_scan: Optional[int] = None,
+        should_evict: Optional[Callable[[_LruEntry], bool]] = None,
+    ) -> int:
+        """Try to evict ``nr_pages``; returns pages actually reclaimed.
+
+        ``max_scan`` caps the number of pages examined (the QoS
+        controller passes a batch-proportional cap so one direct-reclaim
+        pass stays O(1) in resident memory); the default is the kswapd-
+        style few-passes-over-everything budget.  ``should_evict``
+        filters candidates — pages it rejects keep their second chance
+        on the active list (memcg-targeted reclaim skips other tenants'
+        frames without losing track of them).
+        """
         tracer = self._counters.tracer
         if tracer is not None and tracer.enabled:
             tracer.begin("reclaim", "reclaim", args={"requested": nr_pages})
             try:
-                reclaimed = self._reclaim(nr_pages)
+                reclaimed = self._reclaim(nr_pages, max_scan, should_evict)
             finally:
                 tracer.end()
             return reclaimed
-        return self._reclaim(nr_pages)
+        return self._reclaim(nr_pages, max_scan, should_evict)
 
-    def _reclaim(self, nr_pages: int) -> int:
+    @complexity("n", note="scan-budgeted clock hand; every touch is charged")
+    def _reclaim(
+        self,
+        nr_pages: int,
+        max_scan: Optional[int] = None,
+        should_evict: Optional[Callable[[_LruEntry], bool]] = None,
+    ) -> int:
         reclaimed = 0
         # Bound total scanning at a few passes over everything, as kswapd
         # priorities do, so pressure with all-hot pages terminates.
-        scan_budget = 4 * max(1, self._lru.resident_count)
+        scan_budget = (
+            max_scan
+            if max_scan is not None
+            else 4 * max(1, self._lru.resident_count)
+        )
         while reclaimed < nr_pages and scan_budget > 0:
             if not self._lru.inactive:
+                # o1: allow(flow-bounded) -- aging moves pages the scan then consumes; amortized into the declared n
                 if not self._age_active():
                     break
             entry = self._lru.inactive.popleft()
@@ -119,13 +146,25 @@ class ClockReclaimer:
                 meta.lru_list = "active"
                 self._lru.active.append(entry)
                 continue
+            if should_evict is not None and not should_evict(entry):
+                # Not this caller's page to take: protect it for now.
+                meta.lru_list = "active"
+                self._lru.active.append(entry)
+                continue
             if entry.space.evict_page(entry.vaddr):
                 self._lru._drop(entry)
                 meta.lru_list = ""
                 reclaimed += 1
                 self._counters.bump("reclaim_evicted")
+            else:
+                # Pinned (e.g. a fork-shared COW window): keep it on the
+                # active list so it is revisited once unpinned, instead
+                # of silently falling off both lists.
+                meta.lru_list = "active"
+                self._lru.active.append(entry)
         return reclaimed
 
+    @complexity("n", note="one pass over the active list; charged per touch")
     def _age_active(self) -> bool:
         """Move the active list to inactive (one aging pass)."""
         if not self._lru.active:
@@ -205,4 +244,9 @@ class TwoQueueReclaimer:
                 meta.lru_list = ""
                 reclaimed += 1
                 self._counters.bump("reclaim_evicted")
+            else:
+                # Pinned page (fork-shared COW window): protect it rather
+                # than dropping it from both lists.
+                meta.lru_list = "active"
+                self._lru.active.append(entry)
         return reclaimed

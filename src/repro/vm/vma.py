@@ -124,6 +124,10 @@ class AnonBacking:
         self._frames[page_index] = pfn
         return pfn
 
+    def resident_frame(self, page_index: int) -> Optional[int]:
+        """The frame currently backing ``page_index``, if resident."""
+        return self._frames.get(page_index)
+
     def swap_out(self, page_index: int) -> None:
         """Push one resident page to swap (dirty anon pages always write)."""
         pfn = self._frames.pop(page_index, None)

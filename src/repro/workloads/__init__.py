@@ -14,11 +14,23 @@ from repro.workloads.patterns import (
     strided_offsets,
 )
 from repro.workloads.alloc_traces import AllocEvent, AllocTrace, TraceOp
+from repro.workloads.tenants import (
+    TenantReport,
+    TenantResult,
+    TenantSpec,
+    make_specs,
+    run_tenants,
+)
 
 __all__ = [
     "AllocEvent",
     "AllocTrace",
+    "TenantReport",
+    "TenantResult",
+    "TenantSpec",
     "TraceOp",
+    "make_specs",
+    "run_tenants",
     "hot_cold_pages",
     "random_pages",
     "sequential_pages",

@@ -68,6 +68,20 @@ if os.environ.get("REPRO_RAS"):
 
     Kernel.__init__ = _ras_kernel_init  # type: ignore[method-assign]
 
+if os.environ.get("REPRO_QOS"):
+    # QoS-armed tier-1: every Kernel gets the memory controller with only
+    # the limitless root cgroup, so the whole suite runs through the armed
+    # charge/uncharge hooks while no watermark can ever breach.  The
+    # pressure paths are breach-only, so every simulated figure must come
+    # out bit-identical to the plain run; this mode exists to prove that.
+    _unqos_kernel_init = Kernel.__init__
+
+    def _qos_kernel_init(self, *args, **kwargs):  # type: ignore[no-untyped-def]
+        _unqos_kernel_init(self, *args, **kwargs)
+        self.arm_qos()
+
+    Kernel.__init__ = _qos_kernel_init  # type: ignore[method-assign]
+
 if os.environ.get("REPRO_PROFILE"):
     # Profiler-armed tier-1: every Kernel gets a WallProfiler (which also
     # enables tracing, so spans carry wall-time samples).  The profiler

@@ -396,10 +396,15 @@ class TestRealTree:
     def test_resolution_ratio_floor(self, real_flow):
         """Pin the call-site resolution ratio so regressions in the
         resolver (attribute typing, module globals, IfExp arms) show up
-        as a number going down, not as silently thinner coverage."""
+        as a number going down, not as silently thinner coverage.
+
+        Re-pinned from 0.39 when repro.qos landed: its ~450 new sites
+        skew toward builtins and container methods (deliberately
+        unresolvable), measuring 0.3874 with the resolver unchanged.
+        """
         _, result = real_flow
         ratio = result.sites_resolved / result.sites_total
-        assert ratio >= 0.39, (
+        assert ratio >= 0.385, (
             f"resolution ratio fell to {ratio:.4f} "
             f"({result.sites_resolved}/{result.sites_total})"
         )

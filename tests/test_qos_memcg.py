@@ -1,0 +1,182 @@
+"""MemCg hierarchy unit tests: charging, watermarks, PSI, OOM policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qos.memcg import (
+    OOM_POLICIES,
+    CgroupError,
+    MemCg,
+    PsiTracker,
+    victim_largest_rss,
+    victim_oldest,
+    victim_priority,
+)
+
+
+class _FakeProcess:
+    """Stand-in with just the surface the policies touch."""
+
+    def __init__(self, pid: int, rss: int) -> None:
+        self.pid = pid
+        self._rss = rss
+        self.space = self
+
+    def resident_pages(self) -> int:
+        return self._rss
+
+
+class TestHierarchy:
+    def test_lineage_is_self_then_ancestors(self):
+        root = MemCg("root")
+        mid = MemCg("mid", parent=root)
+        leaf = MemCg("leaf", parent=mid)
+        assert leaf.lineage == (leaf, mid, root)
+        assert leaf.depth == 2
+
+    def test_depth_cap_enforced(self):
+        node = MemCg("d0")
+        for depth in range(1, MemCg.MAX_DEPTH + 1):
+            node = MemCg(f"d{depth}", parent=node)
+        with pytest.raises(CgroupError, match="depth cap"):
+            MemCg("too-deep", parent=node)
+
+    def test_high_must_not_exceed_max(self):
+        with pytest.raises(CgroupError, match="must not exceed"):
+            MemCg("bad", high=10, max_frames=5)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(CgroupError, match="oom_policy"):
+            MemCg("bad", oom_policy="dartboard")
+
+    def test_contains_covers_subtree_only(self):
+        root = MemCg("root")
+        a = MemCg("a", parent=root)
+        b = MemCg("b", parent=root)
+        leaf = MemCg("leaf", parent=a)
+        assert a.contains(leaf)
+        assert root.contains(leaf)
+        assert not b.contains(leaf)
+        assert not leaf.contains(a)
+
+    def test_subtree_pids_sweeps_descendants(self):
+        root = MemCg("root")
+        a = MemCg("a", parent=root)
+        leaf = MemCg("leaf", parent=a)
+        root.pids.add(1)
+        a.pids.add(2)
+        leaf.pids.add(3)
+        assert sorted(a.subtree_pids()) == [2, 3]
+        assert sorted(root.subtree_pids()) == [1, 2, 3]
+
+
+class TestCharging:
+    def test_charge_lands_on_every_ancestor(self):
+        root = MemCg("root")
+        leaf = MemCg("leaf", parent=root)
+        leaf.charge(3)
+        assert leaf.usage_frames == 3
+        assert root.usage_frames == 3
+        leaf.uncharge(3)
+        assert leaf.usage_frames == 0
+        assert root.usage_frames == 0
+
+    def test_uncharge_floors_at_zero(self):
+        cg = MemCg("cg")
+        cg.charge(1)
+        cg.uncharge(5)
+        assert cg.usage_frames == 0
+
+    def test_peak_tracks_high_water(self):
+        cg = MemCg("cg")
+        cg.charge(4)
+        cg.uncharge(2)
+        cg.charge(1)
+        assert cg.usage_frames == 3
+        assert cg.peak_frames == 4
+
+    def test_charge_reports_deepest_breach_first(self):
+        root = MemCg("root", high=100)
+        leaf = MemCg("leaf", parent=root, high=2)
+        max_breach, high_breach = leaf.charge(3)
+        assert max_breach is None
+        assert high_breach is leaf
+
+    def test_max_breach_wins_over_high(self):
+        cg = MemCg("cg", high=2, max_frames=4)
+        max_breach, high_breach = cg.charge(5)
+        assert max_breach is cg
+        assert high_breach is None
+        assert cg.over_max and cg.over_high
+
+    def test_uncharge_below_high_resets_throttle_streak(self):
+        cg = MemCg("cg", high=4)
+        cg.charge(6)
+        cg.throttle_streak = 3
+        cg.uncharge(1)  # still over high: streak keeps growing
+        assert cg.throttle_streak == 3
+        cg.uncharge(2)  # back within the watermark: backoff restarts
+        assert cg.throttle_streak == 0
+
+    def test_unlimited_cgroup_never_breaches(self):
+        cg = MemCg("cg")
+        assert cg.charge(10_000) == (None, None)
+        assert not cg.over_high and not cg.over_max
+
+
+class TestPsi:
+    def test_totals_accumulate_some_and_full(self):
+        psi = PsiTracker()
+        psi.record(1_000, 500, full=False)
+        psi.record(2_000, 300, full=True)
+        assert psi.some_total_ns == 800
+        assert psi.full_total_ns == 300
+
+    def test_avg10_is_fraction_of_window(self):
+        psi = PsiTracker()
+        stall = PsiTracker.WINDOW_NS // 10
+        psi.record(stall, stall, full=True)
+        some, full = psi.avg10(stall)
+        assert some == pytest.approx(0.1, rel=0.02)
+        assert full == pytest.approx(0.1, rel=0.02)
+
+    def test_old_windows_age_out(self):
+        psi = PsiTracker()
+        psi.record(1_000, 1_000_000, full=True)
+        # Three windows later the stall no longer counts toward avg10
+        # (but the lifetime totals keep it).
+        later = 3 * PsiTracker.WINDOW_NS + 1
+        some, full = psi.avg10(later)
+        assert some == 0.0 and full == 0.0
+        assert psi.full_total_ns == 1_000_000
+
+
+class TestOomPolicies:
+    def test_policy_table_is_complete(self):
+        assert set(OOM_POLICIES) == {"largest_rss", "oldest", "priority"}
+
+    def test_largest_rss_picks_biggest(self):
+        a, b = _FakeProcess(1, rss=10), _FakeProcess(2, rss=50)
+        assert victim_largest_rss([a, b], lambda pid: None) is b
+
+    def test_largest_rss_ties_break_to_youngest(self):
+        a, b = _FakeProcess(1, rss=10), _FakeProcess(2, rss=10)
+        assert victim_largest_rss([a, b], lambda pid: None) is b
+
+    def test_oldest_picks_smallest_pid(self):
+        a, b = _FakeProcess(1, rss=10), _FakeProcess(2, rss=50)
+        assert victim_oldest([a, b], lambda pid: None) is a
+
+    def test_priority_outranks_rss(self):
+        low = MemCg("low", oom_priority=0)
+        high = MemCg("high-prio", oom_priority=10)
+        a, b = _FakeProcess(1, rss=100), _FakeProcess(2, rss=1)
+        cg_of = {1: low, 2: high}.get
+        assert victim_priority([a, b], cg_of) is b
+
+    def test_priority_degrades_to_rss_within_band(self):
+        cg = MemCg("band", oom_priority=5)
+        a, b = _FakeProcess(1, rss=100), _FakeProcess(2, rss=1)
+        cg_of = {1: cg, 2: cg}.get
+        assert victim_priority([a, b], cg_of) is a
